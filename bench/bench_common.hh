@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the
+ * paper's tables and figures.
+ *
+ * Every binary follows the same pattern: a set of Google Benchmark
+ * cases (reporting the *simulated* time via manual timing) plus a
+ * paper-style text table printed after the run. Simulation results
+ * are memoized so the table reuses the benchmark runs' numbers.
+ */
+
+#ifndef DGXSIM_BENCH_BENCH_COMMON_HH
+#define DGXSIM_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/scaling.hh"
+#include "core/text_table.hh"
+#include "core/trainer.hh"
+#include "dnn/models.hh"
+
+namespace dgxsim::bench {
+
+/** Cache key: model, gpus, batch, method, dataset, overlap. */
+using RunKey = std::tuple<std::string, int, int, int, std::uint64_t,
+                          bool>;
+
+/** Memoized training simulation. */
+inline const core::TrainReport &
+run(const std::string &model, int gpus, int batch,
+    comm::CommMethod method,
+    std::uint64_t dataset_images = 256000, bool overlap = false)
+{
+    static std::map<RunKey, core::TrainReport> cache;
+    RunKey key{model, gpus, batch, static_cast<int>(method),
+               dataset_images, overlap};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        core::TrainConfig cfg;
+        cfg.model = model;
+        cfg.numGpus = gpus;
+        cfg.batchPerGpu = batch;
+        cfg.method = method;
+        cfg.datasetImages = dataset_images;
+        cfg.overlapBpWu = overlap;
+        it = cache.emplace(key, core::Trainer::simulate(cfg)).first;
+    }
+    return it->second;
+}
+
+/**
+ * Google-Benchmark body reporting the simulated epoch time as the
+ * benchmark's manual time. Register with ->UseManualTime()
+ * ->Iterations(1).
+ */
+inline void
+epochBenchmark(benchmark::State &state, const std::string &model,
+               int gpus, int batch, comm::CommMethod method)
+{
+    for (auto _ : state) {
+        const core::TrainReport &r = run(model, gpus, batch, method);
+        state.SetIterationTime(r.oom ? 0.0 : r.epochSeconds);
+        state.counters["fpbp_s"] = r.fpBpSeconds;
+        state.counters["wu_s"] = r.wuSeconds;
+        state.counters["oom"] = r.oom ? 1 : 0;
+    }
+}
+
+/** The five paper workloads in Table I order. */
+inline const std::vector<std::string> &
+paperModels()
+{
+    return dnn::modelNames();
+}
+
+} // namespace dgxsim::bench
+
+#endif // DGXSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Topology explorer: prints the DGX-1's NVLink hybrid cube-mesh the
+ * way `nvidia-smi topo -m` does, the route every GPU pair takes
+ * under the MXNet data-movement policy, and a measured point-to-point
+ * bandwidth/latency matrix in the style of CUDA's
+ * p2pBandwidthLatencyTest — all against the simulated fabric.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/text_table.hh"
+#include "hw/fabric.hh"
+#include "sim/event_queue.hh"
+
+int
+main()
+{
+    using namespace dgxsim;
+    using core::TextTable;
+
+    hw::Topology topo = hw::Topology::dgx1Volta();
+
+    std::printf("=== Link matrix (lanes x 25 GB/s per direction) ===\n");
+    {
+        std::vector<std::string> header = {""};
+        for (int g = 0; g < 8; ++g)
+            header.push_back("GPU" + std::to_string(g));
+        TextTable table(header);
+        for (hw::NodeId a = 0; a < 8; ++a) {
+            std::vector<std::string> row = {"GPU" + std::to_string(a)};
+            for (hw::NodeId b = 0; b < 8; ++b) {
+                if (a == b) {
+                    row.push_back("X");
+                } else if (auto link = topo.directLink(
+                               a, b, hw::LinkType::NVLink)) {
+                    row.push_back(
+                        "NV" +
+                        std::to_string(topo.links()[*link].lanes));
+                } else {
+                    row.push_back("SYS");
+                }
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    std::printf("=== Routing policy (MXNet data movement) ===\n");
+    {
+        TextTable table({"pair", "route", "path", "bw (GB/s)"});
+        for (hw::NodeId a = 0; a < 8; ++a) {
+            for (hw::NodeId b = 0; b < 8; ++b) {
+                if (a >= b)
+                    continue;
+                const hw::Route route = topo.findRoute(a, b);
+                std::string path = topo.nodeLabel(a);
+                for (const auto &leg : route.legs)
+                    path += ">" + topo.nodeLabel(leg.to);
+                table.addRow({topo.nodeLabel(a) + "-" +
+                                  topo.nodeLabel(b),
+                              hw::routeKindName(route.kind), path,
+                              TextTable::num(
+                                  topo.routeBandwidthGbps(a, b), 0)});
+            }
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    std::printf(
+        "=== Measured P2P bandwidth matrix, 256 MB DMA (GB/s) ===\n");
+    {
+        std::vector<std::string> header = {"src\\dst"};
+        for (int g = 0; g < 8; ++g)
+            header.push_back("GPU" + std::to_string(g));
+        TextTable table(header);
+        for (hw::NodeId a = 0; a < 8; ++a) {
+            std::vector<std::string> row = {"GPU" + std::to_string(a)};
+            for (hw::NodeId b = 0; b < 8; ++b) {
+                if (a == b) {
+                    row.push_back("-");
+                    continue;
+                }
+                sim::EventQueue queue;
+                hw::Fabric fabric(queue, hw::Topology::dgx1Volta());
+                const sim::Bytes bytes = 256u * 1000 * 1000;
+                sim::Tick end = 0;
+                fabric.transfer(a, b, bytes,
+                                [&] { end = queue.now(); });
+                queue.run();
+                const double gbps =
+                    static_cast<double>(bytes) / 1e9 /
+                    sim::ticksToSec(end);
+                row.push_back(TextTable::num(gbps, 1));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+
+    std::printf("=== Small-message latency, 4 KB (us) ===\n");
+    {
+        TextTable table({"pair", "latency"});
+        const std::pair<hw::NodeId, hw::NodeId> pairs[] = {
+            {0, 1}, {0, 3}, {0, 6}, {0, 7}, {3, 4}};
+        for (auto [a, b] : pairs) {
+            sim::EventQueue queue;
+            hw::Fabric fabric(queue, hw::Topology::dgx1Volta());
+            sim::Tick end = 0;
+            fabric.transfer(a, b, 4096, [&] { end = queue.now(); });
+            queue.run();
+            table.addRow({"GPU" + std::to_string(a) + ">GPU" +
+                              std::to_string(b),
+                          TextTable::num(sim::ticksToUs(end), 2)});
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    return 0;
+}

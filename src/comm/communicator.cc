@@ -1,0 +1,153 @@
+#include "comm/communicator.hh"
+
+#include "cuda/kernel_model.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::comm {
+
+Communicator::Communicator(CommContext ctx, CommConfig cfg)
+    : ctx_(std::move(ctx)), cfg_(cfg)
+{
+    if (!ctx_.queue || !ctx_.fabric)
+        sim::fatal("communicator needs a queue and a fabric");
+    if (ctx_.gpus.empty())
+        sim::fatal("communicator needs at least one GPU");
+    for (hw::NodeId g : ctx_.gpus) {
+        if (ctx_.fabric->topology().nodeKind(g) != hw::NodeKind::Gpu)
+            sim::fatal("node ", g, " is not a GPU");
+    }
+}
+
+void
+Communicator::enqueue(OpKind kind, sim::Bytes bytes, Callback done)
+{
+    ops_.push_back(Op{kind, bytes, std::move(done)});
+    pump();
+}
+
+void
+Communicator::reduce(sim::Bytes bytes, Callback done)
+{
+    enqueue(OpKind::Reduce, bytes, std::move(done));
+}
+
+void
+Communicator::broadcast(sim::Bytes bytes, Callback done)
+{
+    enqueue(OpKind::Broadcast, bytes, std::move(done));
+}
+
+void
+Communicator::allReduce(sim::Bytes bytes, Callback done)
+{
+    enqueue(OpKind::AllReduce, bytes, std::move(done));
+}
+
+void
+Communicator::doAllReduce(sim::Bytes bytes, Callback done)
+{
+    // Parameter-server emulation of an all-reduce.
+    doReduce(bytes, [this, bytes, done = std::move(done)]() mutable {
+        doBroadcast(bytes, std::move(done));
+    });
+}
+
+void
+Communicator::dispatch(OpKind kind, sim::Bytes bytes, Callback finish)
+{
+    switch (kind) {
+      case OpKind::Reduce:
+        doReduce(bytes, std::move(finish));
+        break;
+      case OpKind::Broadcast:
+        doBroadcast(bytes, std::move(finish));
+        break;
+      case OpKind::AllReduce:
+        doAllReduce(bytes, std::move(finish));
+        break;
+    }
+}
+
+void
+Communicator::onIdle(Callback fn)
+{
+    if (idle()) {
+        fn();
+        return;
+    }
+    idleWaiters_.push_back(std::move(fn));
+}
+
+void
+Communicator::pump()
+{
+    if (pipelined()) {
+        // Dispatch everything immediately; the implementation keeps
+        // per-hop ordering itself, so consecutive collectives stream
+        // back to back through the ring.
+        while (!ops_.empty()) {
+            Op op = std::move(ops_.front());
+            ops_.pop_front();
+            ++outstanding_;
+            auto finish = [this, done = std::move(op.done)]() mutable {
+                --outstanding_;
+                if (done)
+                    done();
+                notifyIfIdle();
+            };
+            dispatch(op.kind, op.bytes, std::move(finish));
+        }
+        return;
+    }
+    if (running_ || ops_.empty())
+        return;
+    running_ = true;
+    Op op = std::move(ops_.front());
+    ops_.pop_front();
+    auto finish = [this, done = std::move(op.done)]() mutable {
+        opDone(std::move(done));
+    };
+    dispatch(op.kind, op.bytes, std::move(finish));
+}
+
+void
+Communicator::opDone(Callback done)
+{
+    running_ = false;
+    if (done)
+        done();
+    pump();
+    notifyIfIdle();
+}
+
+void
+Communicator::notifyIfIdle()
+{
+    if (idle() && !idleWaiters_.empty()) {
+        std::vector<Callback> waiters;
+        waiters.swap(idleWaiters_);
+        for (auto &w : waiters)
+            w();
+    }
+}
+
+void
+Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
+                        double flops, double bytes, Callback done)
+{
+    const sim::Tick dur = cuda::kernelDuration(
+        ctx_.gpuSpec, cuda::KernelCost{flops, bytes, false});
+    const sim::Tick start = ctx_.queue->now();
+    ctx_.queue->scheduleAfter(
+        dur, [this, kernel_name, gpu, start, dur,
+              done = std::move(done)]() {
+            if (ctx_.profiler) {
+                ctx_.profiler->recordKernel(kernel_name, gpu, start,
+                                            start + dur);
+            }
+            if (done)
+                done();
+        });
+}
+
+} // namespace dgxsim::comm

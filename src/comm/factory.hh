@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Communication-method selection, mirroring MXNet's kvstore choice
+ * ("device" = P2P parameter server, "nccl" = NCCL collectives).
+ */
+
+#ifndef DGXSIM_COMM_FACTORY_HH
+#define DGXSIM_COMM_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "comm/communicator.hh"
+
+namespace dgxsim::comm {
+
+/** The two inter-GPU communication methods the paper compares. */
+enum class CommMethod { P2P, NCCL };
+
+/** @return a printable name ("p2p"/"nccl"). */
+const char *commMethodName(CommMethod method);
+
+/** Parse "p2p" or "nccl" (fatal otherwise). */
+CommMethod parseCommMethod(const std::string &name);
+
+/** Construct the communicator implementing @p method. */
+std::unique_ptr<Communicator> makeCommunicator(CommMethod method,
+                                               CommContext ctx,
+                                               CommConfig cfg = {});
+
+} // namespace dgxsim::comm
+
+#endif // DGXSIM_COMM_FACTORY_HH

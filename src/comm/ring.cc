@@ -1,0 +1,55 @@
+#include "comm/ring.hh"
+
+#include <algorithm>
+
+namespace dgxsim::comm {
+
+namespace {
+
+bool
+linked(const hw::Topology &topo, hw::NodeId a, hw::NodeId b)
+{
+    return topo.directLink(a, b, hw::LinkType::NVLink).has_value();
+}
+
+bool
+extend(const hw::Topology &topo, const std::vector<hw::NodeId> &gpus,
+       std::vector<hw::NodeId> &path, std::vector<bool> &used)
+{
+    if (path.size() == gpus.size())
+        return linked(topo, path.back(), path.front());
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        if (used[i] || !linked(topo, path.back(), gpus[i]))
+            continue;
+        used[i] = true;
+        path.push_back(gpus[i]);
+        if (extend(topo, gpus, path, used))
+            return true;
+        path.pop_back();
+        used[i] = false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<hw::NodeId>
+findNvlinkRing(const hw::Topology &topo,
+               const std::vector<hw::NodeId> &gpus)
+{
+    if (gpus.size() <= 1)
+        return gpus;
+    if (gpus.size() == 2) {
+        return linked(topo, gpus[0], gpus[1])
+                   ? gpus
+                   : std::vector<hw::NodeId>{};
+    }
+    std::vector<hw::NodeId> path = {gpus[0]};
+    std::vector<bool> used(gpus.size(), false);
+    used[0] = true;
+    if (extend(topo, gpus, path, used))
+        return path;
+    return {};
+}
+
+} // namespace dgxsim::comm

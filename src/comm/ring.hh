@@ -1,0 +1,33 @@
+/**
+ * @file
+ * NVLink ring construction for the NCCL-like communicator.
+ *
+ * NCCL builds rings over the NVLink graph so every hop is a direct
+ * high-bandwidth link. On the DGX-1's hybrid cube-mesh such a
+ * Hamiltonian cycle exists for the 2-, 4- and 8-GPU subsets the paper
+ * trains on.
+ */
+
+#ifndef DGXSIM_COMM_RING_HH
+#define DGXSIM_COMM_RING_HH
+
+#include <vector>
+
+#include "hw/topology.hh"
+
+namespace dgxsim::comm {
+
+/**
+ * Find a cycle through @p gpus in which consecutive GPUs (and the
+ * last-to-first pair) share a direct NVLink.
+ *
+ * @return the ring starting at gpus[0], or an empty vector when no
+ * such cycle exists (the caller then falls back to the given order
+ * and lets the fabric stage the hops).
+ */
+std::vector<hw::NodeId> findNvlinkRing(const hw::Topology &topo,
+                                       const std::vector<hw::NodeId> &gpus);
+
+} // namespace dgxsim::comm
+
+#endif // DGXSIM_COMM_RING_HH

@@ -1,0 +1,157 @@
+#include "core/async_trainer.hh"
+
+#include <cstdio>
+
+#include "core/fp_bp_schedule.hh"
+#include "cuda/kernel_model.hh"
+#include "dnn/models.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+AsyncTrainer::AsyncTrainer(TrainConfig cfg)
+    : AsyncTrainer(std::move(cfg), hw::Topology::dgx1Volta())
+{
+}
+
+AsyncTrainer::AsyncTrainer(TrainConfig cfg, hw::Topology topo)
+    : cfg_(std::move(cfg)),
+      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo))),
+      net_(dnn::buildByName(cfg_.model))
+{
+    if (cfg_.numGpus < 1 ||
+        cfg_.numGpus > fabric_->topology().numGpus())
+        sim::fatal("numGpus out of range: ", cfg_.numGpus);
+    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        computeStreams_.push_back(std::make_unique<cuda::Stream>(
+            queue_, &profiler_, gpus_[g],
+            "compute" + std::to_string(g)));
+        workers_.push_back(std::make_unique<cuda::HostThread>(
+            queue_, &profiler_, "worker" + std::to_string(g)));
+    }
+    serverStream_ = std::make_unique<cuda::Stream>(queue_, &profiler_,
+                                                   gpus_[0], "server");
+}
+
+AsyncTrainer::~AsyncTrainer() = default;
+
+void
+AsyncTrainer::workerIteration(std::size_t g)
+{
+    if (itersLeft_[g] == 0)
+        return;
+    --itersLeft_[g];
+
+    cuda::HostThread &worker = *workers_[g];
+    cuda::Stream &stream = *computeStreams_[g];
+
+    // Compute on whatever weights the last pull delivered.
+    pulledVersion_[g] = version_;
+    issueFpBp(worker, stream, net_, cfg_);
+    worker.waitStream(stream);
+
+    // Push: move the full gradient set to the server GPU; the update
+    // applies as soon as it lands, regardless of the other workers.
+    worker.call(
+        "cudaMemcpyPeerAsync",
+        sim::usToTicks(cfg_.commConfig.memcpyIssueUs),
+        [this, g]() {
+            const sim::Bytes bytes = net_.paramBytes();
+            const sim::Tick start = queue_.now();
+            fabric_->transfer(
+                gpus_[g], gpus_[0], bytes, [this, g, bytes, start]() {
+                    profiler_.recordCopy("PtoP", gpus_[g], gpus_[0],
+                                         bytes, start, queue_.now());
+                    applyPush(g);
+                });
+        });
+}
+
+void
+AsyncTrainer::applyPush(std::size_t g)
+{
+    // Server-side SGD update, serialized with other pushes on the
+    // server stream.
+    const sim::Bytes bytes = net_.paramBytes();
+    const sim::Tick dur = cuda::kernelDuration(
+        cfg_.gpuSpec,
+        cuda::KernelCost{bytes / 2.0, 3.0 * bytes, false});
+    serverStream_->enqueueKernel("sgdUpdate", dur);
+    serverStream_->enqueueHostFn([this, g]() {
+        ++version_;
+        ++pushes_;
+        imagesDone_ += cfg_.batchPerGpu;
+        // Updates applied since this worker pulled, excluding its own.
+        const int staleness =
+            static_cast<int>(version_ - pulledVersion_[g]) - 1;
+        stalenessSum_ += staleness;
+        maxStaleness_ = std::max(maxStaleness_, staleness);
+
+        // Pull fresh weights and go again.
+        const sim::Bytes bytes = net_.paramBytes();
+        const sim::Tick start = queue_.now();
+        fabric_->transfer(gpus_[0], gpus_[g], bytes,
+                          [this, g, bytes, start]() {
+                              profiler_.recordCopy("PtoP", gpus_[0],
+                                                   gpus_[g], bytes,
+                                                   start, queue_.now());
+                              workerIteration(g);
+                          });
+    });
+}
+
+AsyncReport
+AsyncTrainer::run(int iterations_per_worker)
+{
+    if (iterations_per_worker < 1)
+        sim::fatal("need at least one iteration per worker");
+    itersLeft_.assign(gpus_.size(), iterations_per_worker);
+    pulledVersion_.assign(gpus_.size(), 0);
+
+    for (std::size_t g = 0; g < gpus_.size(); ++g)
+        workerIteration(g);
+    const sim::Tick end = queue_.run();
+
+    AsyncReport report;
+    report.config = cfg_;
+    report.pushes = pushes_;
+    const double secs = sim::ticksToSec(end);
+    report.throughputImagesPerSec =
+        secs > 0 ? static_cast<double>(imagesDone_) / secs : 0;
+    report.epochSeconds =
+        report.throughputImagesPerSec > 0
+            ? static_cast<double>(cfg_.datasetImages) /
+                      report.throughputImagesPerSec +
+                  cfg_.setupOnceSeconds
+            : 0;
+    report.avgStaleness =
+        pushes_ > 0 ? static_cast<double>(stalenessSum_) /
+                          static_cast<double>(pushes_)
+                    : 0;
+    report.maxStaleness = maxStaleness_;
+    return report;
+}
+
+AsyncReport
+AsyncTrainer::simulate(const TrainConfig &cfg,
+                       int iterations_per_worker)
+{
+    AsyncTrainer trainer(cfg);
+    return trainer.run(iterations_per_worker);
+}
+
+std::string
+AsyncReport::oneLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s x%d gpus, b%d, async: epoch %.3fs, %.0f img/s, "
+                  "staleness avg %.2f max %d",
+                  config.model.c_str(), config.numGpus,
+                  config.batchPerGpu, epochSeconds,
+                  throughputImagesPerSec, avgStaleness, maxStaleness);
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

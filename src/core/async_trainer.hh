@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Asynchronous-SGD training simulator (extension of paper Sec. II-B).
+ *
+ * The paper describes ASGD as the alternative to the synchronous
+ * schedule it profiles: each GPU pushes its gradients to the
+ * parameter server and pulls fresh weights without waiting for the
+ * other workers, trading the well-known delayed-gradient problem for
+ * the removal of the synchronization barrier. This trainer simulates
+ * exactly that protocol on the same DGX-1 model and reports both the
+ * throughput gain and the gradient staleness the workers experience —
+ * the quantities one needs to judge the trade.
+ *
+ * Communication uses the P2P parameter-server path (collectives are
+ * inherently synchronous, so the NCCL method does not apply).
+ */
+
+#ifndef DGXSIM_CORE_ASYNC_TRAINER_HH
+#define DGXSIM_CORE_ASYNC_TRAINER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/train_config.hh"
+#include "cuda/device.hh"
+#include "cuda/host_thread.hh"
+#include "cuda/stream.hh"
+#include "dnn/network.hh"
+#include "hw/fabric.hh"
+#include "profiling/profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace dgxsim::core {
+
+/** Results of one asynchronous training simulation. */
+struct AsyncReport
+{
+    TrainConfig config;
+    /** Images per second across all workers (steady state). */
+    double throughputImagesPerSec = 0;
+    /** Extrapolated epoch time for config.datasetImages. */
+    double epochSeconds = 0;
+    /**
+     * Mean number of *other* workers' updates applied between a
+     * worker's weight pull and the application of its own push — the
+     * delayed-gradient staleness (0 for one GPU).
+     */
+    double avgStaleness = 0;
+    /** Largest staleness observed. */
+    int maxStaleness = 0;
+    /** Total pushes simulated. */
+    std::uint64_t pushes = 0;
+
+    /** @return a compact one-line summary. */
+    std::string oneLine() const;
+};
+
+/** Simulates asynchronous parameter-server training. */
+class AsyncTrainer
+{
+  public:
+    explicit AsyncTrainer(TrainConfig cfg);
+    AsyncTrainer(TrainConfig cfg, hw::Topology topo);
+    AsyncTrainer(const AsyncTrainer &) = delete;
+    AsyncTrainer &operator=(const AsyncTrainer &) = delete;
+    ~AsyncTrainer();
+
+    /**
+     * Simulate @p iterations_per_worker steady-state iterations per
+     * worker and extrapolate to the configured dataset.
+     */
+    AsyncReport run(int iterations_per_worker = 30);
+
+    /** @return the profiler for the measured window. */
+    const profiling::Profiler &profiler() const { return profiler_; }
+
+    /** Convenience one-shot run on a stock DGX-1. */
+    static AsyncReport simulate(const TrainConfig &cfg,
+                                int iterations_per_worker = 30);
+
+  private:
+    /** Start (or continue) one worker's push-pull loop. */
+    void workerIteration(std::size_t g);
+
+    /** Gradients from worker @p g landed on the server. */
+    void applyPush(std::size_t g);
+
+    TrainConfig cfg_;
+    sim::EventQueue queue_;
+    profiling::Profiler profiler_;
+    std::unique_ptr<hw::Fabric> fabric_;
+    dnn::Network net_;
+    std::vector<hw::NodeId> gpus_;
+    std::vector<std::unique_ptr<cuda::Stream>> computeStreams_;
+    std::vector<std::unique_ptr<cuda::HostThread>> workers_;
+    std::unique_ptr<cuda::Stream> serverStream_; ///< on GPU0
+
+    std::vector<int> itersLeft_;
+    std::vector<std::uint64_t> pulledVersion_;
+    std::uint64_t version_ = 0; ///< server update counter
+    std::uint64_t pushes_ = 0;
+    std::uint64_t stalenessSum_ = 0;
+    int maxStaleness_ = 0;
+    std::uint64_t imagesDone_ = 0;
+};
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_ASYNC_TRAINER_HH

@@ -1,0 +1,130 @@
+#include "core/cli.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::core::cli {
+
+Args
+Args::parse(const std::vector<std::string> &tokens)
+{
+    Args args;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        if (token.rfind("--", 0) != 0) {
+            args.pos_.push_back(token);
+            continue;
+        }
+        const std::string body = token.substr(2);
+        const std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            args.opts_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--key value` unless the next token is another option.
+        if (i + 1 < tokens.size() &&
+            tokens[i + 1].rfind("--", 0) != 0) {
+            args.opts_[body] = tokens[++i];
+        } else {
+            args.opts_[body] = "";
+        }
+    }
+    return args;
+}
+
+bool
+Args::has(const std::string &name) const
+{
+    return opts_.count(name) != 0;
+}
+
+std::string
+Args::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = opts_.find(name);
+    return it == opts_.end() ? fallback : it->second;
+}
+
+int
+Args::getInt(const std::string &name, int fallback) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        return fallback;
+    char *end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        sim::fatal("--", name, " expects an integer, got '",
+                   it->second, "'");
+    return static_cast<int>(value);
+}
+
+double
+Args::getDouble(const std::string &name, double fallback) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        sim::fatal("--", name, " expects a number, got '", it->second,
+                   "'");
+    return value;
+}
+
+std::vector<int>
+Args::getIntList(const std::string &name,
+                 const std::vector<int> &fallback) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        return fallback;
+    std::vector<int> out;
+    std::string item;
+    for (char c : it->second + ",") {
+        if (c == ',') {
+            if (!item.empty()) {
+                char *end = nullptr;
+                const long v = std::strtol(item.c_str(), &end, 10);
+                if (end == item.c_str() || *end != '\0') {
+                    sim::fatal("--", name,
+                               " expects comma-separated integers, "
+                               "got '",
+                               it->second, "'");
+                }
+                out.push_back(static_cast<int>(v));
+                item.clear();
+            }
+        } else {
+            item.push_back(c);
+        }
+    }
+    if (out.empty())
+        sim::fatal("--", name, " expects at least one value");
+    return out;
+}
+
+TrainConfig
+configFromArgs(const Args &args)
+{
+    TrainConfig cfg;
+    cfg.model = args.get("model", "resnet-50");
+    cfg.numGpus = args.getInt("gpus", 4);
+    cfg.batchPerGpu = args.getInt("batch", 16);
+    cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
+    cfg.datasetImages = static_cast<std::uint64_t>(
+        args.getInt("images", 256000));
+    cfg.useTensorCores = args.has("tensor-cores");
+    cfg.overlapBpWu = args.has("overlap");
+    cfg.useAllReduce = args.has("allreduce");
+    cfg.bucketFusionMB = args.getDouble("fusion-mb", 0.0);
+    if (args.has("rings"))
+        cfg.commConfig.ncclRings = args.getInt("rings", 1);
+    if (args.has("p100"))
+        cfg.gpuSpec = hw::GpuSpec::pascalP100();
+    return cfg;
+}
+
+} // namespace dgxsim::core::cli

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared FP/BP kernel-issuing schedule used by the synchronous
+ * Trainer and the asynchronous AsyncTrainer: one forward kernel per
+ * layer, then the backward kernels in reverse order, with an optional
+ * marker after each weighted layer's gradients retire.
+ */
+
+#ifndef DGXSIM_CORE_FP_BP_SCHEDULE_HH
+#define DGXSIM_CORE_FP_BP_SCHEDULE_HH
+
+#include <functional>
+
+#include "core/train_config.hh"
+#include "cuda/host_thread.hh"
+#include "cuda/kernel_model.hh"
+#include "cuda/stream.hh"
+#include "dnn/network.hh"
+
+namespace dgxsim::core {
+
+/**
+ * Issue one iteration's forward and backward kernels for @p net onto
+ * @p stream through @p worker (charging per-launch host overhead).
+ *
+ * @param on_gradient Invoked (from the stream, in execution order)
+ *        after each weighted layer's backward kernels retire, with
+ *        the weighted-layer index in forward order. Pass an empty
+ *        function to skip the markers.
+ */
+inline void
+issueFpBp(cuda::HostThread &worker, cuda::Stream &stream,
+          const dnn::Network &net, const TrainConfig &cfg,
+          std::function<void(int)> on_gradient = {})
+{
+    const hw::GpuSpec &spec = cfg.gpuSpec;
+    const int batch = cfg.batchPerGpu;
+    const sim::Tick launch = sim::usToTicks(spec.launchOverheadUs);
+
+    for (const auto &layer_ptr : net.layers()) {
+        const dnn::Layer &layer = *layer_ptr;
+        const sim::Tick dur = cuda::kernelDuration(
+            spec,
+            cuda::KernelCost{layer.forwardFlops(batch),
+                             layer.forwardBytes(batch),
+                             layer.tensorEligible() &&
+                                 cfg.useTensorCores,
+                             layer.efficiencyScale()});
+        worker.call("cudaLaunchKernel", launch,
+                    [&stream, &layer, dur]() {
+                        stream.enqueueKernel(
+                            std::string(dnn::layerKindName(
+                                layer.kind())) +
+                                "_fwd",
+                            dur);
+                    });
+    }
+
+    int weighted_total = net.weightedLayers();
+    int weighted_idx = weighted_total;
+    for (auto it = net.layers().rbegin(); it != net.layers().rend();
+         ++it) {
+        const dnn::Layer &layer = **it;
+        const bool weighted = layer.paramCount() > 0;
+        if (weighted)
+            --weighted_idx;
+        const int kernels = layer.backwardKernels();
+        const double flops = layer.backwardFlops(batch) / kernels;
+        const double bytes = layer.backwardBytes(batch) / kernels;
+        const sim::Tick dur = cuda::kernelDuration(
+            spec, cuda::KernelCost{flops, bytes,
+                                   layer.tensorEligible() &&
+                                       cfg.useTensorCores,
+                                   layer.efficiencyScale()});
+        const int marker =
+            (weighted && on_gradient) ? weighted_idx : -1;
+        worker.call(
+            "cudaLaunchKernel",
+            static_cast<sim::Tick>(kernels) * launch,
+            [&stream, &layer, dur, kernels, marker, on_gradient]() {
+                for (int k = 0; k < kernels; ++k) {
+                    stream.enqueueKernel(
+                        std::string(dnn::layerKindName(
+                            layer.kind())) +
+                            "_bwd",
+                        dur);
+                }
+                if (marker >= 0) {
+                    stream.enqueueHostFn(
+                        [on_gradient, marker]() {
+                            on_gradient(marker);
+                        });
+                }
+            });
+    }
+}
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_FP_BP_SCHEDULE_HH

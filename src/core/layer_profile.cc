@@ -1,0 +1,62 @@
+#include "core/layer_profile.hh"
+
+#include <algorithm>
+
+#include "cuda/kernel_model.hh"
+
+namespace dgxsim::core {
+
+LayerProfileSummary
+profileLayers(const dnn::Network &net, const TrainConfig &cfg)
+{
+    LayerProfileSummary summary;
+    const int batch = cfg.batchPerGpu;
+    for (const auto &layer_ptr : net.layers()) {
+        const dnn::Layer &layer = *layer_ptr;
+        LayerProfile row;
+        row.name = layer.name();
+        row.kind = dnn::layerKindName(layer.kind());
+        row.outputShape = layer.outputShape().str();
+
+        const bool tensor =
+            layer.tensorEligible() && cfg.useTensorCores;
+        row.fwdUs = sim::ticksToUs(cuda::kernelDuration(
+            cfg.gpuSpec,
+            cuda::KernelCost{layer.forwardFlops(batch),
+                             layer.forwardBytes(batch), tensor,
+                             layer.efficiencyScale()}));
+        const int kernels = layer.backwardKernels();
+        row.bwdUs =
+            kernels *
+            sim::ticksToUs(cuda::kernelDuration(
+                cfg.gpuSpec,
+                cuda::KernelCost{layer.backwardFlops(batch) / kernels,
+                                 layer.backwardBytes(batch) / kernels,
+                                 tensor, layer.efficiencyScale()}));
+        row.gflops = layer.forwardFlops(batch) / 1e9;
+        row.params = layer.paramCount();
+        row.activationBytes = layer.activationBytes(batch);
+
+        summary.totalFwdUs += row.fwdUs;
+        summary.totalBwdUs += row.bwdUs;
+        summary.totalParams += row.params;
+        summary.totalActivationBytes += row.activationBytes;
+        summary.layers.push_back(std::move(row));
+    }
+    return summary;
+}
+
+std::vector<LayerProfile>
+LayerProfileSummary::hottest(std::size_t n) const
+{
+    std::vector<LayerProfile> sorted = layers;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const LayerProfile &a, const LayerProfile &b) {
+                  return a.fwdUs + a.bwdUs > b.fwdUs + b.bwdUs;
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+} // namespace dgxsim::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-layer cost breakdown — the layer-by-layer characterization the
+ * paper's related work (Dong et al.) performs, derived here from the
+ * analytical models: forward/backward kernel time, parameters,
+ * stored activations and communication share per layer.
+ */
+
+#ifndef DGXSIM_CORE_LAYER_PROFILE_HH
+#define DGXSIM_CORE_LAYER_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/train_config.hh"
+#include "dnn/network.hh"
+
+namespace dgxsim::core {
+
+/** One layer's row in the profile. */
+struct LayerProfile
+{
+    std::string name;
+    std::string kind;
+    std::string outputShape;
+    double fwdUs = 0;      ///< forward kernel time
+    double bwdUs = 0;      ///< backward kernel time (all kernels)
+    double gflops = 0;     ///< forward GFLOPs for the batch
+    sim::Bytes params = 0; ///< parameter count
+    sim::Bytes activationBytes = 0; ///< stored for backprop
+};
+
+/** Totals across the network. */
+struct LayerProfileSummary
+{
+    std::vector<LayerProfile> layers;
+    double totalFwdUs = 0;
+    double totalBwdUs = 0;
+    sim::Bytes totalParams = 0;
+    sim::Bytes totalActivationBytes = 0;
+
+    /** @return the @p n most expensive layers by fwd+bwd time. */
+    std::vector<LayerProfile> hottest(std::size_t n) const;
+};
+
+/**
+ * Profile @p net layer by layer under @p cfg's batch size and GPU
+ * spec (communication excluded; see TrainReport for the WU side).
+ */
+LayerProfileSummary profileLayers(const dnn::Network &net,
+                                  const TrainConfig &cfg);
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_LAYER_PROFILE_HH

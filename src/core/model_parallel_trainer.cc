@@ -1,0 +1,229 @@
+#include "core/model_parallel_trainer.hh"
+
+#include <cstdio>
+
+#include "cuda/kernel_model.hh"
+#include "dnn/models.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
+                                           int microbatches)
+    : cfg_(std::move(cfg)),
+      microbatches_(microbatches > 0 ? microbatches : cfg_.numGpus),
+      fabric_(std::make_unique<hw::Fabric>(queue_,
+                                           hw::Topology::dgx1Volta())),
+      net_(dnn::buildByName(cfg_.model))
+{
+    if (cfg_.numGpus < 1 ||
+        cfg_.numGpus > fabric_->topology().numGpus())
+        sim::fatal("numGpus out of range: ", cfg_.numGpus);
+    const int global_batch = cfg_.globalBatch();
+    if (global_batch % microbatches_ != 0) {
+        sim::fatal("global batch ", global_batch,
+                   " not divisible into ", microbatches_,
+                   " microbatches");
+    }
+    microbatchSize_ = global_batch / microbatches_;
+    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        streams_.push_back(std::make_unique<cuda::Stream>(
+            queue_, &profiler_, gpus_[g],
+            "stage" + std::to_string(g)));
+    }
+    partition();
+}
+
+ModelParallelTrainer::~ModelParallelTrainer() = default;
+
+void
+ModelParallelTrainer::partition()
+{
+    const double total = net_.forwardFlops(1);
+    const std::size_t layers = net_.layers().size();
+    const std::size_t n = gpus_.size();
+    std::size_t first = 0;
+    double used = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        const double target = total * static_cast<double>(s + 1) /
+                              static_cast<double>(n);
+        std::size_t last = first;
+        // Leave enough layers for the remaining stages.
+        const std::size_t max_last = layers - (n - s);
+        while (last < max_last) {
+            used += net_.layers()[last]->forwardFlops(1);
+            if (used >= target && s + 1 < n)
+                break;
+            ++last;
+        }
+        if (last >= layers)
+            last = layers - 1;
+        if (s + 1 == n)
+            last = layers - 1;
+        stages_.push_back({first, last});
+        first = last + 1;
+        if (first >= layers && s + 1 < n)
+            sim::fatal("network too shallow for ", n, " stages");
+    }
+}
+
+sim::Tick
+ModelParallelTrainer::stageKernelTicks(std::size_t s,
+                                       bool backward) const
+{
+    sim::Tick total = 0;
+    for (std::size_t l = stages_[s].first; l <= stages_[s].second;
+         ++l) {
+        const dnn::Layer &layer = *net_.layers()[l];
+        const double flops = backward
+                                 ? layer.backwardFlops(microbatchSize_)
+                                 : layer.forwardFlops(microbatchSize_);
+        const double bytes = backward
+                                 ? layer.backwardBytes(microbatchSize_)
+                                 : layer.forwardBytes(microbatchSize_);
+        total += cuda::kernelDuration(
+            cfg_.gpuSpec,
+            cuda::KernelCost{flops, bytes,
+                             layer.tensorEligible() &&
+                                 cfg_.useTensorCores,
+                             layer.efficiencyScale()});
+    }
+    return total;
+}
+
+sim::Bytes
+ModelParallelTrainer::boundaryBytes(std::size_t s) const
+{
+    // Activations crossing from stage s to s+1 for one microbatch.
+    const dnn::Layer &last = *net_.layers()[stages_[s].second];
+    return last.outputShape().bytes() *
+           static_cast<sim::Bytes>(microbatchSize_);
+}
+
+void
+ModelParallelTrainer::forwardStage(int m, std::size_t s)
+{
+    cuda::Stream &stream = *streams_[s];
+    stream.enqueueKernel("stage" + std::to_string(s) + "_fwd",
+                         stageKernelTicks(s, false));
+    stream.enqueueHostFn([this, m, s]() {
+        if (s + 1 < stages_.size()) {
+            const sim::Bytes bytes = boundaryBytes(s);
+            const sim::Tick start = queue_.now();
+            fabric_->transfer(gpus_[s], gpus_[s + 1], bytes,
+                              [this, m, s, bytes, start]() {
+                                  profiler_.recordCopy(
+                                      "PtoP", gpus_[s], gpus_[s + 1],
+                                      bytes, start, queue_.now());
+                                  forwardStage(m, s + 1);
+                              });
+        } else {
+            // Head of the pipeline: turn around into backward.
+            backwardStage(m, s);
+        }
+    });
+}
+
+void
+ModelParallelTrainer::backwardStage(int m, std::size_t s)
+{
+    cuda::Stream &stream = *streams_[s];
+    stream.enqueueKernel("stage" + std::to_string(s) + "_bwd",
+                         stageKernelTicks(s, true));
+    stream.enqueueHostFn([this, m, s]() {
+        if (s > 0) {
+            const sim::Bytes bytes = boundaryBytes(s - 1);
+            const sim::Tick start = queue_.now();
+            fabric_->transfer(gpus_[s], gpus_[s - 1], bytes,
+                              [this, m, s, bytes, start]() {
+                                  profiler_.recordCopy(
+                                      "PtoP", gpus_[s], gpus_[s - 1],
+                                      bytes, start, queue_.now());
+                                  backwardStage(m, s - 1);
+                              });
+        } else {
+            ++microbatchesDone_;
+            if (microbatchesDone_ == microbatches_) {
+                // Local per-stage weight updates; no inter-GPU
+                // gradient communication at all.
+                for (std::size_t st = 0; st < stages_.size(); ++st) {
+                    sim::Bytes params = 0;
+                    for (std::size_t l = stages_[st].first;
+                         l <= stages_[st].second; ++l)
+                        params += net_.layers()[l]->paramBytes();
+                    streams_[st]->enqueueKernel(
+                        "sgdUpdate",
+                        cuda::kernelDuration(
+                            cfg_.gpuSpec,
+                            cuda::KernelCost{params / 2.0,
+                                             3.0 * params, false}));
+                }
+            }
+        }
+    });
+}
+
+ModelParallelReport
+ModelParallelTrainer::run()
+{
+    microbatchesDone_ = 0;
+    for (int m = 0; m < microbatches_; ++m)
+        forwardStage(m, 0);
+    const sim::Tick end = queue_.run();
+
+    ModelParallelReport report;
+    report.config = cfg_;
+    report.microbatches = microbatches_;
+    report.iterationSeconds = sim::ticksToSec(end);
+    const std::uint64_t iters =
+        (cfg_.datasetImages + cfg_.globalBatch() - 1) /
+        cfg_.globalBatch();
+    report.epochSeconds =
+        report.iterationSeconds * static_cast<double>(iters) +
+        cfg_.setupOnceSeconds;
+
+    sim::Tick busy = 0;
+    for (const auto &stream : streams_)
+        busy += stream->kernelBusyTicks();
+    report.bubbleFraction =
+        1.0 - static_cast<double>(busy) /
+                  (static_cast<double>(end) * streams_.size());
+    report.activationBytesPerIter =
+        static_cast<double>(profiler_.copiedBytes("PtoP"));
+
+    const double total_flops = net_.forwardFlops(1);
+    for (const auto &[first, last] : stages_) {
+        sim::Bytes params = 0;
+        double flops = 0;
+        for (std::size_t l = first; l <= last; ++l) {
+            params += net_.layers()[l]->paramBytes();
+            flops += net_.layers()[l]->forwardFlops(1);
+        }
+        report.stageParamBytes.push_back(params);
+        report.stageFlopsShare.push_back(flops / total_flops);
+    }
+    return report;
+}
+
+ModelParallelReport
+ModelParallelTrainer::simulate(const TrainConfig &cfg, int microbatches)
+{
+    ModelParallelTrainer trainer(cfg, microbatches);
+    return trainer.run();
+}
+
+std::string
+ModelParallelReport::oneLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s x%d stages, global batch %d, %d ubatches: epoch "
+                  "%.3fs, bubble %.1f%%",
+                  config.model.c_str(), config.numGpus,
+                  config.globalBatch(), microbatches, epochSeconds,
+                  100.0 * bubbleFraction);
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Model-parallel training simulator (extension of paper Sec. I).
+ *
+ * The paper chooses data parallelism because convolution-dominated
+ * networks replicate cheaply, noting that model parallelism suits
+ * networks "with more fully-connected layers than convolution
+ * layers". This trainer quantifies that folklore on the same DGX-1
+ * model: the network's layers are partitioned into contiguous stages
+ * (balanced by forward FLOPs), each stage lives on one GPU, boundary
+ * activations flow forward over NVLink during FP and their gradients
+ * flow backward during BP, and weight updates are purely local (no
+ * gradient exchange at all).
+ *
+ * The iteration runs a GPipe-style microbatch pipeline: the global
+ * batch splits into microbatches that stream through the stages;
+ * per-stage streams serialize work so the pipeline fill/drain bubble
+ * emerges naturally and is reported.
+ */
+
+#ifndef DGXSIM_CORE_MODEL_PARALLEL_TRAINER_HH
+#define DGXSIM_CORE_MODEL_PARALLEL_TRAINER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/train_config.hh"
+#include "cuda/stream.hh"
+#include "dnn/network.hh"
+#include "hw/fabric.hh"
+#include "profiling/profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace dgxsim::core {
+
+/** Results of a model-parallel simulation. */
+struct ModelParallelReport
+{
+    TrainConfig config;
+    int microbatches = 0;
+    double iterationSeconds = 0;
+    double epochSeconds = 0;
+    /** Fraction of stage-time lost to pipeline fill/drain + skew. */
+    double bubbleFraction = 0;
+    /** Boundary activation traffic per iteration (bytes). */
+    double activationBytesPerIter = 0;
+    /** Per-stage parameter bytes (weight placement balance). */
+    std::vector<sim::Bytes> stageParamBytes;
+    /** Per-stage forward FLOPs share (compute balance). */
+    std::vector<double> stageFlopsShare;
+
+    std::string oneLine() const;
+};
+
+/** Pipelined model-parallel trainer. */
+class ModelParallelTrainer
+{
+  public:
+    /**
+     * @param cfg cfg.batchPerGpu x cfg.numGpus forms the global
+     *        batch (matching the data-parallel trainer's totals so
+     *        the two parallelism modes compare at equal work).
+     * @param microbatches Pipeline depth; 0 selects numGpus.
+     */
+    explicit ModelParallelTrainer(TrainConfig cfg, int microbatches = 0);
+    ModelParallelTrainer(const ModelParallelTrainer &) = delete;
+    ModelParallelTrainer &operator=(const ModelParallelTrainer &) =
+        delete;
+    ~ModelParallelTrainer();
+
+    /** Simulate one steady-state iteration; extrapolate the epoch. */
+    ModelParallelReport run();
+
+    /** @return the per-stage layer partition (layer index ranges). */
+    const std::vector<std::pair<std::size_t, std::size_t>> &
+    stages() const
+    {
+        return stages_;
+    }
+
+    static ModelParallelReport simulate(const TrainConfig &cfg,
+                                        int microbatches = 0);
+
+  private:
+    void partition();
+    /** Chain microbatch @p m through FP at stage @p s. */
+    void forwardStage(int m, std::size_t s);
+    /** Chain microbatch @p m through BP at stage @p s. */
+    void backwardStage(int m, std::size_t s);
+
+    sim::Tick stageKernelTicks(std::size_t s, bool backward) const;
+    sim::Bytes boundaryBytes(std::size_t s) const;
+
+    TrainConfig cfg_;
+    int microbatches_;
+    int microbatchSize_ = 0;
+    sim::EventQueue queue_;
+    profiling::Profiler profiler_;
+    std::unique_ptr<hw::Fabric> fabric_;
+    dnn::Network net_;
+    std::vector<hw::NodeId> gpus_;
+    std::vector<std::unique_ptr<cuda::Stream>> streams_;
+    /** [first, last] layer index per stage. */
+    std::vector<std::pair<std::size_t, std::size_t>> stages_;
+    int microbatchesDone_ = 0;
+};
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_MODEL_PARALLEL_TRAINER_HH

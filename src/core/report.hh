@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Results of one simulated training run: the quantities the paper
+ * reports in Figs. 3-5 and Tables II-IV.
+ */
+
+#ifndef DGXSIM_CORE_REPORT_HH
+#define DGXSIM_CORE_REPORT_HH
+
+#include <map>
+#include <string>
+
+#include "core/train_config.hh"
+#include "sim/types.hh"
+
+namespace dgxsim::core {
+
+/** Memory usage of one GPU (nvidia-smi style). */
+struct GpuMemory
+{
+    /** Bytes allocated before iterations start (model on device). */
+    sim::Bytes preTraining = 0;
+    /** Bytes allocated during training. */
+    sim::Bytes training = 0;
+
+    double preTrainingGB() const { return preTraining / 1e9; }
+    double trainingGB() const { return training / 1e9; }
+};
+
+/** Outcome of one simulated run. */
+struct TrainReport
+{
+    TrainConfig config;
+
+    /** True when the configuration does not fit in GPU memory. */
+    bool oom = false;
+    /** Human-readable OOM reason when oom is true. */
+    std::string oomDetail;
+
+    /** Steady-state seconds per iteration. */
+    double iterationSeconds = 0;
+    /**
+     * Extrapolated seconds per epoch (Fig. 3 / Fig. 5), including
+     * the one-time setup cost.
+     */
+    double epochSeconds = 0;
+    /** One-time setup portion included in epochSeconds. */
+    double setupSeconds = 0;
+    /** Computation (FP+BP) portion of the epoch (Fig. 4). */
+    double fpBpSeconds = 0;
+    /** Exposed weight-update/communication portion (Fig. 4). */
+    double wuSeconds = 0;
+    /** Iterations per epoch. */
+    std::uint64_t iterations = 0;
+
+    /**
+     * cudaStreamSynchronize time as a fraction of all CUDA API time
+     * (Table III).
+     */
+    double syncApiFraction = 0;
+    /** Per-API seconds over the epoch, keyed by API name. */
+    std::map<std::string, double> apiSeconds;
+
+    /** Bytes moved GPU-to-GPU per iteration (all links). */
+    double interGpuBytesPerIter = 0;
+
+    /** Memory usage: the root/server GPU and a worker GPU. */
+    GpuMemory gpu0;
+    GpuMemory gpux;
+
+    /** @return epoch speedup of this run relative to @p base. */
+    double
+    speedupOver(const TrainReport &base) const
+    {
+        return epochSeconds > 0 ? base.epochSeconds / epochSeconds : 0;
+    }
+
+    /** @return a compact one-line summary. */
+    std::string oneLine() const;
+};
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_REPORT_HH

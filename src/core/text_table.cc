@@ -1,0 +1,59 @@
+#include "core/text_table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        sim::fatal("row has ", cells.size(), " cells; table has ",
+                   headers_.size(), " columns");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ');
+            os << (c + 1 < cells.size() ? "  " : "");
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small fixed-width text-table formatter used by the benchmark
+ * harnesses to print paper-style tables.
+ */
+
+#ifndef DGXSIM_CORE_TEXT_TABLE_HH
+#define DGXSIM_CORE_TEXT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dgxsim::core {
+
+/** Accumulates rows, then renders with aligned columns. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** @return the rendered table. */
+    std::string str() const;
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_TEXT_TABLE_HH

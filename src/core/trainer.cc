@@ -1,0 +1,446 @@
+#include "core/trainer.hh"
+
+#include <algorithm>
+
+#include "core/fp_bp_schedule.hh"
+#include "cuda/kernel_model.hh"
+#include "dnn/models.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+namespace {
+
+sim::Bytes
+gb(double v)
+{
+    return static_cast<sim::Bytes>(v * 1e9);
+}
+
+} // namespace
+
+Trainer::Trainer(TrainConfig cfg)
+    : Trainer(std::move(cfg), hw::Topology::dgx1Volta())
+{
+}
+
+Trainer::Trainer(TrainConfig cfg, hw::Topology topo)
+    : Trainer(std::move(cfg), std::nullopt, std::move(topo))
+{
+}
+
+Trainer::Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo)
+    : Trainer(std::move(cfg), std::optional<dnn::Network>(std::move(net)),
+              std::move(topo))
+{
+}
+
+Trainer::Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
+                 hw::Topology topo)
+    : cfg_(std::move(cfg)),
+      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo))),
+      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+{
+    if (cfg_.numGpus < 1 ||
+        cfg_.numGpus > fabric_->topology().numGpus()) {
+        sim::fatal("numGpus must be in [1, ",
+                   fabric_->topology().numGpus(), "], got ",
+                   cfg_.numGpus);
+    }
+    if (cfg_.batchPerGpu < 1)
+        sim::fatal("batchPerGpu must be positive");
+    if (cfg_.datasetImages == 0)
+        sim::fatal("datasetImages must be positive");
+
+    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        devices_.push_back(
+            std::make_unique<cuda::Device>(gpus_[g], cfg_.gpuSpec));
+        computeStreams_.push_back(std::make_unique<cuda::Stream>(
+            queue_, &profiler_, gpus_[g],
+            "compute" + std::to_string(g)));
+        workers_.push_back(std::make_unique<cuda::HostThread>(
+            queue_, &profiler_, "worker" + std::to_string(g)));
+    }
+    updateStream_ = std::make_unique<cuda::Stream>(queue_, &profiler_,
+                                                   gpus_[0], "update");
+    commThread_ = std::make_unique<cuda::HostThread>(queue_, &profiler_,
+                                                     "kvstore");
+    engineThread_ = std::make_unique<cuda::HostThread>(
+        queue_, &profiler_, "engine");
+
+    comm::CommContext cctx;
+    cctx.queue = &queue_;
+    cctx.fabric = fabric_.get();
+    cctx.gpus = gpus_;
+    cctx.gpuSpec = cfg_.gpuSpec;
+    cctx.profiler = &profiler_;
+    comm_ = comm::makeCommunicator(cfg_.method, std::move(cctx),
+                                   cfg_.commConfig);
+
+    // Gradient buckets: one per weighted layer (MXNet), optionally
+    // fused into larger messages (Horovod/DDP-style extension).
+    const sim::Bytes fusion_bytes =
+        static_cast<sim::Bytes>(cfg_.bucketFusionMB * 1e6);
+    for (const auto &bucket : net_.gradientBuckets()) {
+        const bool fuse = fusion_bytes > 0 && !buckets_.empty() &&
+                          buckets_.back().bytes < fusion_bytes;
+        if (fuse) {
+            buckets_.back().bytes += bucket.bytes;
+            buckets_.back().expected += cfg_.numGpus;
+        } else {
+            buckets_.push_back(
+                Bucket{bucket.layerName, bucket.bytes, 0,
+                       cfg_.numGpus});
+        }
+        bucketOfWeighted_.push_back(buckets_.size() - 1);
+    }
+}
+
+Trainer::~Trainer() = default;
+
+sim::Tick
+Trainer::launchOverhead() const
+{
+    return sim::usToTicks(cfg_.gpuSpec.launchOverheadUs);
+}
+
+void
+Trainer::setupMemory()
+{
+    const MemoryModel &mm = cfg_.memoryModel;
+    const sim::Bytes weights = net_.paramBytes();
+    const sim::Bytes activations = static_cast<sim::Bytes>(
+        mm.activationFactor *
+        static_cast<double>(net_.activationBytes(cfg_.batchPerGpu)));
+    int conv_layers = 0;
+    for (const auto &layer : net_.layers()) {
+        if (layer->kind() == dnn::LayerKind::Conv)
+            ++conv_layers;
+    }
+    const sim::Bytes workspace =
+        static_cast<sim::Bytes>(
+            mm.workspaceFactor *
+            static_cast<double>(
+                net_.maxWorkspaceBytes(cfg_.batchPerGpu))) +
+        static_cast<sim::Bytes>(mm.cudnnPoolMBPerConv * 1e6 *
+                                conv_layers);
+    const sim::Bytes dataset = static_cast<sim::Bytes>(
+        mm.datasetBuffers *
+        static_cast<double>(cfg_.batchPerGpu) *
+        static_cast<double>(net_.inputShape().bytes()));
+
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+        cuda::MemoryTracker &mem = devices_[g]->mem();
+        // Pre-training: context plus the broadcast model.
+        mem.alloc(cuda::MemCategory::Context, gb(mm.contextGB));
+        mem.alloc(cuda::MemCategory::Weights, weights);
+        // Training-time state.
+        mem.alloc(cuda::MemCategory::Gradients, weights);
+        mem.alloc(cuda::MemCategory::Activations, activations);
+        mem.alloc(cuda::MemCategory::Workspace, workspace);
+        mem.alloc(cuda::MemCategory::Dataset, dataset);
+        if (g == 0 && cfg_.numGpus > 1) {
+            mem.alloc(cuda::MemCategory::CommBuffers,
+                      static_cast<sim::Bytes>(
+                          mm.rootCommFactor *
+                          static_cast<double>(weights)));
+        }
+    }
+}
+
+void
+Trainer::issueWorker(std::size_t g)
+{
+    cuda::HostThread &worker = *workers_[g];
+    cuda::Stream &stream = *computeStreams_[g];
+    const int batch = cfg_.batchPerGpu;
+
+    // Prefetch the next mini-batch over PCIe (not gating compute;
+    // MXNet's data iterator stays ahead of the GPUs).
+    const sim::Bytes batch_bytes =
+        static_cast<sim::Bytes>(batch) * net_.inputShape().bytes();
+    const hw::NodeId gpu = gpus_[g];
+    worker.call("cudaMemcpyAsync",
+                sim::usToTicks(cfg_.commConfig.memcpyIssueUs),
+                [this, gpu, batch_bytes]() {
+                    const sim::Tick start = queue_.now();
+                    hw::NodeId host = -1;
+                    const hw::Topology &topo = fabric_->topology();
+                    for (std::size_t l :
+                         topo.linksOf(gpu, hw::LinkType::PCIe)) {
+                        const hw::NodeId peer =
+                            topo.links()[l].peer(gpu);
+                        if (topo.nodeKind(peer) == hw::NodeKind::Cpu)
+                            host = peer;
+                    }
+                    if (host < 0)
+                        return; // no host path modeled
+                    fabric_->transfer(
+                        host, gpu, batch_bytes,
+                        [this, gpu, batch_bytes, start]() {
+                            profiler_.recordCopy("HtoD", -1, gpu,
+                                                 batch_bytes, start,
+                                                 queue_.now());
+                        });
+                });
+
+    // FP then BP kernels; with overlap enabled, weighted layers
+    // publish their gradient bucket the moment their backward
+    // kernels retire.
+    std::function<void(int)> on_gradient;
+    if (cfg_.overlapBpWu) {
+        on_gradient = [this](int weighted_idx) {
+            onGradientReady(bucketOfWeighted_[weighted_idx]);
+        };
+    }
+    issueFpBp(worker, stream, net_, cfg_, std::move(on_gradient));
+
+    // Wait for BP through the engine's dependency tracking (not a
+    // CUDA API), then block in cudaStreamSynchronize until the
+    // weight update lands — the blocked interval nvprof attributes
+    // to the sync API (paper Table III).
+    worker.waitStream(stream);
+    worker.post([this, g]() { onWorkerBpDone(g); });
+    worker.syncEvent(barrier_, sim::usToTicks(2.0),
+                     "cudaStreamSynchronize");
+    worker.post([this, g]() { onWorkerIterationDone(g); });
+}
+
+void
+Trainer::startIteration(int index)
+{
+    iteration_ = index;
+    iterStart_ = queue_.now();
+    bpDoneMax_ = iterStart_;
+    bpDoneCount_ = 0;
+    broadcastsDone_ = 0;
+    workersDone_ = 0;
+    barrier_ = std::make_shared<cuda::CudaEvent>();
+    for (auto &bucket : buckets_)
+        bucket.arrivals = 0;
+    // NCCL mode pays fixed per-iteration bookkeeping before the
+    // engine can dispatch (MXNet runs different code paths with the
+    // NCCL kvstore even on one GPU) — Table II's overhead driver.
+    if (cfg_.method == comm::CommMethod::NCCL) {
+        engineThread_->call(
+            "ncclGroupOps",
+            sim::usToTicks(cfg_.commConfig.ncclIterFixedUs));
+    }
+    // The framework engine prepares and dispatches each GPU's work
+    // serially; with many GPUs and short iterations this host-side
+    // cost stops amortizing (paper Sec. V-C).
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        engineThread_->call("mxnetEngineDispatch",
+                            sim::usToTicks(cfg_.engineDispatchUs),
+                            [this, g]() { issueWorker(g); });
+    }
+}
+
+void
+Trainer::onGradientReady(std::size_t bucket_idx)
+{
+    Bucket &bucket = buckets_[bucket_idx];
+    if (++bucket.arrivals == bucket.expected)
+        pushBucket(bucket_idx);
+}
+
+void
+Trainer::pushBucket(std::size_t bucket_idx)
+{
+    const bool nccl = cfg_.method == comm::CommMethod::NCCL;
+    const sim::Bytes bytes = buckets_[bucket_idx].bytes;
+    if (cfg_.useAllReduce) {
+        // Fused collective + replicated local update: every GPU ends
+        // up with the summed gradients and applies SGD itself.
+        const char *api =
+            nccl ? "ncclAllReduce" : "cudaMemcpyPeerAsync";
+        commThread_->call(
+            api, comm_->perCallHostOverhead(),
+            [this, bucket_idx, bytes]() {
+                comm_->allReduce(bytes, [this, bucket_idx]() {
+                    onBucketReduced(bucket_idx);
+                });
+            });
+        return;
+    }
+    const char *api = nccl ? "ncclReduce" : "cudaMemcpyPeerAsync";
+    commThread_->call(api, comm_->perCallHostOverhead(),
+                      [this, bucket_idx, bytes]() {
+                          comm_->reduce(bytes, [this, bucket_idx]() {
+                              onBucketReduced(bucket_idx);
+                          });
+                      });
+}
+
+void
+Trainer::onBucketReduced(std::size_t bucket_idx)
+{
+    // SGD update on the server GPU, then broadcast the fresh weights.
+    const sim::Bytes bytes = buckets_[bucket_idx].bytes;
+    const sim::Tick dur = cuda::kernelDuration(
+        cfg_.gpuSpec,
+        cuda::KernelCost{bytes / 2.0, 3.0 * bytes, false});
+    commThread_->call(
+        "cudaLaunchKernel", launchOverhead(),
+        [this, bucket_idx, dur]() {
+            updateStream_->enqueueKernel("sgdUpdate", dur);
+            if (cfg_.useAllReduce) {
+                // Replicated update: every GPU already holds the
+                // summed gradients; no broadcast follows.
+                updateStream_->enqueueHostFn([this, bucket_idx]() {
+                    onBucketBroadcast(bucket_idx);
+                });
+                return;
+            }
+            updateStream_->enqueueHostFn([this, bucket_idx]() {
+                const char *api =
+                    cfg_.method == comm::CommMethod::NCCL
+                        ? "ncclBcast"
+                        : "cudaMemcpyPeerAsync";
+                const sim::Bytes bytes = buckets_[bucket_idx].bytes;
+                commThread_->call(
+                    api, comm_->perCallHostOverhead(),
+                    [this, bucket_idx, bytes]() {
+                        comm_->broadcast(bytes,
+                                         [this, bucket_idx]() {
+                                             onBucketBroadcast(
+                                                 bucket_idx);
+                                         });
+                    });
+            });
+        });
+}
+
+void
+Trainer::onBucketBroadcast(std::size_t /*bucket_idx*/)
+{
+    if (++broadcastsDone_ == buckets_.size())
+        barrier_->signal();
+}
+
+void
+Trainer::onWorkerBpDone(std::size_t /*g*/)
+{
+    bpDoneMax_ = std::max(bpDoneMax_, queue_.now());
+    if (++bpDoneCount_ == cfg_.numGpus && !cfg_.overlapBpWu) {
+        // Non-overlapped path: push every bucket only now, in BP
+        // (reverse) order.
+        for (std::size_t b = buckets_.size(); b-- > 0;)
+            pushBucket(b);
+    }
+}
+
+void
+Trainer::onWorkerIterationDone(std::size_t /*g*/)
+{
+    if (++workersDone_ == cfg_.numGpus)
+        finishIteration();
+}
+
+void
+Trainer::finishIteration()
+{
+    const sim::Tick end = queue_.now();
+    sumIterTicks_ += static_cast<double>(end - iterStart_);
+    sumFpBpTicks_ += static_cast<double>(bpDoneMax_ - iterStart_);
+    sumWuTicks_ += static_cast<double>(end - bpDoneMax_);
+    if (iteration_ + 1 < cfg_.measuredIterations)
+        startIteration(iteration_ + 1);
+}
+
+TrainReport
+Trainer::run()
+{
+    TrainReport report;
+    report.config = cfg_;
+    report.iterations = cfg_.iterationsPerEpoch();
+
+    try {
+        setupMemory();
+    } catch (const sim::FatalError &err) {
+        report.oom = true;
+        report.oomDetail = err.what();
+        return report;
+    }
+
+    report.gpu0.preTraining =
+        devices_[0]->mem().usedBy(cuda::MemCategory::Context) +
+        devices_[0]->mem().usedBy(cuda::MemCategory::Weights);
+    report.gpu0.training = devices_[0]->mem().used();
+    const auto &worker_dev = devices_.size() > 1 ? devices_[1]
+                                                 : devices_[0];
+    report.gpux.preTraining = report.gpu0.preTraining;
+    report.gpux.training = worker_dev->mem().used();
+
+    if (cfg_.measuredIterations <= 0)
+        return report; // memory-only probe
+
+    startIteration(0);
+    queue_.run();
+
+    const double measured = cfg_.measuredIterations;
+    const double iters = static_cast<double>(report.iterations);
+    report.iterationSeconds =
+        sim::ticksToSec(static_cast<sim::Tick>(sumIterTicks_)) /
+        measured;
+    report.setupSeconds = cfg_.setupOnceSeconds;
+    report.epochSeconds =
+        report.iterationSeconds * iters + report.setupSeconds;
+    report.fpBpSeconds =
+        sim::ticksToSec(static_cast<sim::Tick>(sumFpBpTicks_)) /
+        measured * iters;
+    report.wuSeconds =
+        sim::ticksToSec(static_cast<sim::Tick>(sumWuTicks_)) /
+        measured * iters;
+
+    report.syncApiFraction =
+        profiler_.apiTimeFraction("cudaStreamSynchronize");
+    for (const auto &row : profiler_.apiSummary()) {
+        report.apiSeconds[row.name] =
+            sim::ticksToSec(row.totalTime) / measured * iters;
+    }
+    report.interGpuBytesPerIter =
+        (static_cast<double>(profiler_.copiedBytes("PtoP")) +
+         static_cast<double>(profiler_.copiedBytes("NCCL"))) /
+        measured;
+    return report;
+}
+
+TrainReport
+Trainer::simulate(const TrainConfig &cfg)
+{
+    Trainer trainer(cfg);
+    return trainer.run();
+}
+
+std::optional<int>
+Trainer::maxBatchPerGpu(TrainConfig cfg,
+                        const std::vector<int> &candidates)
+{
+    std::optional<int> best;
+    for (int batch : candidates) {
+        cfg.batchPerGpu = batch;
+        cfg.measuredIterations = 0; // memory probe only
+        Trainer trainer(cfg);
+        if (!trainer.run().oom)
+            best = batch;
+    }
+    return best;
+}
+
+std::string
+TrainReport::oneLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s x%d gpus, b%d, %s: epoch %.3fs (fp+bp %.3fs, wu "
+                  "%.3fs)%s",
+                  config.model.c_str(), config.numGpus,
+                  config.batchPerGpu,
+                  comm::commMethodName(config.method), epochSeconds,
+                  fpBpSeconds, wuSeconds, oom ? " [OOM]" : "");
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The data-parallel synchronous-SGD training simulator — the paper's
+ * measurement subject rebuilt as a model.
+ *
+ * One simulated iteration follows MXNet's engine (paper Fig. 1):
+ *
+ *  1. each GPU's worker thread issues the FP kernels, then the BP
+ *     kernels in reverse layer order;
+ *  2. as each weighted layer's gradient lands on every GPU, its
+ *     bucket is pushed to the communicator (BP/WU overlap), which
+ *     reduces it onto GPU0;
+ *  3. GPU0 runs the SGD update kernel for the bucket and broadcasts
+ *     the fresh weights;
+ *  4. when every bucket has been broadcast, the iteration barrier
+ *     releases the workers (synchronous SGD) and the next iteration
+ *     begins.
+ *
+ * The run simulates a few steady-state iterations and extrapolates to
+ * the epoch, exactly like per-iteration nvprof profiling does.
+ */
+
+#ifndef DGXSIM_CORE_TRAINER_HH
+#define DGXSIM_CORE_TRAINER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/factory.hh"
+#include "core/report.hh"
+#include "core/train_config.hh"
+#include "cuda/device.hh"
+#include "cuda/host_thread.hh"
+#include "cuda/stream.hh"
+#include "dnn/network.hh"
+#include "hw/fabric.hh"
+#include "profiling/profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace dgxsim::core {
+
+/** Simulates one training configuration on a DGX-1 (or a custom
+ * topology). */
+class Trainer
+{
+  public:
+    /** Train on the stock Volta DGX-1. */
+    explicit Trainer(TrainConfig cfg);
+
+    /** Train on a custom topology (ablations). */
+    Trainer(TrainConfig cfg, hw::Topology topo);
+
+    /**
+     * Train a user-defined network (cfg.model is ignored); see
+     * examples/custom_network.cc.
+     */
+    Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo);
+
+    Trainer(const Trainer &) = delete;
+    Trainer &operator=(const Trainer &) = delete;
+    ~Trainer();
+
+    /**
+     * Run the simulation.
+     * @return the report; report.oom is set instead of throwing when
+     * the configuration does not fit in GPU memory.
+     */
+    TrainReport run();
+
+    /** @return the profiler with all records of the measured run. */
+    const profiling::Profiler &profiler() const { return profiler_; }
+
+    /** @return the fabric (for link statistics). */
+    const hw::Fabric &fabric() const { return *fabric_; }
+
+    /**
+     * Convenience: simulate @p cfg on a stock DGX-1.
+     */
+    static TrainReport simulate(const TrainConfig &cfg);
+
+    /**
+     * @return the largest per-GPU batch size (from @p candidates in
+     * increasing order) that fits in memory, or nullopt if none do.
+     */
+    static std::optional<int> maxBatchPerGpu(
+        TrainConfig cfg, const std::vector<int> &candidates);
+
+  private:
+    /** Delegated constructor; builds cfg.model when @p net is empty. */
+    Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
+            hw::Topology topo);
+
+    struct Bucket
+    {
+        std::string layer;
+        sim::Bytes bytes = 0;
+        int arrivals = 0;  ///< per-GPU per-layer gradients landed
+        int expected = 0;  ///< arrivals needed before communicating
+    };
+
+    /** Allocate all device memory; throws sim::FatalError on OOM. */
+    void setupMemory();
+
+    /** Kick off iteration @p index. */
+    void startIteration(int index);
+
+    /** Issue one GPU's FP+BP work for the iteration. */
+    void issueWorker(std::size_t g);
+
+    /** A bucket's gradients are complete on one GPU. */
+    void onGradientReady(std::size_t bucket_idx);
+
+    /** Push a bucket through reduce -> update -> broadcast. */
+    void pushBucket(std::size_t bucket_idx);
+    void onBucketReduced(std::size_t bucket_idx);
+    void onBucketBroadcast(std::size_t bucket_idx);
+
+    /** One GPU finished BP (its compute stream drained). */
+    void onWorkerBpDone(std::size_t g);
+
+    /** One GPU observed the iteration barrier. */
+    void onWorkerIterationDone(std::size_t g);
+
+    /** All GPUs done: record times, advance or stop. */
+    void finishIteration();
+
+    /** Assemble the final report after the measured iterations. */
+    TrainReport buildReport();
+
+    sim::Tick launchOverhead() const;
+
+    TrainConfig cfg_;
+    sim::EventQueue queue_;
+    profiling::Profiler profiler_;
+    std::unique_ptr<hw::Fabric> fabric_;
+    dnn::Network net_;
+    std::vector<hw::NodeId> gpus_;
+    std::vector<std::unique_ptr<cuda::Device>> devices_;
+    std::vector<std::unique_ptr<cuda::Stream>> computeStreams_;
+    std::vector<std::unique_ptr<cuda::HostThread>> workers_;
+    std::unique_ptr<cuda::Stream> updateStream_; ///< on GPU0
+    std::unique_ptr<cuda::HostThread> commThread_;
+    std::unique_ptr<cuda::HostThread> engineThread_;
+    std::unique_ptr<comm::Communicator> comm_;
+
+    std::vector<Bucket> buckets_;
+    /** Bucket index of each weighted layer (forward order). */
+    std::vector<std::size_t> bucketOfWeighted_;
+    int iteration_ = 0;
+    sim::Tick iterStart_ = 0;
+    sim::Tick bpDoneMax_ = 0;
+    int bpDoneCount_ = 0;
+    std::size_t broadcastsDone_ = 0;
+    int workersDone_ = 0;
+    std::shared_ptr<cuda::CudaEvent> barrier_;
+
+    /** Accumulated per-run measurements. */
+    double sumIterTicks_ = 0;
+    double sumFpBpTicks_ = 0;
+    double sumWuTicks_ = 0;
+
+    bool oom_ = false;
+    std::string oomDetail_;
+};
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_TRAINER_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A simulated GPU device: its hardware spec plus live memory state.
+ */
+
+#ifndef DGXSIM_CUDA_DEVICE_HH
+#define DGXSIM_CUDA_DEVICE_HH
+
+#include "cuda/memory_tracker.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/topology.hh"
+
+namespace dgxsim::cuda {
+
+/** One GPU in the system. */
+class Device
+{
+  public:
+    Device(hw::NodeId node, hw::GpuSpec spec)
+        : node_(node), spec_(std::move(spec)), mem_(spec_.memCapacity)
+    {
+    }
+
+    /** @return the topology node this device occupies. */
+    hw::NodeId node() const { return node_; }
+
+    /** @return the hardware description. */
+    const hw::GpuSpec &spec() const { return spec_; }
+
+    /** @return the memory tracker. */
+    MemoryTracker &mem() { return mem_; }
+    const MemoryTracker &mem() const { return mem_; }
+
+  private:
+    hw::NodeId node_;
+    hw::GpuSpec spec_;
+    MemoryTracker mem_;
+};
+
+} // namespace dgxsim::cuda
+
+#endif // DGXSIM_CUDA_DEVICE_HH

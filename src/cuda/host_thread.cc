@@ -1,0 +1,157 @@
+#include "cuda/host_thread.hh"
+
+#include <utility>
+
+namespace dgxsim::cuda {
+
+HostThread::HostThread(sim::EventQueue &queue,
+                       profiling::Profiler *profiler, std::string name)
+    : queue_(queue), profiler_(profiler), name_(std::move(name))
+{
+}
+
+void
+HostThread::call(std::string api, sim::Tick overhead,
+                 std::function<void()> action)
+{
+    Item item;
+    item.api = std::move(api);
+    item.overhead = overhead;
+    item.action = std::move(action);
+    work_.push_back(std::move(item));
+    pump();
+}
+
+void
+HostThread::syncStream(Stream &stream, sim::Tick overhead, std::string api)
+{
+    Item item;
+    item.api = std::move(api);
+    item.overhead = overhead;
+    item.stream = &stream;
+    item.blocking = true;
+    work_.push_back(std::move(item));
+    pump();
+}
+
+void
+HostThread::syncEvent(std::shared_ptr<CudaEvent> event, sim::Tick overhead,
+                      std::string api)
+{
+    Item item;
+    item.api = std::move(api);
+    item.overhead = overhead;
+    item.event = std::move(event);
+    item.blocking = true;
+    work_.push_back(std::move(item));
+    pump();
+}
+
+void
+HostThread::post(std::function<void()> action)
+{
+    Item item;
+    item.action = std::move(action);
+    item.isApi = false;
+    work_.push_back(std::move(item));
+    pump();
+}
+
+void
+HostThread::waitStream(Stream &stream)
+{
+    Item item;
+    item.stream = &stream;
+    item.blocking = true;
+    item.isApi = false;
+    work_.push_back(std::move(item));
+    pump();
+}
+
+void
+HostThread::onIdle(std::function<void()> fn)
+{
+    if (idle()) {
+        fn();
+        return;
+    }
+    idleWaiters_.push_back(std::move(fn));
+}
+
+void
+HostThread::finishItem(const std::string &api, sim::Tick start,
+                       bool is_api)
+{
+    if (is_api) {
+        const sim::Tick end = queue_.now();
+        apiBusy_ += end - start;
+        if (profiler_)
+            profiler_->recordApi(api, name_, start, end);
+    }
+    running_ = false;
+    pump();
+    if (idle() && !idleWaiters_.empty()) {
+        std::vector<std::function<void()>> waiters;
+        waiters.swap(idleWaiters_);
+        for (auto &w : waiters)
+            w();
+    }
+}
+
+void
+HostThread::pump()
+{
+    if (running_ || work_.empty())
+        return;
+    running_ = true;
+    Item item = std::move(work_.front());
+    work_.pop_front();
+
+    const sim::Tick start = queue_.now();
+
+    if (!item.isApi) {
+        if (item.blocking && item.stream) {
+            // Engine-side dependency wait: blocks the thread but is
+            // not a CUDA API call, so no API time is recorded.
+            item.stream->notifyDrained(
+                [this, start]() { finishItem("", start, false); });
+            return;
+        }
+        // Pure control action: zero simulated cost.
+        if (item.action)
+            item.action();
+        finishItem("", start, false);
+        return;
+    }
+
+    if (!item.blocking) {
+        queue_.scheduleAfter(
+            item.overhead,
+            [this, start, api = std::move(item.api),
+             action = std::move(item.action)]() mutable {
+                if (action)
+                    action();
+                finishItem(api, start, true);
+            });
+        return;
+    }
+
+    // Blocking call: pay the fixed entry overhead, then stall until
+    // the awaited object completes.
+    queue_.scheduleAfter(
+        item.overhead,
+        [this, start, api = std::move(item.api), stream = item.stream,
+         event = std::move(item.event)]() mutable {
+            auto resume = [this, start, api]() {
+                finishItem(api, start, true);
+            };
+            if (stream)
+                stream->notifyDrained(resume);
+            else if (event)
+                event->onSignal(resume);
+            else
+                resume();
+        });
+}
+
+} // namespace dgxsim::cuda

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A host CPU worker thread that issues CUDA API calls.
+ *
+ * MXNet's engine drives each GPU from a dedicated worker thread; the
+ * time those threads spend inside CUDA APIs (launches, memcpys and
+ * above all cudaStreamSynchronize) is the software overhead the paper
+ * quantifies in Sec. V-C / Table III. Each call occupies the thread
+ * for a fixed overhead; blocking calls additionally stall it until
+ * the awaited work completes, and the whole interval is recorded to
+ * the profiler under the API's name, as nvprof does.
+ */
+
+#ifndef DGXSIM_CUDA_HOST_THREAD_HH
+#define DGXSIM_CUDA_HOST_THREAD_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cuda/cuda_event.hh"
+#include "cuda/stream.hh"
+#include "profiling/profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace dgxsim::cuda {
+
+/** Serial API-issuing thread. */
+class HostThread
+{
+  public:
+    HostThread(sim::EventQueue &queue, profiling::Profiler *profiler,
+               std::string name);
+    HostThread(const HostThread &) = delete;
+    HostThread &operator=(const HostThread &) = delete;
+
+    /**
+     * Enqueue a non-blocking API call.
+     * @param api Profiler label, e.g. "cudaLaunchKernel".
+     * @param overhead Host occupancy of the call.
+     * @param action Runs when the call executes (e.g. pushes an op
+     *               onto a stream).
+     */
+    void call(std::string api, sim::Tick overhead,
+              std::function<void()> action = {});
+
+    /**
+     * Enqueue a blocking stream synchronization. The thread stalls
+     * until @p stream drains; the full interval is recorded as
+     * @p api time.
+     */
+    void syncStream(Stream &stream, sim::Tick overhead,
+                    std::string api = "cudaStreamSynchronize");
+
+    /** Enqueue a blocking wait on an event (cudaEventSynchronize). */
+    void syncEvent(std::shared_ptr<CudaEvent> event, sim::Tick overhead,
+                   std::string api = "cudaEventSynchronize");
+
+    /** Enqueue a zero-cost control action (not an API call). */
+    void post(std::function<void()> action);
+
+    /**
+     * Enqueue a blocking wait on a stream that is NOT a CUDA API
+     * call: the framework engine's dependency tracking (callbacks)
+     * rather than cudaStreamSynchronize. Costs no recorded API time.
+     */
+    void waitStream(Stream &stream);
+
+    /** @return true when no work is queued or executing. */
+    bool idle() const { return !running_ && work_.empty(); }
+
+    /** Run @p fn next time the thread goes idle (or now if idle). */
+    void onIdle(std::function<void()> fn);
+
+    /** @return total time spent inside API calls. */
+    sim::Tick apiBusyTicks() const { return apiBusy_; }
+
+    /** @return the thread's debug name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Item
+    {
+        std::string api;
+        sim::Tick overhead = 0;
+        std::function<void()> action;
+        Stream *stream = nullptr;
+        std::shared_ptr<CudaEvent> event;
+        bool blocking = false;
+        bool isApi = true;
+    };
+
+    void pump();
+    void finishItem(const std::string &api, sim::Tick start, bool is_api);
+
+    sim::EventQueue &queue_;
+    profiling::Profiler *profiler_;
+    std::string name_;
+    std::deque<Item> work_;
+    bool running_ = false;
+    sim::Tick apiBusy_ = 0;
+    std::vector<std::function<void()>> idleWaiters_;
+};
+
+} // namespace dgxsim::cuda
+
+#endif // DGXSIM_CUDA_HOST_THREAD_HH

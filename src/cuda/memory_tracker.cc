@@ -1,0 +1,22 @@
+#include "cuda/memory_tracker.hh"
+
+namespace dgxsim::cuda {
+
+const char *
+memCategoryName(MemCategory cat)
+{
+    switch (cat) {
+      case MemCategory::Context: return "context";
+      case MemCategory::Weights: return "weights";
+      case MemCategory::Gradients: return "gradients";
+      case MemCategory::OptimizerState: return "optimizer-state";
+      case MemCategory::Activations: return "activations";
+      case MemCategory::Workspace: return "workspace";
+      case MemCategory::CommBuffers: return "comm-buffers";
+      case MemCategory::Dataset: return "dataset";
+      case MemCategory::NumCategories: break;
+    }
+    return "?";
+}
+
+} // namespace dgxsim::cuda

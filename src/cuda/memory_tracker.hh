@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-device memory accounting, the simulated analogue of watching
+ * `nvidia-smi` during training (paper Sec. V-D / Table IV).
+ *
+ * Allocations are tagged with a category so the memory breakdown
+ * (weights vs. gradients vs. feature maps vs. communication buffers)
+ * can be reported. Exceeding the device capacity throws
+ * sim::FatalError, which is how the trainer discovers the maximum
+ * usable batch size, mirroring the paper's out-of-memory limits.
+ */
+
+#ifndef DGXSIM_CUDA_MEMORY_TRACKER_HH
+#define DGXSIM_CUDA_MEMORY_TRACKER_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dgxsim::cuda {
+
+/** What an allocation holds. */
+enum class MemCategory
+{
+    Context,        ///< CUDA context + cuDNN/cuBLAS handles
+    Weights,        ///< network parameters
+    Gradients,      ///< parameter gradients
+    OptimizerState, ///< SGD momentum etc.
+    Activations,    ///< feature maps kept for backprop
+    Workspace,      ///< cuDNN scratch
+    CommBuffers,    ///< PS aggregation / NCCL staging buffers
+    Dataset,        ///< staged mini-batches
+    NumCategories,
+};
+
+/** @return a printable name for a memory category. */
+const char *memCategoryName(MemCategory cat);
+
+/** Tracks live and peak memory on one GPU. */
+class MemoryTracker
+{
+  public:
+    explicit MemoryTracker(sim::Bytes capacity) : capacity_(capacity) {}
+
+    /**
+     * Allocate @p bytes in @p cat.
+     * @throws sim::FatalError when the device would run out of memory.
+     */
+    void
+    alloc(MemCategory cat, sim::Bytes bytes)
+    {
+        if (used_ + bytes > capacity_) {
+            sim::fatal("out of memory: allocating ", bytes,
+                       " bytes of ", memCategoryName(cat), " atop ",
+                       used_, " used exceeds capacity ", capacity_);
+        }
+        used_ += bytes;
+        byCat_[idx(cat)] += bytes;
+        if (used_ > peak_)
+            peak_ = used_;
+    }
+
+    /** Release @p bytes from @p cat. */
+    void
+    free(MemCategory cat, sim::Bytes bytes)
+    {
+        if (byCat_[idx(cat)] < bytes || used_ < bytes) {
+            sim::panic("freeing ", bytes, " bytes of ",
+                       memCategoryName(cat), " but only ",
+                       byCat_[idx(cat)], " allocated");
+        }
+        used_ -= bytes;
+        byCat_[idx(cat)] -= bytes;
+    }
+
+    /** Release everything in one category. */
+    void
+    freeAll(MemCategory cat)
+    {
+        used_ -= byCat_[idx(cat)];
+        byCat_[idx(cat)] = 0;
+    }
+
+    sim::Bytes used() const { return used_; }
+    sim::Bytes peak() const { return peak_; }
+    sim::Bytes capacity() const { return capacity_; }
+    sim::Bytes usedBy(MemCategory cat) const { return byCat_[idx(cat)]; }
+
+    /** @return bytes still allocatable. */
+    sim::Bytes headroom() const { return capacity_ - used_; }
+
+  private:
+    static std::size_t
+    idx(MemCategory cat)
+    {
+        return static_cast<std::size_t>(cat);
+    }
+
+    sim::Bytes capacity_;
+    sim::Bytes used_ = 0;
+    sim::Bytes peak_ = 0;
+    std::array<sim::Bytes,
+               static_cast<std::size_t>(MemCategory::NumCategories)>
+        byCat_{};
+};
+
+} // namespace dgxsim::cuda
+
+#endif // DGXSIM_CUDA_MEMORY_TRACKER_HH

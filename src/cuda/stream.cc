@@ -1,0 +1,157 @@
+#include "cuda/stream.hh"
+
+#include <utility>
+
+namespace dgxsim::cuda {
+
+Stream::Stream(sim::EventQueue &queue, profiling::Profiler *profiler,
+               int device_id, std::string name)
+    : queue_(queue), profiler_(profiler), deviceId_(device_id),
+      name_(std::move(name))
+{
+}
+
+void
+Stream::enqueueKernel(std::string kernel_name, sim::Tick duration)
+{
+    Op op;
+    op.kind = OpKind::Kernel;
+    op.label = std::move(kernel_name);
+    op.duration = duration;
+    ops_.push_back(std::move(op));
+    pump();
+}
+
+void
+Stream::enqueueCopy(hw::Fabric &fabric, std::string copy_kind,
+                    hw::NodeId src, hw::NodeId dst, sim::Bytes bytes)
+{
+    Op op;
+    op.kind = OpKind::Copy;
+    op.label = std::move(copy_kind);
+    op.fabric = &fabric;
+    op.src = src;
+    op.dst = dst;
+    op.bytes = bytes;
+    ops_.push_back(std::move(op));
+    pump();
+}
+
+void
+Stream::enqueueWait(std::shared_ptr<CudaEvent> event)
+{
+    Op op;
+    op.kind = OpKind::Wait;
+    op.event = std::move(event);
+    ops_.push_back(std::move(op));
+    pump();
+}
+
+void
+Stream::enqueueSignal(std::shared_ptr<CudaEvent> event)
+{
+    Op op;
+    op.kind = OpKind::Signal;
+    op.event = std::move(event);
+    ops_.push_back(std::move(op));
+    pump();
+}
+
+void
+Stream::enqueueHostFn(std::function<void()> fn)
+{
+    Op op;
+    op.kind = OpKind::HostFn;
+    op.fn = std::move(fn);
+    ops_.push_back(std::move(op));
+    pump();
+}
+
+void
+Stream::notifyDrained(std::function<void()> fn)
+{
+    if (drained()) {
+        fn();
+        return;
+    }
+    drainWaiters_.push_back(std::move(fn));
+}
+
+void
+Stream::checkDrained()
+{
+    if (!drained() || drainWaiters_.empty())
+        return;
+    std::vector<std::function<void()>> waiters;
+    waiters.swap(drainWaiters_);
+    for (auto &w : waiters)
+        w();
+}
+
+void
+Stream::pump()
+{
+    if (running_ || ops_.empty())
+        return;
+    running_ = true;
+    Op op = std::move(ops_.front());
+    ops_.pop_front();
+
+    switch (op.kind) {
+      case OpKind::Kernel: {
+        const sim::Tick start = queue_.now();
+        const sim::Tick dur = op.duration;
+        kernelBusy_ += dur;
+        queue_.scheduleAfter(dur, [this, start, dur,
+                                   label = std::move(op.label)] {
+            if (profiler_)
+                profiler_->recordKernel(label, deviceId_, start,
+                                        start + dur);
+            opDone();
+        });
+        break;
+      }
+      case OpKind::Copy: {
+        const sim::Tick start = queue_.now();
+        auto *prof = profiler_;
+        const int dev = deviceId_;
+        op.fabric->transfer(
+            op.src, op.dst, op.bytes,
+            [this, prof, dev, start, label = std::move(op.label),
+             src = op.src, dst = op.dst, bytes = op.bytes] {
+                if (prof) {
+                    prof->recordCopy(label, src, dst, bytes, start,
+                                     queue_.now());
+                }
+                (void)dev;
+                opDone();
+            });
+        break;
+      }
+      case OpKind::Wait: {
+        op.event->onSignal([this] { opDone(); });
+        break;
+      }
+      case OpKind::Signal: {
+        op.event->signal();
+        opDone();
+        break;
+      }
+      case OpKind::HostFn: {
+        if (op.fn)
+            op.fn();
+        opDone();
+        break;
+      }
+    }
+}
+
+void
+Stream::opDone()
+{
+    running_ = false;
+    pump();
+    checkDrained();
+}
+
+} // namespace dgxsim::cuda

@@ -1,0 +1,166 @@
+#include "dnn/layer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Pool: return "pool";
+      case LayerKind::Activation: return "activation";
+      case LayerKind::LRN: return "lrn";
+      case LayerKind::BatchNorm: return "batchnorm";
+      case LayerKind::Concat: return "concat";
+      case LayerKind::EltwiseAdd: return "eltwise-add";
+      case LayerKind::Dropout: return "dropout";
+      case LayerKind::Softmax: return "softmax";
+    }
+    return "?";
+}
+
+namespace {
+
+TensorShape
+convOutShape(const TensorShape &in, int out_channels, int kh, int kw,
+             int stride, int pad_h, int pad_w)
+{
+    if (stride < 1)
+        sim::fatal("conv stride must be >= 1, got ", stride);
+    const int oh = convOutDim(in.h, kh, stride, pad_h);
+    const int ow = convOutDim(in.w, kw, stride, pad_w);
+    if (oh < 1 || ow < 1) {
+        sim::fatal("conv output collapses: in ", in.str(), " kernel ",
+                   kh, "x", kw, " stride ", stride, " pad ", pad_h,
+                   "/", pad_w);
+    }
+    return TensorShape{out_channels, oh, ow};
+}
+
+} // namespace
+
+Conv2d::Conv2d(std::string name, TensorShape in, int out_channels,
+               int kernel_h, int kernel_w, int stride, int pad_h,
+               int pad_w)
+    : Layer(LayerKind::Conv, std::move(name), in,
+            convOutShape(in, out_channels, kernel_h, kernel_w, stride,
+                         pad_h < 0 ? kernel_h / 2 : pad_h,
+                         pad_w < 0 ? kernel_w / 2 : pad_w)),
+      kh_(kernel_h), kw_(kernel_w), stride_(stride),
+      padH_(pad_h < 0 ? kernel_h / 2 : pad_h),
+      padW_(pad_w < 0 ? kernel_w / 2 : pad_w)
+{
+}
+
+std::uint64_t
+Conv2d::paramCount() const
+{
+    const std::uint64_t weights = static_cast<std::uint64_t>(kh_) * kw_ *
+                                  inputShape().c * outputShape().c;
+    return weights + outputShape().c; // + bias
+}
+
+double
+Conv2d::forwardFlops(int batch) const
+{
+    // 2 * K*K*Cin multiply-accumulates per output element.
+    return 2.0 * kh_ * kw_ * inputShape().c *
+           static_cast<double>(outputShape().elements()) * batch;
+}
+
+sim::Bytes
+Conv2d::workspaceBytes(int batch) const
+{
+    // im2col-style scratch: unrolled input patches for the batch,
+    // capped the way cuDNN caps its workspace requests.
+    const double unrolled = static_cast<double>(kh_) * kw_ *
+                            inputShape().c * outputShape().h *
+                            outputShape().w * 4.0 * batch;
+    constexpr double cap = 512.0 * (1 << 20);
+    return static_cast<sim::Bytes>(std::min(unrolled, cap));
+}
+
+FullyConnected::FullyConnected(std::string name, TensorShape in,
+                               int out_features)
+    : Layer(LayerKind::FullyConnected, std::move(name), in,
+            TensorShape{out_features, 1, 1})
+{
+}
+
+std::uint64_t
+FullyConnected::paramCount() const
+{
+    return inputShape().elements() *
+               static_cast<std::uint64_t>(outputShape().c) +
+           outputShape().c;
+}
+
+double
+FullyConnected::forwardFlops(int batch) const
+{
+    return 2.0 * static_cast<double>(inputShape().elements()) *
+           outputShape().c * batch;
+}
+
+namespace {
+
+TensorShape
+poolOutShape(const TensorShape &in, Pool2d::Mode mode, int kernel,
+             int stride, int pad)
+{
+    if (mode == Pool2d::Mode::GlobalAvg)
+        return TensorShape{in.c, 1, 1};
+    const int oh = convOutDim(in.h, kernel, stride, pad);
+    const int ow = convOutDim(in.w, kernel, stride, pad);
+    if (oh < 1 || ow < 1)
+        sim::fatal("pool output collapses on input ", in.str());
+    return TensorShape{in.c, oh, ow};
+}
+
+} // namespace
+
+Pool2d::Pool2d(std::string name, TensorShape in, Mode mode, int kernel,
+               int stride, int pad)
+    : Layer(LayerKind::Pool, std::move(name), in,
+            poolOutShape(in, mode, kernel, stride, pad)),
+      mode_(mode),
+      kernel_(mode == Mode::GlobalAvg ? in.h : kernel),
+      stride_(stride), pad_(pad)
+{
+}
+
+double
+Pool2d::forwardFlops(int batch) const
+{
+    return static_cast<double>(outputShape().elements()) * batch *
+           kernel_ * kernel_;
+}
+
+Concat::Concat(std::string name, const std::vector<TensorShape> &ins)
+    : Layer(LayerKind::Concat, std::move(name),
+            ins.empty() ? TensorShape{} : ins.front(),
+            [&ins] {
+                if (ins.empty())
+                    sim::fatal("concat needs at least one input");
+                TensorShape out = ins.front();
+                out.c = 0;
+                for (const TensorShape &s : ins) {
+                    if (s.h != out.h || s.w != out.w) {
+                        sim::fatal(
+                            "concat inputs disagree spatially: ",
+                            s.str(), " vs ", out.str());
+                    }
+                    out.c += s.c;
+                }
+                return out;
+            }()),
+      ins_(ins)
+{
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Layer taxonomy with per-layer analytical cost models.
+ *
+ * Each layer knows, as a function of batch size, the FLOPs of its
+ * forward and backward kernels, the bytes of activations it must keep
+ * for backprop, its HBM traffic, and its parameter count. These feed
+ * the kernel-duration model (cuda/kernel_model.hh), the memory model
+ * (paper Table IV), and the gradient-bucket list the communication
+ * library reduces in the WU stage.
+ */
+
+#ifndef DGXSIM_DNN_LAYER_HH
+#define DGXSIM_DNN_LAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor_shape.hh"
+#include "sim/types.hh"
+
+namespace dgxsim::dnn {
+
+/** Layer classes; mirror the taxonomy of the paper's Table I. */
+enum class LayerKind
+{
+    Conv,
+    FullyConnected,
+    Pool,
+    Activation,
+    LRN,
+    BatchNorm,
+    Concat,
+    EltwiseAdd,
+    Dropout,
+    Softmax,
+};
+
+/** @return a printable name for a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Base class of all layers. Derived classes compute their output
+ * shape from the input shape at construction time, so a network's
+ * shapes are fully inferred.
+ */
+class Layer
+{
+  public:
+    Layer(LayerKind kind, std::string name, TensorShape in,
+          TensorShape out)
+        : kind_(kind), name_(std::move(name)), in_(in), out_(out)
+    {
+    }
+    virtual ~Layer() = default;
+
+    LayerKind kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+    const TensorShape &inputShape() const { return in_; }
+    const TensorShape &outputShape() const { return out_; }
+
+    /** @return trainable parameter count (weights + biases). */
+    virtual std::uint64_t paramCount() const { return 0; }
+
+    /** @return fp32 bytes of parameters. */
+    sim::Bytes paramBytes() const { return paramCount() * 4; }
+
+    /** @return forward-pass FLOPs for a mini-batch of @p batch. */
+    virtual double forwardFlops(int batch) const = 0;
+
+    /**
+     * @return backward-pass FLOPs. Parameterized layers compute both
+     * a data gradient and a weight gradient (~2x forward); the rest
+     * default to the forward cost.
+     */
+    virtual double
+    backwardFlops(int batch) const
+    {
+        return paramCount() > 0 ? 2.0 * forwardFlops(batch)
+                                : forwardFlops(batch);
+    }
+
+    /** @return HBM bytes touched by the forward kernel. */
+    virtual double
+    forwardBytes(int batch) const
+    {
+        return static_cast<double>(in_.bytes() + out_.bytes()) * batch +
+               static_cast<double>(paramBytes());
+    }
+
+    /** @return HBM bytes touched by the backward kernel(s). */
+    virtual double
+    backwardBytes(int batch) const
+    {
+        return 2.0 * forwardBytes(batch);
+    }
+
+    /**
+     * @return bytes of activations this layer stores for backprop per
+     * mini-batch (its output feature map). Layers that frameworks run
+     * in place (activations, batch norm, dropout, element-wise ops)
+     * return 0: they reuse the producing layer's stored buffer.
+     */
+    virtual sim::Bytes
+    activationBytes(int batch) const
+    {
+        return inPlace() ? 0 : out_.bytes() * batch;
+    }
+
+    /** @return true for layers executed in place (no stored output). */
+    virtual bool
+    inPlace() const
+    {
+        switch (kind_) {
+          case LayerKind::Activation:
+          case LayerKind::BatchNorm:
+          case LayerKind::Dropout:
+          case LayerKind::LRN:
+          case LayerKind::EltwiseAdd:
+          case LayerKind::Softmax:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** @return cuDNN scratch bytes needed while this layer runs. */
+    virtual sim::Bytes workspaceBytes(int /*batch*/) const { return 0; }
+
+    /** @return true if the kernel can run on the tensor cores. */
+    virtual bool tensorEligible() const { return false; }
+
+    /**
+     * @return a multiplier on the achievable compute efficiency.
+     * Training-time fully connected layers are GEMMs with M = batch
+     * size — extremely skinny matrices that run far below the
+     * efficiency square conv kernels reach; they override this.
+     */
+    virtual double efficiencyScale() const { return 1.0; }
+
+    /** @return number of backward kernels (wgrad + dgrad or one). */
+    virtual int
+    backwardKernels() const
+    {
+        return paramCount() > 0 ? 2 : 1;
+    }
+
+  private:
+    LayerKind kind_;
+    std::string name_;
+    TensorShape in_;
+    TensorShape out_;
+};
+
+/** 2-D convolution (+ bias). */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param pad_h -1 selects "same" padding (kernel_h / 2); same for
+     *              @p pad_w.
+     */
+    Conv2d(std::string name, TensorShape in, int out_channels,
+           int kernel_h, int kernel_w, int stride, int pad_h,
+           int pad_w);
+
+    std::uint64_t paramCount() const override;
+    double forwardFlops(int batch) const override;
+    sim::Bytes workspaceBytes(int batch) const override;
+    bool tensorEligible() const override { return true; }
+
+    int kernelH() const { return kh_; }
+    int kernelW() const { return kw_; }
+    int stride() const { return stride_; }
+    int padH() const { return padH_; }
+    int padW() const { return padW_; }
+
+  private:
+    int kh_;
+    int kw_;
+    int stride_;
+    int padH_;
+    int padW_;
+};
+
+/** Fully connected (dense) layer. */
+class FullyConnected : public Layer
+{
+  public:
+    FullyConnected(std::string name, TensorShape in, int out_features);
+
+    std::uint64_t paramCount() const override;
+    double forwardFlops(int batch) const override;
+    bool tensorEligible() const override { return true; }
+    double efficiencyScale() const override { return 0.15; }
+};
+
+/** Max or average pooling. */
+class Pool2d : public Layer
+{
+  public:
+    enum class Mode { Max, Avg, GlobalAvg };
+
+    Pool2d(std::string name, TensorShape in, Mode mode, int kernel,
+           int stride, int pad = 0);
+
+    double forwardFlops(int batch) const override;
+
+    Mode mode() const { return mode_; }
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int pad() const { return pad_; }
+
+  private:
+    Mode mode_;
+    int kernel_;
+    int stride_;
+    int pad_;
+};
+
+/** Pointwise activation (ReLU, tanh, sigmoid). */
+class Activation : public Layer
+{
+  public:
+    Activation(std::string name, TensorShape in)
+        : Layer(LayerKind::Activation, std::move(name), in, in)
+    {
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return static_cast<double>(inputShape().elements()) * batch;
+    }
+};
+
+/** Local response normalization (AlexNet/GoogLeNet). */
+class LRN : public Layer
+{
+  public:
+    LRN(std::string name, TensorShape in, int size = 5)
+        : Layer(LayerKind::LRN, std::move(name), in, in), size_(size)
+    {
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return static_cast<double>(inputShape().elements()) * batch *
+               (2.0 * size_ + 3.0);
+    }
+
+    /** LRN keeps its output plus the per-element scale cache that
+     * its backward pass needs — it cannot run in place. */
+    bool inPlace() const override { return false; }
+
+    sim::Bytes
+    activationBytes(int batch) const override
+    {
+        return 2 * outputShape().bytes() * batch;
+    }
+
+  private:
+    int size_;
+};
+
+/** Batch normalization (scale/shift learnable). */
+class BatchNorm : public Layer
+{
+  public:
+    BatchNorm(std::string name, TensorShape in)
+        : Layer(LayerKind::BatchNorm, std::move(name), in, in)
+    {
+    }
+
+    std::uint64_t
+    paramCount() const override
+    {
+        return 2ull * inputShape().c;
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return 4.0 * inputShape().elements() * batch;
+    }
+
+    bool tensorEligible() const override { return false; }
+};
+
+/** Channel concatenation joining inception branches. */
+class Concat : public Layer
+{
+  public:
+    Concat(std::string name, const std::vector<TensorShape> &ins);
+
+    /** @return the branch output shapes feeding this concat. */
+    const std::vector<TensorShape> &inputShapes() const { return ins_; }
+
+    double
+    forwardFlops(int /*batch*/) const override
+    {
+        return 0.0; // pure data movement
+    }
+
+    double
+    forwardBytes(int batch) const override
+    {
+        return 2.0 * outputShape().bytes() * batch;
+    }
+
+    sim::Bytes
+    activationBytes(int /*batch*/) const override
+    {
+        return 0; // branches already store their outputs
+    }
+
+  private:
+    std::vector<TensorShape> ins_;
+};
+
+/** Element-wise residual addition. */
+class EltwiseAdd : public Layer
+{
+  public:
+    EltwiseAdd(std::string name, TensorShape in)
+        : Layer(LayerKind::EltwiseAdd, std::move(name), in, in)
+    {
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return static_cast<double>(inputShape().elements()) * batch;
+    }
+};
+
+/** Dropout (train-time mask). */
+class Dropout : public Layer
+{
+  public:
+    Dropout(std::string name, TensorShape in)
+        : Layer(LayerKind::Dropout, std::move(name), in, in)
+    {
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return 2.0 * inputShape().elements() * batch;
+    }
+};
+
+/** Softmax classifier head. */
+class Softmax : public Layer
+{
+  public:
+    Softmax(std::string name, TensorShape in)
+        : Layer(LayerKind::Softmax, std::move(name), in, in)
+    {
+    }
+
+    double
+    forwardFlops(int batch) const override
+    {
+        return 3.0 * inputShape().elements() * batch;
+    }
+};
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_LAYER_HH

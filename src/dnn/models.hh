@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The model zoo: the five image-classification networks the paper
+ * profiles (Table I), built with the published architectures.
+ *
+ * Input resolutions: LeNet trains on 28x28 grayscale digits (the
+ * MXNet LeNet of the paper's framework), AlexNet and GoogLeNet on
+ * 224x224 ImageNet crops, Inception-v3 on 299x299. ResNet-50 uses its
+ * standard 224x224 input.
+ */
+
+#ifndef DGXSIM_DNN_MODELS_HH
+#define DGXSIM_DNN_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace dgxsim::dnn {
+
+/** LeNet-5 (MXNet example flavor): 2 conv + 2 fc, ~431K weights. */
+Network buildLeNet();
+
+/** AlexNet (single-tower): 5 conv + 3 fc, ~61M weights. */
+Network buildAlexNet();
+
+/** GoogLeNet: 3 stem convs + 9 inception modules + 1 fc, ~7M. */
+Network buildGoogLeNet();
+
+/** Inception-v3: 5 stem convs + 11 inception modules + 1 fc, ~24M. */
+Network buildInceptionV3();
+
+/** ResNet-50: 53 convs in 16 residual blocks + 1 fc, ~25.6M. */
+Network buildResNet50();
+
+/** VGG-16 (extended zoo): 13 conv + 3 fc, ~138M weights. */
+Network buildVgg16();
+
+/** ResNet-152 (extended zoo): 151 convs in 50 blocks, ~60M. */
+Network buildResNet152();
+
+/**
+ * @return the canonical lower-case names of the paper's five
+ * workloads (Table I order).
+ */
+const std::vector<std::string> &modelNames();
+
+/** @return every buildable model, including the extended zoo. */
+const std::vector<std::string> &extendedModelNames();
+
+/**
+ * Build a zoo model by name ("lenet", "alexnet", "googlenet",
+ * "inception-v3", "resnet-50"). Fatal on unknown names.
+ */
+Network buildByName(const std::string &name);
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_MODELS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AlexNet (single-tower variant): 5 convolutions, LRN after the first
+ * two, and three enormous fully connected layers that give it its
+ * ~61M parameters — the property the paper leans on when discussing
+ * WU-stage bandwidth utilization.
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+Network
+buildAlexNet()
+{
+    NetworkBuilder b("AlexNet", TensorShape{3, 224, 224});
+    b.conv("conv1", 64, 11, 4, 2)
+        .relu("relu1")
+        .lrn("norm1")
+        .maxPool("pool1", 3, 2)
+        .conv("conv2", 192, 5, 1, 2)
+        .relu("relu2")
+        .lrn("norm2")
+        .maxPool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1)
+        .relu("relu3")
+        .conv("conv4", 256, 3, 1, 1)
+        .relu("relu4")
+        .conv("conv5", 256, 3, 1, 1)
+        .relu("relu5")
+        .maxPool("pool5", 3, 2)
+        .dropout("drop6")
+        .fc("fc6", 4096)
+        .relu("relu6")
+        .dropout("drop7")
+        .fc("fc7", 4096)
+        .relu("relu7")
+        .fc("fc8", 1000)
+        .softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Extended model zoo beyond the paper's five workloads: VGG-16 (the
+ * classic communication-monster with 138M parameters) and ResNet-152
+ * (the deepest mainstream residual network of the paper's era).
+ * Useful for stressing the WU-stage models past the published
+ * envelope.
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+Network
+buildVgg16()
+{
+    NetworkBuilder b("VGG-16", TensorShape{3, 224, 224});
+    const int stage_channels[] = {64, 128, 256, 512, 512};
+    const int stage_convs[] = {2, 2, 3, 3, 3};
+    for (int s = 0; s < 5; ++s) {
+        const std::string stage = "conv" + std::to_string(s + 1);
+        for (int c = 0; c < stage_convs[s]; ++c) {
+            const std::string name =
+                stage + "_" + std::to_string(c + 1);
+            b.conv(name, stage_channels[s], 3, 1, 1)
+                .relu(name + "_relu");
+        }
+        b.maxPool("pool" + std::to_string(s + 1), 2, 2);
+    }
+    b.fc("fc6", 4096)
+        .relu("fc6_relu")
+        .dropout("fc6_drop")
+        .fc("fc7", 4096)
+        .relu("fc7_relu")
+        .dropout("fc7_drop")
+        .fc("fc8", 1000)
+        .softmax("softmax");
+    return b.build();
+}
+
+namespace {
+
+/** Shared bottleneck builder (mirrors resnet50.cc). */
+void
+bottleneck152(NetworkBuilder &b, const std::string &n, int mid, int out,
+              int stride, bool project)
+{
+    const TensorShape shortcut = b.markResidual();
+    b.conv(n + "_1x1a", mid, 1, 1, 0)
+        .bn(n + "_1x1a_bn")
+        .relu(n + "_1x1a_r");
+    b.conv(n + "_3x3", mid, 3, stride, 1)
+        .bn(n + "_3x3_bn")
+        .relu(n + "_3x3_r");
+    b.conv(n + "_1x1b", out, 1, 1, 0).bn(n + "_1x1b_bn");
+    const TensorShape identity =
+        project ? b.sideConvBn(n + "_proj", shortcut, out, stride)
+                : shortcut;
+    b.residualAdd(n + "_add", identity)
+        .relu(n + "_out_r")
+        .countResidualBlock();
+}
+
+} // namespace
+
+Network
+buildResNet152()
+{
+    NetworkBuilder b("ResNet-152", TensorShape{3, 224, 224});
+    b.conv("conv1", 64, 7, 2, 3)
+        .bn("conv1_bn")
+        .relu("conv1_r")
+        .maxPool("pool1", 3, 2, 1);
+    const int blocks[] = {3, 8, 36, 3};
+    const int mids[] = {64, 128, 256, 512};
+    for (int s = 0; s < 4; ++s) {
+        for (int i = 0; i < blocks[s]; ++i) {
+            bottleneck152(b,
+                          "conv" + std::to_string(s + 2) + "_" +
+                              std::to_string(i + 1),
+                          mids[s], mids[s] * 4,
+                          (i == 0 && s > 0) ? 2 : 1, i == 0);
+        }
+    }
+    b.globalAvgPool("pool5").fc("fc", 1000).softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

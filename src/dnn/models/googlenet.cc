@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GoogLeNet (Inception-v1): a three-conv stem followed by nine
+ * inception modules. ~7M parameters — the paper's example of an
+ * inception network that needs far fewer weights than AlexNet.
+ * Auxiliary classifiers are omitted (they are train-time-only heads
+ * the paper's profiling does not separate out).
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+/**
+ * Classic GoogLeNet inception module: 1x1, 1x1->3x3, 1x1->5x5 and
+ * pool->1x1 branches concatenated on channels.
+ */
+void
+inception(NetworkBuilder &b, const std::string &name, int c1, int c3r,
+          int c3, int c5r, int c5, int pool_proj)
+{
+    b.beginModule();
+    b.conv(name + "_1x1", c1, 1, 1, 0).relu(name + "_1x1_relu");
+    b.branch();
+    b.conv(name + "_3x3_reduce", c3r, 1, 1, 0)
+        .relu(name + "_3x3_reduce_relu")
+        .conv(name + "_3x3", c3, 3, 1, 1)
+        .relu(name + "_3x3_relu");
+    b.branch();
+    b.conv(name + "_5x5_reduce", c5r, 1, 1, 0)
+        .relu(name + "_5x5_reduce_relu")
+        .conv(name + "_5x5", c5, 5, 1, 2)
+        .relu(name + "_5x5_relu");
+    b.branch();
+    b.maxPool(name + "_pool", 3, 1, 1)
+        .conv(name + "_pool_proj", pool_proj, 1, 1, 0)
+        .relu(name + "_pool_proj_relu");
+    b.endModule(name + "_concat");
+}
+
+} // namespace
+
+Network
+buildGoogLeNet()
+{
+    NetworkBuilder b("GoogLeNet", TensorShape{3, 224, 224});
+    b.conv("conv1", 64, 7, 2, 3)
+        .relu("conv1_relu")
+        .maxPool("pool1", 3, 2, 1)
+        .lrn("norm1")
+        .conv("conv2_reduce", 64, 1, 1, 0)
+        .relu("conv2_reduce_relu")
+        .conv("conv2", 192, 3, 1, 1)
+        .relu("conv2_relu")
+        .lrn("norm2")
+        .maxPool("pool2", 3, 2, 1);
+
+    inception(b, "3a", 64, 96, 128, 16, 32, 32);
+    inception(b, "3b", 128, 128, 192, 32, 96, 64);
+    b.maxPool("pool3", 3, 2, 1);
+    inception(b, "4a", 192, 96, 208, 16, 48, 64);
+    inception(b, "4b", 160, 112, 224, 24, 64, 64);
+    inception(b, "4c", 128, 128, 256, 24, 64, 64);
+    inception(b, "4d", 112, 144, 288, 32, 64, 64);
+    inception(b, "4e", 256, 160, 320, 32, 128, 128);
+    b.maxPool("pool4", 3, 2, 1);
+    inception(b, "5a", 256, 160, 320, 32, 128, 128);
+    inception(b, "5b", 384, 192, 384, 48, 128, 128);
+
+    b.globalAvgPool("pool5")
+        .dropout("drop")
+        .fc("fc", 1000)
+        .softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Inception-v3: the deepest of the paper's inception networks, with
+ * factorized 1x7/7x1 convolutions and ~24M parameters on 299x299
+ * inputs. Every convolution carries batch normalization.
+ *
+ * The expanded branches inside the E modules (a 1x1 feeding both a
+ * 1x3 and a 3x1 convolution that are then concatenated) are folded
+ * into a single asymmetric convolution with doubled output channels;
+ * parameter count and FLOPs are identical, only the concat topology
+ * is flattened.
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+void
+cbr(NetworkBuilder &b, const std::string &name, int out, int k,
+    int stride = 1, int pad = 0)
+{
+    b.conv(name, out, k, stride, pad).bn(name + "_bn").relu(name + "_r");
+}
+
+void
+cbrAsym(NetworkBuilder &b, const std::string &name, int out, int kh,
+        int kw)
+{
+    b.convAsym(name, out, kh, kw, 1, kh / 2, kw / 2)
+        .bn(name + "_bn")
+        .relu(name + "_r");
+}
+
+/** Mixed_5x: 1x1 / 5x5 / double-3x3 / pool-proj branches. */
+void
+inceptionA(NetworkBuilder &b, const std::string &n, int pool_features)
+{
+    b.beginModule();
+    cbr(b, n + "_1x1", 64, 1);
+    b.branch();
+    cbr(b, n + "_5x5r", 48, 1);
+    cbr(b, n + "_5x5", 64, 5, 1, 2);
+    b.branch();
+    cbr(b, n + "_3x3dbl_r", 64, 1);
+    cbr(b, n + "_3x3dbl_1", 96, 3, 1, 1);
+    cbr(b, n + "_3x3dbl_2", 96, 3, 1, 1);
+    b.branch();
+    b.avgPool(n + "_pool", 3, 1, 1);
+    cbr(b, n + "_pool_proj", pool_features, 1);
+    b.endModule(n + "_concat");
+}
+
+/** Mixed_6a: grid reduction 35x35 -> 17x17. */
+void
+inceptionB(NetworkBuilder &b, const std::string &n)
+{
+    b.beginModule();
+    cbr(b, n + "_3x3", 384, 3, 2, 0);
+    b.branch();
+    cbr(b, n + "_3x3dbl_r", 64, 1);
+    cbr(b, n + "_3x3dbl_1", 96, 3, 1, 1);
+    cbr(b, n + "_3x3dbl_2", 96, 3, 2, 0);
+    b.branch();
+    b.maxPool(n + "_pool", 3, 2);
+    b.endModule(n + "_concat");
+}
+
+/** Mixed_6x: factorized 7x7 branches. */
+void
+inceptionC(NetworkBuilder &b, const std::string &n, int c7)
+{
+    b.beginModule();
+    cbr(b, n + "_1x1", 192, 1);
+    b.branch();
+    cbr(b, n + "_7x7_r", c7, 1);
+    cbrAsym(b, n + "_7x7_1", c7, 1, 7);
+    cbrAsym(b, n + "_7x7_2", 192, 7, 1);
+    b.branch();
+    cbr(b, n + "_7x7dbl_r", c7, 1);
+    cbrAsym(b, n + "_7x7dbl_1", c7, 7, 1);
+    cbrAsym(b, n + "_7x7dbl_2", c7, 1, 7);
+    cbrAsym(b, n + "_7x7dbl_3", c7, 7, 1);
+    cbrAsym(b, n + "_7x7dbl_4", 192, 1, 7);
+    b.branch();
+    b.avgPool(n + "_pool", 3, 1, 1);
+    cbr(b, n + "_pool_proj", 192, 1);
+    b.endModule(n + "_concat");
+}
+
+/** Mixed_7a: grid reduction 17x17 -> 8x8. */
+void
+inceptionD(NetworkBuilder &b, const std::string &n)
+{
+    b.beginModule();
+    cbr(b, n + "_3x3_r", 192, 1);
+    cbr(b, n + "_3x3", 320, 3, 2, 0);
+    b.branch();
+    cbr(b, n + "_7x7x3_r", 192, 1);
+    cbrAsym(b, n + "_7x7x3_1", 192, 1, 7);
+    cbrAsym(b, n + "_7x7x3_2", 192, 7, 1);
+    cbr(b, n + "_7x7x3_3", 192, 3, 2, 0);
+    b.branch();
+    b.maxPool(n + "_pool", 3, 2);
+    b.endModule(n + "_concat");
+}
+
+/** Mixed_7x: expanded 8x8 modules (split branches folded, see top). */
+void
+inceptionE(NetworkBuilder &b, const std::string &n)
+{
+    b.beginModule();
+    cbr(b, n + "_1x1", 320, 1);
+    b.branch();
+    cbr(b, n + "_3x3_r", 384, 1);
+    cbrAsym(b, n + "_3x3_split", 768, 1, 3); // 384(1x3) ++ 384(3x1)
+    b.branch();
+    cbr(b, n + "_3x3dbl_r", 448, 1);
+    cbr(b, n + "_3x3dbl_1", 384, 3, 1, 1);
+    cbrAsym(b, n + "_3x3dbl_split", 768, 1, 3);
+    b.branch();
+    b.avgPool(n + "_pool", 3, 1, 1);
+    cbr(b, n + "_pool_proj", 192, 1);
+    b.endModule(n + "_concat");
+}
+
+} // namespace
+
+Network
+buildInceptionV3()
+{
+    NetworkBuilder b("Inception-v3", TensorShape{3, 299, 299});
+    cbr(b, "conv1a", 32, 3, 2, 0);
+    cbr(b, "conv2a", 32, 3, 1, 0);
+    cbr(b, "conv2b", 64, 3, 1, 1);
+    b.maxPool("pool1", 3, 2);
+    cbr(b, "conv3b", 80, 1, 1, 0);
+    cbr(b, "conv4a", 192, 3, 1, 0);
+    b.maxPool("pool2", 3, 2);
+
+    inceptionA(b, "mixed_5b", 32);
+    inceptionA(b, "mixed_5c", 64);
+    inceptionA(b, "mixed_5d", 64);
+    inceptionB(b, "mixed_6a");
+    inceptionC(b, "mixed_6b", 128);
+    inceptionC(b, "mixed_6c", 160);
+    inceptionC(b, "mixed_6d", 160);
+    inceptionC(b, "mixed_6e", 192);
+    inceptionD(b, "mixed_7a");
+    inceptionE(b, "mixed_7b");
+    inceptionE(b, "mixed_7c");
+
+    b.globalAvgPool("pool3")
+        .dropout("drop")
+        .fc("fc", 1000)
+        .softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * LeNet-5 as shipped in the MXNet examples the paper trains: two
+ * 5x5 convolutions with tanh activations and two fully connected
+ * layers, 431K parameters on 28x28 inputs.
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+Network
+buildLeNet()
+{
+    NetworkBuilder b("LeNet", TensorShape{1, 28, 28});
+    b.conv("conv1", 20, 5, 1, 0)
+        .relu("tanh1")
+        .maxPool("pool1", 2, 2)
+        .conv("conv2", 50, 5, 1, 0)
+        .relu("tanh2")
+        .maxPool("pool2", 2, 2)
+        .fc("fc1", 500)
+        .relu("tanh3")
+        .fc("fc2", 10)
+        .softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Name-based model dispatch for the zoo.
+ */
+
+#include "dnn/models.hh"
+
+#include "sim/logging.hh"
+
+namespace dgxsim::dnn {
+
+const std::vector<std::string> &
+modelNames()
+{
+    static const std::vector<std::string> names = {
+        "lenet", "alexnet", "googlenet", "inception-v3", "resnet-50",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+extendedModelNames()
+{
+    static const std::vector<std::string> names = {
+        "lenet",      "alexnet",   "googlenet", "inception-v3",
+        "resnet-50",  "vgg-16",    "resnet-152",
+    };
+    return names;
+}
+
+Network
+buildByName(const std::string &name)
+{
+    if (name == "lenet")
+        return buildLeNet();
+    if (name == "alexnet")
+        return buildAlexNet();
+    if (name == "googlenet")
+        return buildGoogLeNet();
+    if (name == "inception-v3" || name == "inceptionv3")
+        return buildInceptionV3();
+    if (name == "resnet-50" || name == "resnet50")
+        return buildResNet50();
+    if (name == "vgg-16" || name == "vgg16")
+        return buildVgg16();
+    if (name == "resnet-152" || name == "resnet152")
+        return buildResNet152();
+    sim::fatal("unknown model '", name,
+               "'; known: lenet alexnet googlenet inception-v3 "
+               "resnet-50 vgg-16 resnet-152");
+}
+
+} // namespace dgxsim::dnn

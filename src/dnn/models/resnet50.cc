@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ResNet-50: 16 bottleneck residual blocks in four stages (3/4/6/3),
+ * 53 convolutions and one fully connected layer, ~25.6M parameters.
+ * The paper's example of a very deep network with few weights per
+ * layer (small gradient buckets, many WU transfers).
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+/**
+ * Bottleneck block: 1x1 reduce -> 3x3 (carries the stride) -> 1x1
+ * expand, plus a projection shortcut when shape changes.
+ */
+void
+bottleneck(NetworkBuilder &b, const std::string &n, int mid, int out,
+           int stride, bool project)
+{
+    const TensorShape shortcut = b.markResidual();
+    b.conv(n + "_1x1a", mid, 1, 1, 0)
+        .bn(n + "_1x1a_bn")
+        .relu(n + "_1x1a_r");
+    b.conv(n + "_3x3", mid, 3, stride, 1)
+        .bn(n + "_3x3_bn")
+        .relu(n + "_3x3_r");
+    b.conv(n + "_1x1b", out, 1, 1, 0).bn(n + "_1x1b_bn");
+    const TensorShape identity =
+        project ? b.sideConvBn(n + "_proj", shortcut, out, stride)
+                : shortcut;
+    b.residualAdd(n + "_add", identity)
+        .relu(n + "_out_r")
+        .countResidualBlock();
+}
+
+void
+stage(NetworkBuilder &b, const std::string &n, int blocks, int mid,
+      int out, int first_stride)
+{
+    for (int i = 0; i < blocks; ++i) {
+        bottleneck(b, n + "_" + std::to_string(i + 1), mid, out,
+                   i == 0 ? first_stride : 1, i == 0);
+    }
+}
+
+} // namespace
+
+Network
+buildResNet50()
+{
+    NetworkBuilder b("ResNet-50", TensorShape{3, 224, 224});
+    b.conv("conv1", 64, 7, 2, 3)
+        .bn("conv1_bn")
+        .relu("conv1_r")
+        .maxPool("pool1", 3, 2, 1);
+
+    stage(b, "conv2", 3, 64, 256, 1);
+    stage(b, "conv3", 4, 128, 512, 2);
+    stage(b, "conv4", 6, 256, 1024, 2);
+    stage(b, "conv5", 3, 512, 2048, 2);
+
+    b.globalAvgPool("pool5").fc("fc", 1000).softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,279 @@
+#include "dnn/network.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::dnn {
+
+std::uint64_t
+Network::paramCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->paramCount();
+    return total;
+}
+
+int
+Network::weightedLayers() const
+{
+    int count = 0;
+    for (const auto &layer : layers_) {
+        if (layer->paramCount() > 0)
+            ++count;
+    }
+    return count;
+}
+
+double
+Network::forwardFlops(int batch) const
+{
+    double total = 0;
+    for (const auto &layer : layers_)
+        total += layer->forwardFlops(batch);
+    return total;
+}
+
+double
+Network::backwardFlops(int batch) const
+{
+    double total = 0;
+    for (const auto &layer : layers_)
+        total += layer->backwardFlops(batch);
+    return total;
+}
+
+sim::Bytes
+Network::activationBytes(int batch) const
+{
+    sim::Bytes total = 0;
+    for (const auto &layer : layers_)
+        total += layer->activationBytes(batch);
+    return total;
+}
+
+sim::Bytes
+Network::maxWorkspaceBytes(int batch) const
+{
+    sim::Bytes max = 0;
+    for (const auto &layer : layers_)
+        max = std::max(max, layer->workspaceBytes(batch));
+    return max;
+}
+
+std::vector<GradientBucket>
+Network::gradientBuckets() const
+{
+    std::vector<GradientBucket> buckets;
+    for (const auto &layer : layers_) {
+        if (layer->paramCount() > 0)
+            buckets.push_back({layer->name(), layer->paramBytes()});
+    }
+    return buckets;
+}
+
+std::string
+Network::summary() const
+{
+    std::ostringstream os;
+    os << name_ << ": " << layers_.size() << " layers ("
+       << structure.convLayers << " conv, "
+       << structure.inceptionModules << " inception, "
+       << structure.fcLayers << " fc";
+    if (structure.residualBlocks > 0)
+        os << ", " << structure.residualBlocks << " residual blocks";
+    os << "), " << paramCount() << " weights, input " << input_.str();
+    return os.str();
+}
+
+NetworkBuilder::NetworkBuilder(std::string name, TensorShape input)
+    : net_(std::move(name), input), cur_(input)
+{
+}
+
+NetworkBuilder &
+NetworkBuilder::conv(const std::string &name, int out_channels,
+                     int kernel, int stride, int pad)
+{
+    return convAsym(name, out_channels, kernel, kernel, stride, pad,
+                    pad);
+}
+
+NetworkBuilder &
+NetworkBuilder::convAsym(const std::string &name, int out_channels,
+                         int kernel_h, int kernel_w, int stride,
+                         int pad_h, int pad_w)
+{
+    cur_ = net_.add(std::make_unique<Conv2d>(name, cur_, out_channels,
+                                             kernel_h, kernel_w, stride,
+                                             pad_h, pad_w))
+               .outputShape();
+    if (!inModule_)
+        net_.structure.convLayers++;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::bn(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<BatchNorm>(name, cur_)).outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::relu(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<Activation>(name, cur_)).outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::convBnRelu(const std::string &name, int out_channels,
+                           int kernel, int stride, int pad)
+{
+    conv(name, out_channels, kernel, stride, pad);
+    bn(name + "_bn");
+    relu(name + "_relu");
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::maxPool(const std::string &name, int kernel, int stride,
+                        int pad)
+{
+    cur_ = net_.add(std::make_unique<Pool2d>(name, cur_,
+                                             Pool2d::Mode::Max, kernel,
+                                             stride, pad))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::avgPool(const std::string &name, int kernel, int stride,
+                        int pad)
+{
+    cur_ = net_.add(std::make_unique<Pool2d>(name, cur_,
+                                             Pool2d::Mode::Avg, kernel,
+                                             stride, pad))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::globalAvgPool(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<Pool2d>(name, cur_,
+                                             Pool2d::Mode::GlobalAvg, 0,
+                                             1))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::lrn(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<LRN>(name, cur_)).outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::fc(const std::string &name, int out_features)
+{
+    cur_ = net_.add(std::make_unique<FullyConnected>(name, cur_,
+                                                     out_features))
+               .outputShape();
+    net_.structure.fcLayers++;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::dropout(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<Dropout>(name, cur_)).outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::softmax(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<Softmax>(name, cur_)).outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::beginModule()
+{
+    if (inModule_)
+        sim::fatal("nested modules are not supported");
+    inModule_ = true;
+    moduleInput_ = cur_;
+    branchOutputs_.clear();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::branch()
+{
+    if (!inModule_)
+        sim::fatal("branch() outside beginModule()");
+    branchOutputs_.push_back(cur_);
+    cur_ = moduleInput_;
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::endModule(const std::string &concat_name,
+                          bool count_as_inception)
+{
+    if (!inModule_)
+        sim::fatal("endModule() outside beginModule()");
+    branchOutputs_.push_back(cur_);
+    inModule_ = false;
+    cur_ = net_.add(std::make_unique<Concat>(concat_name,
+                                             branchOutputs_))
+               .outputShape();
+    branchOutputs_.clear();
+    if (count_as_inception)
+        net_.structure.inceptionModules++;
+    return *this;
+}
+
+TensorShape
+NetworkBuilder::sideConvBn(const std::string &name,
+                           const TensorShape &from, int out_channels,
+                           int stride)
+{
+    const TensorShape out =
+        net_.add(std::make_unique<Conv2d>(name, from, out_channels, 1, 1,
+                                          stride, 0, 0))
+            .outputShape();
+    net_.add(std::make_unique<BatchNorm>(name + "_bn", out));
+    if (!inModule_)
+        net_.structure.convLayers++;
+    return out;
+}
+
+NetworkBuilder &
+NetworkBuilder::residualAdd(const std::string &name,
+                            const TensorShape &identity)
+{
+    if (!(identity == cur_)) {
+        sim::fatal("residual shapes disagree: ", identity.str(), " vs ",
+                   cur_.str());
+    }
+    cur_ = net_.add(std::make_unique<EltwiseAdd>(name, cur_))
+               .outputShape();
+    return *this;
+}
+
+Network
+NetworkBuilder::build()
+{
+    if (inModule_)
+        sim::fatal("build() inside an open module");
+    return std::move(net_);
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Network container and fluent builder.
+ *
+ * A Network is the ordered list of layers the trainer walks for FP and
+ * (reversed) for BP, plus aggregate cost/memory queries and the list
+ * of gradient buckets (one per weighted layer) that the WU-stage
+ * communication reduces and broadcasts, as MXNet's kvstore does.
+ */
+
+#ifndef DGXSIM_DNN_NETWORK_HH
+#define DGXSIM_DNN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace dgxsim::dnn {
+
+/** One per-layer parameter array, the unit of WU communication. */
+struct GradientBucket
+{
+    std::string layerName;
+    sim::Bytes bytes = 0;
+};
+
+/** Structural counts in the style of the paper's Table I. */
+struct NetworkStructure
+{
+    int convLayers = 0;      ///< standalone convolution layers
+    int inceptionModules = 0;///< inception modules
+    int fcLayers = 0;        ///< fully connected layers
+    int residualBlocks = 0;  ///< residual blocks (ResNet)
+};
+
+/** An immutable feed-forward network description. */
+class Network
+{
+  public:
+    Network(std::string name, TensorShape input)
+        : name_(std::move(name)), input_(input)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const TensorShape &inputShape() const { return input_; }
+
+    /** Append a layer. @return a reference to the stored layer. */
+    Layer &
+    add(std::unique_ptr<Layer> layer)
+    {
+        layers_.push_back(std::move(layer));
+        return *layers_.back();
+    }
+
+    const std::vector<std::unique_ptr<Layer>> &
+    layers() const
+    {
+        return layers_;
+    }
+
+    /** @return total trainable parameters. */
+    std::uint64_t paramCount() const;
+
+    /** @return fp32 bytes of all parameters. */
+    sim::Bytes paramBytes() const { return paramCount() * 4; }
+
+    /** @return number of layers holding parameters. */
+    int weightedLayers() const;
+
+    /** @return total forward FLOPs for one mini-batch. */
+    double forwardFlops(int batch) const;
+
+    /** @return total backward FLOPs for one mini-batch. */
+    double backwardFlops(int batch) const;
+
+    /** @return activation bytes retained for backprop. */
+    sim::Bytes activationBytes(int batch) const;
+
+    /** @return the largest per-layer workspace demand. */
+    sim::Bytes maxWorkspaceBytes(int batch) const;
+
+    /** @return one gradient bucket per weighted layer, in FP order. */
+    std::vector<GradientBucket> gradientBuckets() const;
+
+    /** Structural counts declared by the model builders. */
+    NetworkStructure structure;
+
+    /** @return a one-line Table-I style description. */
+    std::string summary() const;
+
+  private:
+    std::string name_;
+    TensorShape input_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * Fluent builder used by the model zoo and by library users defining
+ * custom networks (see examples/custom_network.cc). Tracks the
+ * current tensor shape, supports inception-style branch/concat
+ * sections and residual additions.
+ */
+class NetworkBuilder
+{
+  public:
+    NetworkBuilder(std::string name, TensorShape input);
+
+    /** @return the running output shape. */
+    const TensorShape &shape() const { return cur_; }
+
+    NetworkBuilder &conv(const std::string &name, int out_channels,
+                         int kernel, int stride = 1, int pad = -1);
+    /** Asymmetric-kernel convolution (Inception-v3 1x7 / 7x1). */
+    NetworkBuilder &convAsym(const std::string &name, int out_channels,
+                             int kernel_h, int kernel_w, int stride = 1,
+                             int pad_h = -1, int pad_w = -1);
+    NetworkBuilder &bn(const std::string &name);
+    NetworkBuilder &relu(const std::string &name);
+    /** Conv + BatchNorm + ReLU, the ubiquitous modern block. */
+    NetworkBuilder &convBnRelu(const std::string &name, int out_channels,
+                               int kernel, int stride = 1, int pad = -1);
+    NetworkBuilder &maxPool(const std::string &name, int kernel,
+                            int stride, int pad = 0);
+    NetworkBuilder &avgPool(const std::string &name, int kernel,
+                            int stride, int pad = 0);
+    NetworkBuilder &globalAvgPool(const std::string &name);
+    NetworkBuilder &lrn(const std::string &name);
+    NetworkBuilder &fc(const std::string &name, int out_features);
+    NetworkBuilder &dropout(const std::string &name);
+    NetworkBuilder &softmax(const std::string &name);
+
+    /**
+     * Begin a multi-branch module. Subsequent layers form the first
+     * branch; call branch() to start the next; endModule() concats.
+     */
+    NetworkBuilder &beginModule();
+    NetworkBuilder &branch();
+    /**
+     * Close the module with a channel concat.
+     * @param count_as_inception Increment the Table-I inception count.
+     */
+    NetworkBuilder &endModule(const std::string &concat_name,
+                              bool count_as_inception = true);
+
+    /** Snapshot the current shape as a residual shortcut input. */
+    TensorShape markResidual() const { return cur_; }
+
+    /**
+     * Side-path projection (1x1 conv + BN) fed from @p from rather
+     * than the running shape; used for residual shortcut projections.
+     * Leaves the running shape untouched.
+     * @return the side path's output shape.
+     */
+    TensorShape sideConvBn(const std::string &name,
+                           const TensorShape &from, int out_channels,
+                           int stride);
+
+    /** Add the element-wise residual sum with @p identity. */
+    NetworkBuilder &residualAdd(const std::string &name,
+                                const TensorShape &identity);
+
+    /** Count a residual block for the structure summary. */
+    NetworkBuilder &
+    countResidualBlock()
+    {
+        net_.structure.residualBlocks++;
+        return *this;
+    }
+
+    /** @return the finished network (builder becomes empty). */
+    Network build();
+
+  private:
+    Network net_;
+    TensorShape cur_;
+    bool inModule_ = false;
+    TensorShape moduleInput_;
+    std::vector<TensorShape> branchOutputs_;
+};
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_NETWORK_HH

@@ -1,0 +1,192 @@
+#include "dnn/reference_trainer.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+/** Deterministic xorshift64* generator (no global RNG state). */
+class XorShift
+{
+  public:
+    explicit XorShift(std::uint64_t seed) : state_(seed ? seed : 1) {}
+
+    /** @return a uniform double in [-1, 1). */
+    double
+    nextSymmetric()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        const std::uint64_t v = state_ * 0x2545F4914F6CDD1Dull;
+        return static_cast<double>(v >> 11) /
+                   static_cast<double>(1ull << 52) -
+               1.0;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace
+
+ReferenceMlp::ReferenceMlp(std::vector<int> layer_sizes,
+                           std::uint64_t seed)
+    : sizes_(std::move(layer_sizes))
+{
+    if (sizes_.size() < 2)
+        sim::fatal("MLP needs at least input and output sizes");
+    std::size_t offset = 0;
+    for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+        LayerView view;
+        view.in = sizes_[l];
+        view.out = sizes_[l + 1];
+        view.wOffset = offset;
+        offset += static_cast<std::size_t>(view.in) * view.out;
+        view.bOffset = offset;
+        offset += view.out;
+        views_.push_back(view);
+    }
+    params_.resize(offset);
+    XorShift rng(seed);
+    for (std::size_t l = 0; l < views_.size(); ++l) {
+        const LayerView &v = views_[l];
+        const double scale = 1.0 / std::sqrt(static_cast<double>(v.in));
+        for (int i = 0; i < v.in * v.out; ++i)
+            params_[v.wOffset + i] = scale * rng.nextSymmetric();
+        for (int i = 0; i < v.out; ++i)
+            params_[v.bOffset + i] = 0.0;
+    }
+}
+
+std::vector<double>
+ReferenceMlp::forward(const std::vector<double> &x) const
+{
+    if (static_cast<int>(x.size()) != sizes_.front())
+        sim::fatal("input size ", x.size(), " != ", sizes_.front());
+    std::vector<double> act = x;
+    for (std::size_t l = 0; l < views_.size(); ++l) {
+        const LayerView &v = views_[l];
+        std::vector<double> next(v.out, 0.0);
+        for (int o = 0; o < v.out; ++o) {
+            double sum = params_[v.bOffset + o];
+            for (int i = 0; i < v.in; ++i)
+                sum += params_[v.wOffset + o * v.in + i] * act[i];
+            next[o] = (l + 1 < views_.size()) ? std::tanh(sum) : sum;
+        }
+        act = std::move(next);
+    }
+    return act;
+}
+
+double
+ReferenceMlp::loss(const std::vector<Sample> &batch) const
+{
+    double total = 0;
+    for (const Sample &s : batch) {
+        const std::vector<double> out = forward(s.x);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            const double d = out[i] - s.y[i];
+            total += 0.5 * d * d;
+        }
+    }
+    return batch.empty() ? 0.0 : total / batch.size();
+}
+
+GradientVector
+ReferenceMlp::gradients(const std::vector<Sample> &batch) const
+{
+    GradientVector grads(params_.size(), 0.0);
+    for (const Sample &s : batch) {
+        // Forward pass keeping activations.
+        std::vector<std::vector<double>> acts;
+        acts.push_back(s.x);
+        for (std::size_t l = 0; l < views_.size(); ++l) {
+            const LayerView &v = views_[l];
+            std::vector<double> next(v.out, 0.0);
+            for (int o = 0; o < v.out; ++o) {
+                double sum = params_[v.bOffset + o];
+                for (int i = 0; i < v.in; ++i) {
+                    sum += params_[v.wOffset + o * v.in + i] *
+                           acts.back()[i];
+                }
+                next[o] =
+                    (l + 1 < views_.size()) ? std::tanh(sum) : sum;
+            }
+            acts.push_back(std::move(next));
+        }
+        // Backward pass: MSE loss, linear output layer.
+        std::vector<double> delta(acts.back().size());
+        for (std::size_t i = 0; i < delta.size(); ++i)
+            delta[i] = acts.back()[i] - s.y[i];
+        for (int l = static_cast<int>(views_.size()) - 1; l >= 0; --l) {
+            const LayerView &v = views_[l];
+            const std::vector<double> &in_act = acts[l];
+            for (int o = 0; o < v.out; ++o) {
+                grads[v.bOffset + o] += delta[o];
+                for (int i = 0; i < v.in; ++i) {
+                    grads[v.wOffset + o * v.in + i] +=
+                        delta[o] * in_act[i];
+                }
+            }
+            if (l > 0) {
+                std::vector<double> prev(v.in, 0.0);
+                for (int i = 0; i < v.in; ++i) {
+                    double sum = 0;
+                    for (int o = 0; o < v.out; ++o) {
+                        sum += params_[v.wOffset + o * v.in + i] *
+                               delta[o];
+                    }
+                    // Hidden activations are tanh; derivative is
+                    // 1 - a^2 of the stored activation.
+                    prev[i] = sum * (1.0 - in_act[i] * in_act[i]);
+                }
+                delta = std::move(prev);
+            }
+        }
+    }
+    if (!batch.empty()) {
+        for (double &g : grads)
+            g /= static_cast<double>(batch.size());
+    }
+    return grads;
+}
+
+void
+ReferenceMlp::applyGradients(const GradientVector &grads, double lr)
+{
+    if (grads.size() != params_.size())
+        sim::fatal("gradient size mismatch");
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        params_[i] -= lr * grads[i];
+}
+
+void
+ReferenceMlp::setParameters(const std::vector<double> &params)
+{
+    if (params.size() != params_.size())
+        sim::fatal("parameter size mismatch");
+    params_ = params;
+}
+
+GradientVector
+averageGradients(const std::vector<GradientVector> &worker_grads)
+{
+    if (worker_grads.empty())
+        sim::fatal("no worker gradients to average");
+    GradientVector avg(worker_grads.front().size(), 0.0);
+    for (const GradientVector &g : worker_grads) {
+        if (g.size() != avg.size())
+            sim::fatal("worker gradient size mismatch");
+        for (std::size_t i = 0; i < avg.size(); ++i)
+            avg[i] += g[i];
+    }
+    for (double &v : avg)
+        v /= static_cast<double>(worker_grads.size());
+    return avg;
+}
+
+} // namespace dgxsim::dnn

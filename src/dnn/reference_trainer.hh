@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small real-arithmetic MLP trainer run on the host.
+ *
+ * The performance simulator never materializes tensors, so this
+ * reference implementation exists to validate the *semantics* the
+ * simulator assumes: that data-parallel synchronous SGD — each worker
+ * computing gradients on its shard, averaging (AllReduce), and
+ * applying one update — is numerically identical to single-worker SGD
+ * on the combined mini-batch. The communication library's data plane
+ * is tested against the same gradient vectors.
+ */
+
+#ifndef DGXSIM_DNN_REFERENCE_TRAINER_HH
+#define DGXSIM_DNN_REFERENCE_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dgxsim::dnn {
+
+/** Flattened parameter gradients of one MLP. */
+using GradientVector = std::vector<double>;
+
+/** One (input, target) pair. */
+struct Sample
+{
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/**
+ * Dense multi-layer perceptron with tanh hidden activations, a linear
+ * output layer, and mean-squared-error loss. Deterministically
+ * initialized from a seed via a xorshift generator (no global RNG).
+ */
+class ReferenceMlp
+{
+  public:
+    /**
+     * @param layer_sizes Sizes including input and output, e.g.
+     *                    {4, 16, 2}.
+     * @param seed Initialization seed.
+     */
+    ReferenceMlp(std::vector<int> layer_sizes, std::uint64_t seed);
+
+    /** @return network output for one input. */
+    std::vector<double> forward(const std::vector<double> &x) const;
+
+    /** @return mean-squared-error loss over a batch. */
+    double loss(const std::vector<Sample> &batch) const;
+
+    /**
+     * @return the mean gradient of the loss over @p batch with
+     * respect to every parameter, flattened in parameter order.
+     */
+    GradientVector gradients(const std::vector<Sample> &batch) const;
+
+    /** SGD step: params -= lr * grads. */
+    void applyGradients(const GradientVector &grads, double lr);
+
+    /** @return all parameters flattened (weights then biases). */
+    const std::vector<double> &parameters() const { return params_; }
+
+    /** Overwrite all parameters (broadcast from a server). */
+    void setParameters(const std::vector<double> &params);
+
+    /** @return total parameter count. */
+    std::size_t paramCount() const { return params_.size(); }
+
+  private:
+    struct LayerView
+    {
+        std::size_t wOffset; ///< weights at params_[wOffset..]
+        std::size_t bOffset; ///< biases
+        int in;
+        int out;
+    };
+
+    std::vector<int> sizes_;
+    std::vector<LayerView> views_;
+    std::vector<double> params_;
+};
+
+/**
+ * @return the element-wise average of @p worker_grads, the reduction
+ * the WU stage performs across GPUs.
+ */
+GradientVector averageGradients(
+    const std::vector<GradientVector> &worker_grads);
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_REFERENCE_TRAINER_HH

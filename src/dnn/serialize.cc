@@ -1,0 +1,288 @@
+#include "dnn/serialize.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+std::string
+shapeStr(const TensorShape &s)
+{
+    return std::to_string(s.c) + "x" + std::to_string(s.h) + "x" +
+           std::to_string(s.w);
+}
+
+TensorShape
+parseShape(const std::string &text)
+{
+    TensorShape shape;
+    char x1 = 0, x2 = 0;
+    std::istringstream is(text);
+    if (!(is >> shape.c >> x1 >> shape.h >> x2 >> shape.w) ||
+        x1 != 'x' || x2 != 'x') {
+        sim::fatal("bad tensor shape '", text, "' (want CxHxW)");
+    }
+    return shape;
+}
+
+const char *
+poolModeName(Pool2d::Mode mode)
+{
+    switch (mode) {
+      case Pool2d::Mode::Max: return "max";
+      case Pool2d::Mode::Avg: return "avg";
+      case Pool2d::Mode::GlobalAvg: return "gavg";
+    }
+    return "?";
+}
+
+Pool2d::Mode
+parsePoolMode(const std::string &name)
+{
+    if (name == "max")
+        return Pool2d::Mode::Max;
+    if (name == "avg")
+        return Pool2d::Mode::Avg;
+    if (name == "gavg")
+        return Pool2d::Mode::GlobalAvg;
+    sim::fatal("unknown pool mode '", name, "'");
+}
+
+/** key=value tokens after the line's keyword. */
+std::map<std::string, std::string>
+parseFields(std::istringstream &is)
+{
+    std::map<std::string, std::string> fields;
+    std::string token;
+    while (is >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos)
+            sim::fatal("expected key=value, got '", token, "'");
+        fields[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    return fields;
+}
+
+std::string
+need(const std::map<std::string, std::string> &fields,
+     const std::string &key, const std::string &line)
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        sim::fatal("missing field '", key, "' in line: ", line);
+    return it->second;
+}
+
+int
+needInt(const std::map<std::string, std::string> &fields,
+        const std::string &key, const std::string &line)
+{
+    return std::stoi(need(fields, key, line));
+}
+
+} // namespace
+
+std::string
+serialize(const Network &net)
+{
+    std::ostringstream os;
+    os << "network " << net.name() << " input "
+       << shapeStr(net.inputShape()) << "\n";
+    os << "structure conv=" << net.structure.convLayers
+       << " incep=" << net.structure.inceptionModules
+       << " fc=" << net.structure.fcLayers
+       << " res=" << net.structure.residualBlocks << "\n";
+    for (const auto &layer_ptr : net.layers()) {
+        const Layer &layer = *layer_ptr;
+        const std::string in = shapeStr(layer.inputShape());
+        switch (layer.kind()) {
+          case LayerKind::Conv: {
+            const auto &conv = static_cast<const Conv2d &>(layer);
+            os << "conv name=" << conv.name() << " in=" << in
+               << " out_c=" << conv.outputShape().c
+               << " kh=" << conv.kernelH() << " kw=" << conv.kernelW()
+               << " stride=" << conv.stride() << " ph=" << conv.padH()
+               << " pw=" << conv.padW() << "\n";
+            break;
+          }
+          case LayerKind::FullyConnected:
+            os << "fc name=" << layer.name() << " in=" << in
+               << " out=" << layer.outputShape().c << "\n";
+            break;
+          case LayerKind::Pool: {
+            const auto &pool = static_cast<const Pool2d &>(layer);
+            // Recover kernel/stride/pad from the shapes for the two
+            // windowed modes; global average needs none.
+            if (pool.mode() == Pool2d::Mode::GlobalAvg) {
+                os << "pool name=" << pool.name() << " in=" << in
+                   << " mode=gavg k=0 stride=1 pad=0\n";
+            } else {
+                os << "pool name=" << pool.name() << " in=" << in
+                   << " mode=" << poolModeName(pool.mode())
+                   << " k=" << pool.kernel()
+                   << " stride=" << pool.stride()
+                   << " pad=" << pool.pad() << "\n";
+            }
+            break;
+          }
+          case LayerKind::Concat: {
+            os << "concat name=" << layer.name() << " ins=";
+            const auto &cat = static_cast<const Concat &>(layer);
+            const auto &ins = cat.inputShapes();
+            for (std::size_t i = 0; i < ins.size(); ++i)
+                os << (i ? "," : "") << shapeStr(ins[i]);
+            os << "\n";
+            break;
+          }
+          case LayerKind::Activation:
+            os << "relu name=" << layer.name() << " in=" << in << "\n";
+            break;
+          case LayerKind::LRN:
+            os << "lrn name=" << layer.name() << " in=" << in << "\n";
+            break;
+          case LayerKind::BatchNorm:
+            os << "bn name=" << layer.name() << " in=" << in << "\n";
+            break;
+          case LayerKind::EltwiseAdd:
+            os << "add name=" << layer.name() << " in=" << in << "\n";
+            break;
+          case LayerKind::Dropout:
+            os << "dropout name=" << layer.name() << " in=" << in
+               << "\n";
+            break;
+          case LayerKind::Softmax:
+            os << "softmax name=" << layer.name() << " in=" << in
+               << "\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+Network
+deserialize(const std::string &text)
+{
+    std::istringstream lines(text);
+    std::string line;
+
+    // Header.
+    std::string net_name;
+    TensorShape input;
+    bool have_header = false;
+    std::unique_ptr<Network> net;
+
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string keyword;
+        is >> keyword;
+
+        if (keyword == "network") {
+            std::string input_kw, input_shape;
+            is >> net_name >> input_kw >> input_shape;
+            if (net_name.empty() || input_kw != "input")
+                sim::fatal("bad network header: ", line);
+            input = parseShape(input_shape);
+            net = std::make_unique<Network>(net_name, input);
+            have_header = true;
+            continue;
+        }
+        if (!have_header)
+            sim::fatal("layer line before network header: ", line);
+
+        if (keyword == "structure") {
+            const auto fields = parseFields(is);
+            net->structure.convLayers = needInt(fields, "conv", line);
+            net->structure.inceptionModules =
+                needInt(fields, "incep", line);
+            net->structure.fcLayers = needInt(fields, "fc", line);
+            net->structure.residualBlocks =
+                needInt(fields, "res", line);
+            continue;
+        }
+
+        const auto fields = parseFields(is);
+        const std::string name = need(fields, "name", line);
+        if (keyword == "concat") {
+            std::vector<TensorShape> ins;
+            std::string item;
+            for (char c : need(fields, "ins", line) + ",") {
+                if (c == ',') {
+                    if (!item.empty()) {
+                        ins.push_back(parseShape(item));
+                        item.clear();
+                    }
+                } else {
+                    item.push_back(c);
+                }
+            }
+            net->add(std::make_unique<Concat>(name, ins));
+            continue;
+        }
+
+        const TensorShape in = parseShape(need(fields, "in", line));
+        if (keyword == "conv") {
+            net->add(std::make_unique<Conv2d>(
+                name, in, needInt(fields, "out_c", line),
+                needInt(fields, "kh", line),
+                needInt(fields, "kw", line),
+                needInt(fields, "stride", line),
+                needInt(fields, "ph", line),
+                needInt(fields, "pw", line)));
+        } else if (keyword == "fc") {
+            net->add(std::make_unique<FullyConnected>(
+                name, in, needInt(fields, "out", line)));
+        } else if (keyword == "pool") {
+            net->add(std::make_unique<Pool2d>(
+                name, in, parsePoolMode(need(fields, "mode", line)),
+                needInt(fields, "k", line),
+                needInt(fields, "stride", line),
+                needInt(fields, "pad", line)));
+        } else if (keyword == "relu") {
+            net->add(std::make_unique<Activation>(name, in));
+        } else if (keyword == "lrn") {
+            net->add(std::make_unique<LRN>(name, in));
+        } else if (keyword == "bn") {
+            net->add(std::make_unique<BatchNorm>(name, in));
+        } else if (keyword == "add") {
+            net->add(std::make_unique<EltwiseAdd>(name, in));
+        } else if (keyword == "dropout") {
+            net->add(std::make_unique<Dropout>(name, in));
+        } else if (keyword == "softmax") {
+            net->add(std::make_unique<Softmax>(name, in));
+        } else {
+            sim::fatal("unknown layer keyword '", keyword, "'");
+        }
+    }
+    if (!net)
+        sim::fatal("no 'network' header found");
+    return std::move(*net);
+}
+
+Network
+loadNetworkFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("cannot open network file ", path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return deserialize(buffer.str());
+}
+
+void
+saveNetworkFile(const Network &net, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot open ", path, " for writing");
+    out << serialize(net);
+}
+
+} // namespace dgxsim::dnn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text serialization of Network descriptions.
+ *
+ * The format is a flat, line-oriented layer list — exactly what the
+ * cost models consume — so any network (including inception branches
+ * and residual adds, which are already flattened by the builder)
+ * round-trips losslessly:
+ *
+ *   network LeNet input 1x28x28
+ *   structure conv=2 incep=0 fc=2 res=0
+ *   conv name=conv1 in=1x28x28 out_c=20 kh=5 kw=5 stride=1 ph=0 pw=0
+ *   pool name=pool1 in=20x24x24 mode=max k=2 stride=2 pad=0
+ *   fc name=fc1 in=50x4x4 out=500
+ *   ...
+ *
+ * Lines starting with '#' are comments. This lets dgxprof simulate
+ * user-defined architectures from a file (--model-file) without
+ * recompiling.
+ */
+
+#ifndef DGXSIM_DNN_SERIALIZE_HH
+#define DGXSIM_DNN_SERIALIZE_HH
+
+#include <string>
+
+#include "dnn/network.hh"
+
+namespace dgxsim::dnn {
+
+/** @return the textual description of @p net. */
+std::string serialize(const Network &net);
+
+/**
+ * Parse a textual description back into a Network.
+ * @throws sim::FatalError on malformed input.
+ */
+Network deserialize(const std::string &text);
+
+/** Read and parse a network file (fatal on I/O errors). */
+Network loadNetworkFile(const std::string &path);
+
+/** Write @p net to @p path (fatal on I/O errors). */
+void saveNetworkFile(const Network &net, const std::string &path);
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_SERIALIZE_HH

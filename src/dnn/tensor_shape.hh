@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CHW tensor-shape type used by the layer cost models.
+ */
+
+#ifndef DGXSIM_DNN_TENSOR_SHAPE_HH
+#define DGXSIM_DNN_TENSOR_SHAPE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dgxsim::dnn {
+
+/** Channel-height-width shape of one sample's activation tensor. */
+struct TensorShape
+{
+    int c = 0;
+    int h = 0;
+    int w = 0;
+
+    /** @return number of scalar elements per sample. */
+    std::uint64_t
+    elements() const
+    {
+        return static_cast<std::uint64_t>(c) * h * w;
+    }
+
+    /** @return fp32 bytes per sample. */
+    sim::Bytes bytes() const { return elements() * 4; }
+
+    bool
+    operator==(const TensorShape &other) const
+    {
+        return c == other.c && h == other.h && w == other.w;
+    }
+
+    std::string
+    str() const
+    {
+        return std::to_string(c) + "x" + std::to_string(h) + "x" +
+               std::to_string(w);
+    }
+};
+
+/**
+ * @return the output spatial dimension of a convolution/pooling
+ * window: floor((in + 2*pad - kernel) / stride) + 1.
+ */
+constexpr int
+convOutDim(int in, int kernel, int stride, int pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace dgxsim::dnn
+
+#endif // DGXSIM_DNN_TENSOR_SHAPE_HH

@@ -1,0 +1,146 @@
+#include "hw/fabric.hh"
+
+#include <array>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::hw {
+
+Fabric::Fabric(sim::EventQueue &queue, Topology topo, HostSpec host)
+    : queue_(queue), topo_(std::move(topo)), host_(std::move(host)),
+      flows_(queue)
+{
+    for (std::size_t i = 0; i < topo_.links().size(); ++i) {
+        const Link &link = topo_.links()[i];
+        const double cap = sim::gbpsToBytesPerTick(link.gbpsPerDir());
+        const std::string base =
+            topo_.nodeLabel(link.a) + "-" + topo_.nodeLabel(link.b);
+        chans_.push_back({flows_.addChannel(cap, base + ">"),
+                          flows_.addChannel(cap, base + "<")});
+    }
+}
+
+sim::FlowNetwork::ChannelId
+Fabric::channelFor(std::size_t link, NodeId from) const
+{
+    if (link >= chans_.size())
+        sim::panic("bad link index ", link);
+    return topo_.links()[link].a == from ? chans_[link][0]
+                                         : chans_[link][1];
+}
+
+void
+Fabric::scaleNvlinkBandwidth(double factor)
+{
+    topo_.scaleNvlinkBandwidth(factor);
+    for (std::size_t i = 0; i < topo_.links().size(); ++i) {
+        const Link &link = topo_.links()[i];
+        if (link.type != LinkType::NVLink)
+            continue;
+        const double cap = sim::gbpsToBytesPerTick(link.gbpsPerDir());
+        flows_.setChannelCapacity(chans_[i][0], cap);
+        flows_.setChannelCapacity(chans_[i][1], cap);
+    }
+}
+
+void
+Fabric::scaleLinkBandwidth(std::size_t link_index, double factor)
+{
+    topo_.scaleLinkBandwidth(link_index, factor);
+    const Link &link = topo_.links()[link_index];
+    const double cap = sim::gbpsToBytesPerTick(link.gbpsPerDir());
+    flows_.setChannelCapacity(chans_[link_index][0], cap);
+    flows_.setChannelCapacity(chans_[link_index][1], cap);
+}
+
+double
+Fabric::linkBytesMoved(std::size_t link_index) const
+{
+    if (link_index >= chans_.size())
+        sim::fatal("unknown link ", link_index);
+    return flows_.bytesDelivered(chans_[link_index][0]) +
+           flows_.bytesDelivered(chans_[link_index][1]);
+}
+
+void
+Fabric::runLegs(std::shared_ptr<TransferRecord> rec, Route route,
+                std::size_t leg, Callback done)
+{
+    if (leg >= route.legs.size()) {
+        rec->end = queue_.now();
+        records_.push_back(*rec);
+        if (done)
+            done();
+        return;
+    }
+    const RouteLeg &hop = route.legs[leg];
+    const Link &link = topo_.links()[hop.linkIndex];
+    sim::Tick latency = sim::usToTicks(link.latencyUs);
+    // Host-staged copies pay a software staging cost at each relay
+    // (pinned-buffer management in the driver).
+    if (route.kind == RouteKind::HostPcie && leg > 0)
+        latency += sim::usToTicks(host_.stagingOverheadUs);
+    flows_.startFlow(
+        rec->bytes, {channelFor(hop.linkIndex, hop.from)},
+        [this, rec, route = std::move(route), leg,
+         done = std::move(done)]() mutable {
+            runLegs(rec, std::move(route), leg + 1, std::move(done));
+        },
+        latency);
+}
+
+void
+Fabric::transfer(NodeId src, NodeId dst, sim::Bytes bytes, Callback done)
+{
+    Route route = topo_.findRoute(src, dst);
+    auto rec = std::make_shared<TransferRecord>();
+    rec->src = src;
+    rec->dst = dst;
+    rec->bytes = bytes;
+    rec->kind = route.kind;
+    rec->start = queue_.now();
+    if (route.kind == RouteKind::Loopback) {
+        rec->end = queue_.now();
+        records_.push_back(*rec);
+        if (done)
+            done();
+        return;
+    }
+    runLegs(std::move(rec), std::move(route), 0, std::move(done));
+}
+
+void
+Fabric::transferDirect(NodeId src, NodeId dst, sim::Bytes bytes,
+                       Callback done)
+{
+    auto link = topo_.directLink(src, dst, LinkType::NVLink);
+    if (!link)
+        link = topo_.directLink(src, dst, LinkType::PCIe);
+    if (!link)
+        link = topo_.directLink(src, dst, LinkType::QPI);
+    if (!link) {
+        sim::fatal("transferDirect between non-neighbors ",
+                   topo_.nodeLabel(src), " and ", topo_.nodeLabel(dst));
+    }
+    auto rec = std::make_shared<TransferRecord>();
+    rec->src = src;
+    rec->dst = dst;
+    rec->bytes = bytes;
+    rec->kind = topo_.links()[*link].type == LinkType::NVLink
+                    ? RouteKind::DirectNvlink
+                    : RouteKind::HostPcie;
+    rec->start = queue_.now();
+    const Link &l = topo_.links()[*link];
+    flows_.startFlow(
+        bytes, {channelFor(*link, src)},
+        [this, rec, done = std::move(done)]() {
+            rec->end = queue_.now();
+            records_.push_back(*rec);
+            if (done)
+                done();
+        },
+        sim::usToTicks(l.latencyUs));
+}
+
+} // namespace dgxsim::hw

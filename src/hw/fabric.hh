@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Fabric binds a Topology to the fluid FlowNetwork: every link
+ * becomes two unidirectional channels, and transfers become flows
+ * routed by Topology::findRoute() with store-and-forward at relays
+ * (MXNet's staged transfers are two back-to-back cudaMemcpys).
+ */
+
+#ifndef DGXSIM_HW_FABRIC_HH
+#define DGXSIM_HW_FABRIC_HH
+
+#include <functional>
+#include <vector>
+
+#include "hw/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/flow_network.hh"
+
+namespace dgxsim::hw {
+
+/** Observed properties of one completed transfer, for profiling. */
+struct TransferRecord
+{
+    NodeId src = -1;
+    NodeId dst = -1;
+    sim::Bytes bytes = 0;
+    RouteKind kind = RouteKind::Loopback;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+};
+
+/**
+ * Transfer engine over a Topology. All DMA copies (P2P memcpy, NCCL
+ * ring steps, host staging) go through here so that concurrent
+ * transfers share link bandwidth max-min fairly.
+ */
+class Fabric
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Fabric(sim::EventQueue &queue, Topology topo,
+           HostSpec host = HostSpec::xeonE52698v4());
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    /** @return the underlying topology. */
+    const Topology &topology() const { return topo_; }
+
+    /** @return the flow network (exposed for tests/stats). */
+    sim::FlowNetwork &flows() { return flows_; }
+
+    /**
+     * Move @p bytes from @p src to @p dst along the routing policy,
+     * store-and-forwarding at relays. @p done fires when the last leg
+     * lands. Loopback completes after zero time.
+     */
+    void transfer(NodeId src, NodeId dst, sim::Bytes bytes, Callback done);
+
+    /**
+     * Move @p bytes across the direct link between two neighbors.
+     * Used by ring collectives, which only ever talk to ring
+     * neighbors. Fatal if no direct NVLink/PCIe link exists.
+     */
+    void transferDirect(NodeId src, NodeId dst, sim::Bytes bytes,
+                        Callback done);
+
+    /** Scale NVLink bandwidth (topology + live channels). Ablations. */
+    void scaleNvlinkBandwidth(double factor);
+
+    /** Degrade (or boost) one link's bandwidth on the live fabric. */
+    void scaleLinkBandwidth(std::size_t link_index, double factor);
+
+    /** @return total payload bytes moved over a given link so far. */
+    double linkBytesMoved(std::size_t link_index) const;
+
+    /** @return all completed transfers, in completion order. */
+    const std::vector<TransferRecord> &records() const { return records_; }
+
+    /** Discard accumulated transfer records. */
+    void clearRecords() { records_.clear(); }
+
+  private:
+    /** Channel carrying traffic from @p from across link @p link. */
+    sim::FlowNetwork::ChannelId channelFor(std::size_t link,
+                                           NodeId from) const;
+
+    /** Issue route legs sequentially starting at @p leg. */
+    void runLegs(std::shared_ptr<TransferRecord> rec, Route route,
+                 std::size_t leg, Callback done);
+
+    sim::EventQueue &queue_;
+    Topology topo_;
+    HostSpec host_;
+    sim::FlowNetwork flows_;
+    /** Per link: channel a->b then b->a. */
+    std::vector<std::array<sim::FlowNetwork::ChannelId, 2>> chans_;
+    std::vector<TransferRecord> records_;
+};
+
+} // namespace dgxsim::hw
+
+#endif // DGXSIM_HW_FABRIC_HH

@@ -1,0 +1,51 @@
+#include "hw/gpu_spec.hh"
+
+namespace dgxsim::hw {
+
+GpuSpec
+GpuSpec::voltaV100()
+{
+    GpuSpec spec;
+    spec.name = "Tesla V100-SXM2-16GB";
+    spec.numSms = 80;
+    spec.fp32Tflops = 15.7;
+    spec.tensorTflops = 125.0;
+    spec.memBwGBps = 900.0;
+    spec.memCapacity = sim::Bytes(16) << 30;
+    spec.launchOverheadUs = 5.5;
+    spec.kernelTailUs = 3.0;
+    spec.effMax = 0.62;
+    spec.satWorkPerSm = 2.0e6;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::pascalP100()
+{
+    GpuSpec spec;
+    spec.name = "Tesla P100-SXM2-16GB";
+    spec.numSms = 56;
+    spec.fp32Tflops = 10.6;
+    spec.tensorTflops = 0.0;
+    spec.memBwGBps = 732.0;
+    spec.memCapacity = sim::Bytes(16) << 30;
+    spec.launchOverheadUs = 5.5;
+    spec.kernelTailUs = 3.0;
+    spec.effMax = 0.58;
+    spec.satWorkPerSm = 1.6e6;
+    return spec;
+}
+
+HostSpec
+HostSpec::xeonE52698v4()
+{
+    HostSpec spec;
+    spec.name = "Intel Xeon E5-2698 v4";
+    spec.cores = 20;
+    spec.pcieGBps = 12.0;
+    spec.qpiGBps = 18.0;
+    spec.stagingOverheadUs = 10.0;
+    return spec;
+}
+
+} // namespace dgxsim::hw

@@ -1,0 +1,319 @@
+#include "hw/topology.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::hw {
+
+const char *
+linkTypeName(LinkType type)
+{
+    switch (type) {
+      case LinkType::NVLink: return "NVLink";
+      case LinkType::PCIe: return "PCIe";
+      case LinkType::QPI: return "QPI";
+    }
+    return "?";
+}
+
+const char *
+routeKindName(RouteKind kind)
+{
+    switch (kind) {
+      case RouteKind::Loopback: return "loopback";
+      case RouteKind::DirectNvlink: return "direct-nvlink";
+      case RouteKind::StagedNvlink: return "staged-nvlink";
+      case RouteKind::HostPcie: return "host-pcie";
+    }
+    return "?";
+}
+
+NodeId
+Topology::addNode(NodeKind kind, std::string label)
+{
+    nodes_.push_back(Node{kind, std::move(label)});
+    if (kind == NodeKind::Gpu)
+        ++numGpus_;
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::size_t
+Topology::addLink(Link link)
+{
+    if (link.a < 0 || link.a >= numNodes() || link.b < 0 ||
+        link.b >= numNodes() || link.a == link.b) {
+        sim::fatal("bad link endpoints ", link.a, ", ", link.b);
+    }
+    links_.push_back(link);
+    return links_.size() - 1;
+}
+
+NodeKind
+Topology::nodeKind(NodeId id) const
+{
+    if (id < 0 || id >= numNodes())
+        sim::fatal("unknown node ", id);
+    return nodes_[id].kind;
+}
+
+const std::string &
+Topology::nodeLabel(NodeId id) const
+{
+    if (id < 0 || id >= numNodes())
+        sim::fatal("unknown node ", id);
+    return nodes_[id].label;
+}
+
+void
+Topology::scaleNvlinkBandwidth(double factor)
+{
+    if (factor <= 0)
+        sim::fatal("bandwidth scale factor must be positive: ", factor);
+    for (Link &link : links_) {
+        if (link.type == LinkType::NVLink)
+            link.gbpsPerLane *= factor;
+    }
+}
+
+void
+Topology::scaleLinkBandwidth(std::size_t link_index, double factor)
+{
+    if (link_index >= links_.size())
+        sim::fatal("unknown link ", link_index);
+    if (factor <= 0)
+        sim::fatal("bandwidth scale factor must be positive: ", factor);
+    links_[link_index].gbpsPerLane *= factor;
+}
+
+std::optional<std::size_t>
+Topology::directLink(NodeId a, NodeId b, LinkType type) const
+{
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const Link &link = links_[i];
+        if (link.type == type && link.touches(a) && link.touches(b))
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t>
+Topology::linksOf(NodeId node, LinkType type) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        if (links_[i].type == type && links_[i].touches(node))
+            out.push_back(i);
+    }
+    return out;
+}
+
+namespace {
+
+/** The CPU a GPU hangs off, via its PCIe link. */
+NodeId
+hostOf(const Topology &topo, NodeId gpu)
+{
+    for (std::size_t i : topo.linksOf(gpu, LinkType::PCIe)) {
+        const Link &link = topo.links()[i];
+        NodeId peer = link.peer(gpu);
+        if (topo.nodeKind(peer) == NodeKind::Cpu)
+            return peer;
+    }
+    sim::fatal("GPU ", gpu, " has no PCIe uplink to a CPU");
+}
+
+} // namespace
+
+Route
+Topology::findRoute(NodeId src, NodeId dst) const
+{
+    Route route;
+    if (src == dst) {
+        route.kind = RouteKind::Loopback;
+        return route;
+    }
+
+    // CPU endpoints always travel the PCIe/QPI path.
+    const bool src_gpu = nodeKind(src) == NodeKind::Gpu;
+    const bool dst_gpu = nodeKind(dst) == NodeKind::Gpu;
+
+    if (src_gpu && dst_gpu) {
+        if (auto link = directLink(src, dst, LinkType::NVLink)) {
+            route.kind = RouteKind::DirectNvlink;
+            route.legs.push_back(RouteLeg{src, dst, *link});
+            return route;
+        }
+        // Two-hop staged transfer through the best common neighbor.
+        double best_bw = -1;
+        NodeId best_relay = -1;
+        std::size_t best_l1 = 0, best_l2 = 0;
+        for (std::size_t l1 : linksOf(src, LinkType::NVLink)) {
+            NodeId relay = links_[l1].peer(src);
+            if (nodeKind(relay) != NodeKind::Gpu)
+                continue;
+            auto l2 = directLink(relay, dst, LinkType::NVLink);
+            if (!l2)
+                continue;
+            const double bw = std::min(links_[l1].gbpsPerDir(),
+                                       links_[*l2].gbpsPerDir());
+            if (bw > best_bw ||
+                (bw == best_bw && relay < best_relay)) {
+                best_bw = bw;
+                best_relay = relay;
+                best_l1 = l1;
+                best_l2 = *l2;
+            }
+        }
+        if (best_relay >= 0) {
+            route.kind = RouteKind::StagedNvlink;
+            route.legs.push_back(RouteLeg{src, best_relay, best_l1});
+            route.legs.push_back(RouteLeg{best_relay, dst, best_l2});
+            return route;
+        }
+    }
+
+    // Host path: src -> hostOf(src) [-> QPI ->] hostOf(dst) -> dst.
+    route.kind = RouteKind::HostPcie;
+    NodeId src_host = src_gpu ? hostOf(*this, src) : src;
+    NodeId dst_host = dst_gpu ? hostOf(*this, dst) : dst;
+    if (src_gpu) {
+        auto pcie = directLink(src, src_host, LinkType::PCIe);
+        if (!pcie)
+            sim::fatal("no PCIe link between GPU ", src, " and its host");
+        route.legs.push_back(RouteLeg{src, src_host, *pcie});
+    }
+    if (src_host != dst_host) {
+        auto qpi = directLink(src_host, dst_host, LinkType::QPI);
+        if (!qpi)
+            sim::fatal("no QPI link between CPUs ", src_host, " and ",
+                       dst_host);
+        route.legs.push_back(RouteLeg{src_host, dst_host, *qpi});
+    }
+    if (dst_gpu) {
+        auto pcie = directLink(dst_host, dst, LinkType::PCIe);
+        if (!pcie)
+            sim::fatal("no PCIe link between GPU ", dst, " and its host");
+        route.legs.push_back(RouteLeg{dst_host, dst, *pcie});
+    }
+    return route;
+}
+
+double
+Topology::routeBandwidthGbps(NodeId src, NodeId dst) const
+{
+    Route route = findRoute(src, dst);
+    if (route.kind == RouteKind::Loopback)
+        return std::numeric_limits<double>::infinity();
+    double bw = std::numeric_limits<double>::infinity();
+    for (const RouteLeg &leg : route.legs)
+        bw = std::min(bw, links_[leg.linkIndex].gbpsPerDir());
+    return bw;
+}
+
+std::vector<NodeId>
+Topology::gpuSet(int count) const
+{
+    if (count < 1 || count > numGpus_)
+        sim::fatal("requested ", count, " GPUs; topology has ", numGpus_);
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < numNodes() && (int)out.size() < count; ++id) {
+        if (nodeKind(id) == NodeKind::Gpu)
+            out.push_back(id);
+    }
+    return out;
+}
+
+Topology
+Topology::dgx1Volta()
+{
+    Topology topo;
+    for (int g = 0; g < 8; ++g)
+        topo.addNode(NodeKind::Gpu, "GPU" + std::to_string(g));
+    NodeId cpu0 = topo.addNode(NodeKind::Cpu, "CPU0");
+    NodeId cpu1 = topo.addNode(NodeKind::Cpu, "CPU1");
+
+    constexpr double nvlink_gbps = 25.0;
+    constexpr double nvlink_lat_us = 1.0;
+    auto nvlink = [&](NodeId a, NodeId b, int lanes) {
+        topo.addLink(Link{a, b, LinkType::NVLink, lanes, nvlink_gbps,
+                          nvlink_lat_us});
+    };
+
+    // Quad {0,1,2,3}: fully connected, doubled links on 0-1 and 0-2
+    // (the paper: BW of GPU0-GPU1 and GPU0-GPU2 is twice GPU0-GPU3).
+    nvlink(0, 1, 2);
+    nvlink(0, 2, 2);
+    nvlink(0, 3, 1);
+    nvlink(1, 2, 1);
+    nvlink(1, 3, 1);
+    nvlink(2, 3, 1);
+    // Quad {4,5,6,7}: mirror image.
+    nvlink(4, 5, 2);
+    nvlink(4, 6, 2);
+    nvlink(4, 7, 1);
+    nvlink(5, 6, 1);
+    nvlink(5, 7, 1);
+    nvlink(6, 7, 1);
+    // Cross links of the hybrid cube-mesh (GPU0-GPU6 and GPU1-GPU7
+    // per the paper's examples; GPU3-GPU4 deliberately absent).
+    nvlink(0, 6, 1);
+    nvlink(1, 7, 1);
+    nvlink(2, 4, 1);
+    nvlink(3, 5, 1);
+
+    const HostSpec host = HostSpec::xeonE52698v4();
+    auto pcie = [&](NodeId cpu, NodeId gpu) {
+        topo.addLink(Link{cpu, gpu, LinkType::PCIe, 1, host.pcieGBps, 2.0});
+    };
+    for (NodeId g = 0; g < 4; ++g)
+        pcie(cpu0, g);
+    for (NodeId g = 4; g < 8; ++g)
+        pcie(cpu1, g);
+    topo.addLink(Link{cpu0, cpu1, LinkType::QPI, 1, host.qpiGBps, 0.5});
+    return topo;
+}
+
+Topology
+Topology::dgx1VoltaUniform()
+{
+    Topology topo = dgx1Volta();
+    // 20 NVLink lanes x 25 GB/s spread over the 16 edges.
+    int lanes = 0;
+    int edges = 0;
+    for (const Link &link : topo.links_) {
+        if (link.type == LinkType::NVLink) {
+            lanes += link.lanes;
+            ++edges;
+        }
+    }
+    const double uniform_gbps =
+        25.0 * static_cast<double>(lanes) / static_cast<double>(edges);
+    for (Link &link : topo.links_) {
+        if (link.type == LinkType::NVLink) {
+            link.lanes = 1;
+            link.gbpsPerLane = uniform_gbps;
+        }
+    }
+    return topo;
+}
+
+Topology
+Topology::pcieOnly8Gpu()
+{
+    Topology topo;
+    for (int g = 0; g < 8; ++g)
+        topo.addNode(NodeKind::Gpu, "GPU" + std::to_string(g));
+    NodeId cpu0 = topo.addNode(NodeKind::Cpu, "CPU0");
+    NodeId cpu1 = topo.addNode(NodeKind::Cpu, "CPU1");
+    const HostSpec host = HostSpec::xeonE52698v4();
+    for (NodeId g = 0; g < 4; ++g)
+        topo.addLink(Link{cpu0, g, LinkType::PCIe, 1, host.pcieGBps, 2.0});
+    for (NodeId g = 4; g < 8; ++g)
+        topo.addLink(Link{cpu1, g, LinkType::PCIe, 1, host.pcieGBps, 2.0});
+    topo.addLink(Link{cpu0, cpu1, LinkType::QPI, 1, host.qpiGBps, 0.5});
+    return topo;
+}
+
+} // namespace dgxsim::hw

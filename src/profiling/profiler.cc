@@ -1,0 +1,239 @@
+#include "profiling/profiler.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::profiling {
+
+namespace {
+
+std::vector<SummaryRow>
+summarize(const std::map<std::string, SummaryRow> &acc)
+{
+    std::vector<SummaryRow> rows;
+    rows.reserve(acc.size());
+    for (const auto &[name, row] : acc)
+        rows.push_back(row);
+    std::sort(rows.begin(), rows.end(),
+              [](const SummaryRow &a, const SummaryRow &b) {
+                  return a.totalTime > b.totalTime;
+              });
+    return rows;
+}
+
+} // namespace
+
+std::vector<SummaryRow>
+Profiler::kernelSummary() const
+{
+    std::map<std::string, SummaryRow> acc;
+    for (const KernelRecord &k : kernels_) {
+        SummaryRow &row = acc[k.name];
+        row.name = k.name;
+        ++row.calls;
+        row.totalTime += k.duration();
+    }
+    return summarize(acc);
+}
+
+std::vector<SummaryRow>
+Profiler::apiSummary() const
+{
+    std::map<std::string, SummaryRow> acc;
+    for (const ApiRecord &a : apis_) {
+        SummaryRow &row = acc[a.name];
+        row.name = a.name;
+        ++row.calls;
+        row.totalTime += a.duration();
+    }
+    return summarize(acc);
+}
+
+sim::Tick
+Profiler::apiTime(const std::string &name) const
+{
+    sim::Tick total = 0;
+    for (const ApiRecord &a : apis_) {
+        if (a.name == name)
+            total += a.duration();
+    }
+    return total;
+}
+
+double
+Profiler::apiTimeFraction(const std::string &name) const
+{
+    sim::Tick total = 0;
+    sim::Tick match = 0;
+    for (const ApiRecord &a : apis_) {
+        total += a.duration();
+        if (a.name == name)
+            match += a.duration();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(match) /
+                            static_cast<double>(total);
+}
+
+sim::Tick
+Profiler::deviceKernelTime(int device) const
+{
+    sim::Tick total = 0;
+    for (const KernelRecord &k : kernels_) {
+        if (k.device == device)
+            total += k.duration();
+    }
+    return total;
+}
+
+sim::Bytes
+Profiler::copiedBytes(const std::string &kind) const
+{
+    sim::Bytes total = 0;
+    for (const CopyRecord &c : copies_) {
+        if (kind.empty() || c.kind == kind)
+            total += c.bytes;
+    }
+    return total;
+}
+
+std::string
+Profiler::report() const
+{
+    std::ostringstream os;
+    os << std::fixed;
+    os << "==== GPU kernel summary ====\n";
+    for (const SummaryRow &row : kernelSummary()) {
+        os << std::setw(12) << std::setprecision(3)
+           << sim::ticksToMs(row.totalTime) << " ms  " << std::setw(8)
+           << row.calls << " calls  " << std::setw(10)
+           << std::setprecision(2) << row.avgUs() << " us avg  "
+           << row.name << "\n";
+    }
+    os << "==== CUDA API summary ====\n";
+    for (const SummaryRow &row : apiSummary()) {
+        os << std::setw(12) << std::setprecision(3)
+           << sim::ticksToMs(row.totalTime) << " ms  " << std::setw(8)
+           << row.calls << " calls  " << std::setw(10)
+           << std::setprecision(2) << row.avgUs() << " us avg  "
+           << row.name << "\n";
+    }
+    os << "==== Memcpy summary ====\n";
+    std::map<std::string, std::pair<std::uint64_t, sim::Bytes>> copies;
+    for (const CopyRecord &c : copies_) {
+        auto &[count, bytes] = copies[c.kind];
+        ++count;
+        bytes += c.bytes;
+    }
+    for (const auto &[kind, stats] : copies) {
+        os << std::setw(12) << stats.first << " copies  " << std::setw(12)
+           << std::setprecision(1)
+           << static_cast<double>(stats.second) / (1 << 20) << " MiB  "
+           << kind << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Profiler::csv() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << "kind,name,where,start_us,dur_us,bytes\n";
+    for (const KernelRecord &k : kernels_) {
+        os << "kernel," << k.name << ",gpu" << k.device << ","
+           << sim::ticksToUs(k.start) << "," << sim::ticksToUs(k.duration())
+           << ",0\n";
+    }
+    for (const ApiRecord &a : apis_) {
+        os << "api," << a.name << "," << a.thread << ","
+           << sim::ticksToUs(a.start) << "," << sim::ticksToUs(a.duration())
+           << ",0\n";
+    }
+    for (const CopyRecord &c : copies_) {
+        os << "memcpy," << c.kind << ",gpu" << c.src << ">gpu" << c.dst
+           << "," << sim::ticksToUs(c.start) << ","
+           << sim::ticksToUs(c.duration()) << "," << c.bytes << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dgxsim::profiling
+
+namespace dgxsim::profiling {
+
+namespace {
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+emitEvent(std::ostringstream &os, bool &first, const std::string &name,
+          const std::string &pid, const std::string &tid,
+          double ts_us, double dur_us)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << jsonEscape(name)
+       << "\", \"ph\": \"X\", \"pid\": \"" << jsonEscape(pid)
+       << "\", \"tid\": \"" << jsonEscape(tid) << "\", \"ts\": " << ts_us
+       << ", \"dur\": " << dur_us << "}";
+}
+
+} // namespace
+
+std::string
+Profiler::chromeTrace() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const KernelRecord &k : kernels_) {
+        emitEvent(os, first, k.name, "GPU" + std::to_string(k.device),
+                  "kernels", sim::ticksToUs(k.start),
+                  sim::ticksToUs(k.duration()));
+    }
+    for (const ApiRecord &a : apis_) {
+        emitEvent(os, first, a.name, "host", a.thread,
+                  sim::ticksToUs(a.start),
+                  sim::ticksToUs(a.duration()));
+    }
+    for (const CopyRecord &c : copies_) {
+        emitEvent(os, first,
+                  c.kind + " " + std::to_string(c.bytes) + "B",
+                  "fabric",
+                  "gpu" + std::to_string(c.src) + ">gpu" +
+                      std::to_string(c.dst),
+                  sim::ticksToUs(c.start),
+                  sim::ticksToUs(c.duration()));
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+void
+Profiler::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        sim::fatal("cannot open trace file ", path);
+    file << chromeTrace();
+}
+
+} // namespace dgxsim::profiling

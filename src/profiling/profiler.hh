@@ -1,0 +1,157 @@
+/**
+ * @file
+ * nvprof-like profiler for the simulated system.
+ *
+ * Every simulated kernel, CUDA API call and DMA copy deposits a record
+ * here. The summary views mirror what `nvprof --print-gpu-summary` and
+ * `--print-api-summary` give on a real DGX-1, which is exactly the
+ * data the paper's evaluation is built from.
+ */
+
+#ifndef DGXSIM_PROFILING_PROFILER_HH
+#define DGXSIM_PROFILING_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dgxsim::profiling {
+
+/** One executed GPU kernel. */
+struct KernelRecord
+{
+    std::string name;
+    int device = -1;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+
+    sim::Tick duration() const { return end - start; }
+};
+
+/** One host-side CUDA API call (including blocked time). */
+struct ApiRecord
+{
+    std::string name;
+    std::string thread;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+
+    sim::Tick duration() const { return end - start; }
+};
+
+/** One DMA copy between devices / host. */
+struct CopyRecord
+{
+    std::string kind; ///< e.g. "PtoP", "DtoH", "HtoD"
+    int src = -1;
+    int dst = -1;
+    sim::Bytes bytes = 0;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+
+    sim::Tick duration() const { return end - start; }
+};
+
+/** Aggregate row of a summary table. */
+struct SummaryRow
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    sim::Tick totalTime = 0;
+
+    double
+    avgUs() const
+    {
+        return calls == 0 ? 0.0
+                          : sim::ticksToUs(totalTime) /
+                                static_cast<double>(calls);
+    }
+};
+
+/**
+ * Collects timing records for one simulation run. Cheap enough to
+ * leave always-on; clear() between measured regions.
+ */
+class Profiler
+{
+  public:
+    void
+    recordKernel(std::string name, int device, sim::Tick start,
+                 sim::Tick end)
+    {
+        kernels_.push_back({std::move(name), device, start, end});
+    }
+
+    void
+    recordApi(std::string name, std::string thread, sim::Tick start,
+              sim::Tick end)
+    {
+        apis_.push_back({std::move(name), std::move(thread), start, end});
+    }
+
+    void
+    recordCopy(std::string kind, int src, int dst, sim::Bytes bytes,
+               sim::Tick start, sim::Tick end)
+    {
+        copies_.push_back({std::move(kind), src, dst, bytes, start, end});
+    }
+
+    const std::vector<KernelRecord> &kernels() const { return kernels_; }
+    const std::vector<ApiRecord> &apis() const { return apis_; }
+    const std::vector<CopyRecord> &copies() const { return copies_; }
+
+    /** Kernel time grouped by kernel name. */
+    std::vector<SummaryRow> kernelSummary() const;
+
+    /** API time grouped by API name (all host threads pooled). */
+    std::vector<SummaryRow> apiSummary() const;
+
+    /** Total time across all calls of one API. */
+    sim::Tick apiTime(const std::string &name) const;
+
+    /** Total time of one API as a fraction of all API time. */
+    double apiTimeFraction(const std::string &name) const;
+
+    /** Total kernel-busy time on one device. */
+    sim::Tick deviceKernelTime(int device) const;
+
+    /** Total bytes copied, optionally filtered by copy kind. */
+    sim::Bytes copiedBytes(const std::string &kind = "") const;
+
+    /** Drop all records. */
+    void
+    clear()
+    {
+        kernels_.clear();
+        apis_.clear();
+        copies_.clear();
+    }
+
+    /** Render an nvprof-style text report. */
+    std::string report() const;
+
+    /** Render all records as CSV (kind,name,where,start_us,dur_us). */
+    std::string csv() const;
+
+    /**
+     * Render all records as a chrome://tracing / Perfetto JSON trace
+     * ("traceEvents" array of complete events): GPU kernels grouped
+     * per device, API calls per host thread, copies per route.
+     */
+    std::string chromeTrace() const;
+
+    /** Write chromeTrace() to @p path (fatal on I/O failure). */
+    void writeChromeTrace(const std::string &path) const;
+
+  private:
+    std::vector<KernelRecord> kernels_;
+    std::vector<ApiRecord> apis_;
+    std::vector<CopyRecord> copies_;
+};
+
+} // namespace dgxsim::profiling
+
+#endif // DGXSIM_PROFILING_PROFILER_HH

@@ -1,0 +1,79 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace dgxsim::sim {
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < curTick_)
+        fatal("event scheduled in the past: ", when, " < ", curTick_);
+    auto record = std::make_shared<EventHandle::Record>();
+    record->callback = std::move(cb);
+    heap_.push(HeapEntry{when, nextSeq_++, record});
+    ++liveEvents_;
+    return EventHandle(record);
+}
+
+bool
+EventQueue::cancel(EventHandle &handle)
+{
+    auto rec = handle.record.lock();
+    if (!rec || rec->cancelled || rec->fired)
+        return false;
+    rec->cancelled = true;
+    rec->callback = nullptr;
+    --liveEvents_;
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && heap_.top().record->cancelled)
+        heap_.pop();
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    HeapEntry entry = heap_.top();
+    heap_.pop();
+    curTick_ = entry.when;
+    entry.record->fired = true;
+    --liveEvents_;
+    ++executed_;
+    // Move the callback out so the record can be released even if the
+    // callback reschedules.
+    Callback cb = std::move(entry.record->callback);
+    cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return curTick_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    for (;;) {
+        skipCancelled();
+        if (heap_.empty() || heap_.top().when > limit)
+            break;
+        step();
+    }
+    if (curTick_ < limit)
+        curTick_ = limit;
+    return curTick_;
+}
+
+} // namespace dgxsim::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick execute in scheduling order
+ * (FIFO by sequence number), which keeps the whole simulation
+ * deterministic and reproducible.
+ */
+
+#ifndef DGXSIM_SIM_EVENT_QUEUE_HH
+#define DGXSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dgxsim::sim {
+
+class EventQueue;
+
+/** Opaque handle identifying a scheduled event; used for cancellation. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** @return true if this handle refers to a still-pending event. */
+    bool valid() const;
+
+  private:
+    friend class EventQueue;
+    struct Record
+    {
+        std::function<void()> callback;
+        bool cancelled = false;
+        bool fired = false;
+    };
+    explicit EventHandle(std::weak_ptr<Record> r) : record(std::move(r)) {}
+    std::weak_ptr<Record> record;
+};
+
+/**
+ * The event queue at the heart of the simulator. Single-threaded;
+ * callbacks may schedule further events.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to run.
+     * @return a handle that can cancel the event.
+     */
+    EventHandle schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delay ticks from now. */
+    EventHandle scheduleAfter(Tick delay, Callback cb)
+    {
+        return schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventHandle &handle);
+
+    /** Run events until the queue is empty. @return the final tick. */
+    Tick run();
+
+    /**
+     * Run events with time <= @p limit. Time advances to @p limit if
+     * the queue drains early.
+     * @return the current tick after running.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute the single next event. @return false if queue empty. */
+    bool step();
+
+    /** @return true when no events are pending. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** @return the number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return liveEvents_; }
+
+    /** @return the total number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::shared_ptr<EventHandle::Record> record;
+
+        friend bool
+        operator>(const HeapEntry &a, const HeapEntry &b)
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    /** Pop cancelled entries off the heap front. */
+    void skipCancelled();
+
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t liveEvents_ = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap_;
+};
+
+inline bool
+EventHandle::valid() const
+{
+    auto rec = record.lock();
+    return rec && !rec->cancelled && !rec->fired;
+}
+
+} // namespace dgxsim::sim
+
+#endif // DGXSIM_SIM_EVENT_QUEUE_HH

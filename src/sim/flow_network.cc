@@ -1,0 +1,256 @@
+#include "sim/flow_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace dgxsim::sim {
+
+namespace {
+constexpr double kByteEpsilon = 1e-6;
+} // namespace
+
+FlowNetwork::ChannelId
+FlowNetwork::addChannel(double bytes_per_tick, std::string name)
+{
+    if (bytes_per_tick <= 0)
+        fatal("channel capacity must be positive: ", bytes_per_tick);
+    channels_.push_back(Channel{bytes_per_tick, std::move(name), 0, 0});
+    return channels_.size() - 1;
+}
+
+void
+FlowNetwork::setChannelCapacity(ChannelId id, double bytes_per_tick)
+{
+    if (id >= channels_.size())
+        fatal("unknown channel ", id);
+    if (bytes_per_tick <= 0)
+        fatal("channel capacity must be positive: ", bytes_per_tick);
+    settleProgress();
+    channels_[id].capacity = bytes_per_tick;
+    allocateRates();
+    rescheduleCompletions();
+}
+
+double
+FlowNetwork::channelCapacity(ChannelId id) const
+{
+    if (id >= channels_.size())
+        fatal("unknown channel ", id);
+    return channels_[id].capacity;
+}
+
+FlowNetwork::FlowId
+FlowNetwork::startFlow(Bytes bytes, std::vector<ChannelId> path,
+                       std::function<void()> on_complete, Tick latency)
+{
+    for (ChannelId c : path) {
+        if (c >= channels_.size())
+            fatal("flow path references unknown channel ", c);
+    }
+    FlowId id = nextFlow_++;
+    Flow flow;
+    flow.remaining = static_cast<double>(bytes);
+    flow.path = std::move(path);
+    flow.onComplete = std::move(on_complete);
+    flow.lastUpdate = queue_.now();
+
+    if (bytes == 0 || flow.path.empty()) {
+        // Pure-latency flow: no bandwidth consumed.
+        active_.emplace(id, std::move(flow));
+        active_[id].done = true;
+        queue_.scheduleAfter(latency, [this, id] { complete(id); });
+        return id;
+    }
+
+    active_.emplace(id, std::move(flow));
+    if (latency == 0) {
+        activate(id);
+    } else {
+        // Keep the flow out of the allocation until its head latency
+        // elapses; rate stays 0 meanwhile.
+        active_[id].lastUpdate = queue_.now() + latency;
+        queue_.scheduleAfter(latency, [this, id] { activate(id); });
+    }
+    return id;
+}
+
+void
+FlowNetwork::activate(FlowId id)
+{
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    it->second.lastUpdate = queue_.now();
+    recompute();
+}
+
+bool
+FlowNetwork::flowActive(FlowId id) const
+{
+    return active_.count(id) != 0;
+}
+
+double
+FlowNetwork::currentRate(FlowId id) const
+{
+    auto it = active_.find(id);
+    return it == active_.end() ? 0.0 : it->second.rate;
+}
+
+double
+FlowNetwork::bytesDelivered(ChannelId id) const
+{
+    if (id >= channels_.size())
+        fatal("unknown channel ", id);
+    return channels_[id].delivered;
+}
+
+double
+FlowNetwork::busyTicks(ChannelId id) const
+{
+    if (id >= channels_.size())
+        fatal("unknown channel ", id);
+    return channels_[id].busyTicks;
+}
+
+void
+FlowNetwork::settleProgress()
+{
+    const Tick now = queue_.now();
+    for (auto &[id, flow] : active_) {
+        if (flow.done || flow.rate <= 0 || flow.lastUpdate >= now)
+            continue;
+        const double dt = static_cast<double>(now - flow.lastUpdate);
+        const double moved = std::min(flow.remaining, flow.rate * dt);
+        flow.remaining -= moved;
+        flow.lastUpdate = now;
+        for (ChannelId c : flow.path) {
+            channels_[c].delivered += moved;
+            channels_[c].busyTicks +=
+                dt * (flow.rate / channels_[c].capacity);
+        }
+    }
+}
+
+void
+FlowNetwork::allocateRates()
+{
+    const Tick now = queue_.now();
+
+    // Residual capacity and unfrozen-flow count per channel.
+    std::vector<double> cap(channels_.size());
+    std::vector<int> users(channels_.size(), 0);
+    for (std::size_t c = 0; c < channels_.size(); ++c)
+        cap[c] = channels_[c].capacity;
+
+    std::vector<FlowId> unfrozen;
+    for (auto &[id, flow] : active_) {
+        flow.rate = 0;
+        if (flow.done || flow.lastUpdate > now)
+            continue; // still in latency stage
+        unfrozen.push_back(id);
+        for (ChannelId c : flow.path)
+            ++users[c];
+    }
+    // Deterministic processing order regardless of hash layout.
+    std::sort(unfrozen.begin(), unfrozen.end());
+
+    std::vector<bool> frozen(unfrozen.size(), false);
+    std::size_t remaining_flows = unfrozen.size();
+    while (remaining_flows > 0) {
+        // Find the bottleneck channel: minimal fair share.
+        double best_share = std::numeric_limits<double>::infinity();
+        std::size_t best_chan = channels_.size();
+        for (std::size_t c = 0; c < channels_.size(); ++c) {
+            if (users[c] <= 0)
+                continue;
+            const double share = cap[c] / users[c];
+            if (share < best_share) {
+                best_share = share;
+                best_chan = c;
+            }
+        }
+        if (best_chan == channels_.size())
+            panic("max-min allocation found no bottleneck with flows left");
+
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for (std::size_t i = 0; i < unfrozen.size(); ++i) {
+            if (frozen[i])
+                continue;
+            Flow &flow = active_[unfrozen[i]];
+            const bool crosses =
+                std::find(flow.path.begin(), flow.path.end(), best_chan) !=
+                flow.path.end();
+            if (!crosses)
+                continue;
+            flow.rate = best_share;
+            frozen[i] = true;
+            --remaining_flows;
+            for (ChannelId c : flow.path) {
+                cap[c] -= best_share;
+                if (cap[c] < 0)
+                    cap[c] = 0;
+                --users[c];
+            }
+        }
+    }
+}
+
+void
+FlowNetwork::rescheduleCompletions()
+{
+    const Tick now = queue_.now();
+    std::vector<FlowId> finished;
+    for (auto &[id, flow] : active_) {
+        if (flow.done)
+            continue;
+        queue_.cancel(flow.completion);
+        if (flow.lastUpdate > now)
+            continue; // latency stage; activation event pending
+        if (flow.remaining <= kByteEpsilon) {
+            finished.push_back(id);
+            continue;
+        }
+        if (flow.rate <= 0)
+            panic("active flow with zero rate cannot make progress");
+        const Tick eta = static_cast<Tick>(
+            std::ceil(flow.remaining / flow.rate));
+        FlowId fid = id;
+        flow.completion =
+            queue_.schedule(now + eta, [this, fid] { complete(fid); });
+    }
+    std::sort(finished.begin(), finished.end());
+    for (FlowId id : finished)
+        complete(id);
+}
+
+void
+FlowNetwork::recompute()
+{
+    settleProgress();
+    allocateRates();
+    rescheduleCompletions();
+}
+
+void
+FlowNetwork::complete(FlowId id)
+{
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    settleProgress();
+    std::function<void()> cb = std::move(it->second.onComplete);
+    queue_.cancel(it->second.completion);
+    active_.erase(it);
+    // Reallocate the freed bandwidth before notifying, so anything the
+    // callback starts sees fresh rates.
+    allocateRates();
+    rescheduleCompletions();
+    if (cb)
+        cb();
+}
+
+} // namespace dgxsim::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() reports a condition that is the caller's fault (bad
+ * configuration, invalid arguments) and throws a FatalError so library
+ * users can recover. panic() reports an internal invariant violation
+ * and aborts.
+ */
+
+#ifndef DGXSIM_SIM_LOGGING_HH
+#define DGXSIM_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgxsim::sim {
+
+/** Exception thrown by fatal() for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and throw FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Report an internal simulator bug and abort. Use only for conditions
+ * that should be impossible regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    std::cerr << os.str() << std::endl;
+    std::abort();
+}
+
+/** Emit a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    os << "warn: ";
+    detail::formatInto(os, args...);
+    std::cerr << os.str() << std::endl;
+}
+
+} // namespace dgxsim::sim
+
+#endif // DGXSIM_SIM_LOGGING_HH

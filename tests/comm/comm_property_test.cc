@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Property sweeps on the communication library: data-plane agreement
+ * across methods for many sizes, timing monotonicity, and invariant
+ * relations among collectives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/nccl_communicator.hh"
+#include "comm/p2p_parameter_server.hh"
+
+namespace {
+
+using namespace dgxsim;
+using comm::CommContext;
+
+CommContext
+makeCtx(sim::EventQueue &q, hw::Fabric &f, int gpus)
+{
+    CommContext c;
+    c.queue = &q;
+    c.fabric = &f;
+    c.gpus = f.topology().gpuSet(gpus);
+    c.gpuSpec = hw::GpuSpec::voltaV100();
+    return c;
+}
+
+/** Deterministic float filler. */
+std::vector<std::vector<float>>
+makeBuffers(int workers, int elems, int seed)
+{
+    std::vector<std::vector<float>> bufs(workers);
+    for (int w = 0; w < workers; ++w) {
+        for (int i = 0; i < elems; ++i) {
+            bufs[w].push_back(
+                0.001f * ((seed * 2654435761u + w * 97 + i * 13) %
+                          2048) -
+                1.0f);
+        }
+    }
+    return bufs;
+}
+
+class SizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(SizeSweep, MethodsAgreeOnReducedValues)
+{
+    const auto [gpus, elems] = GetParam();
+    sim::EventQueue q;
+    hw::Fabric f(q, hw::Topology::dgx1Volta());
+    comm::P2pParameterServer p2p(makeCtx(q, f, gpus));
+    comm::NcclCommunicator nccl(makeCtx(q, f, gpus));
+
+    auto a = makeBuffers(gpus, elems, gpus * 1000 + elems);
+    auto b = a;
+    p2p.reduceData(a);
+    nccl.reduceData(b);
+    for (int i = 0; i < elems; ++i)
+        EXPECT_NEAR(a[0][i], b[0][i], 1e-3) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GpusBySize, SizeSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(1, 7, 64, 1000)));
+
+class TimingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TimingSweep, CollectiveTimeMonotoneInBytes)
+{
+    const int gpus = GetParam();
+    double prev = 0;
+    for (sim::Bytes bytes = 1 << 16; bytes <= (64u << 20); bytes *= 8) {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        comm::NcclCommunicator nccl(makeCtx(q, f, gpus));
+        sim::Tick end = 0;
+        nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        const double secs = sim::ticksToSec(end);
+        EXPECT_GT(secs, prev) << bytes;
+        prev = secs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, TimingSweep,
+                         ::testing::Values(2, 4, 8));
+
+TEST(CommInvariantTest, AllReduceNoSlowerThanReducePlusBroadcastNccl)
+{
+    for (int gpus : {4, 8}) {
+        for (sim::Bytes bytes : {sim::Bytes(1) << 20,
+                                 sim::Bytes(32) << 20}) {
+            double fused, split;
+            {
+                sim::EventQueue q;
+                hw::Fabric f(q, hw::Topology::dgx1Volta());
+                comm::NcclCommunicator nccl(makeCtx(q, f, gpus));
+                sim::Tick end = 0;
+                nccl.allReduce(bytes, [&] { end = q.now(); });
+                q.run();
+                fused = sim::ticksToSec(end);
+            }
+            {
+                sim::EventQueue q;
+                hw::Fabric f(q, hw::Topology::dgx1Volta());
+                comm::NcclCommunicator nccl(makeCtx(q, f, gpus));
+                sim::Tick end = 0;
+                nccl.reduce(bytes, nullptr);
+                nccl.broadcast(bytes, [&] { end = q.now(); });
+                q.run();
+                split = sim::ticksToSec(end);
+            }
+            EXPECT_LE(fused, split * 1.05)
+                << gpus << " gpus, " << bytes << " bytes";
+        }
+    }
+}
+
+TEST(CommInvariantTest, MoreGpusNeverSpeedUpAFixedReduce)
+{
+    // A single reduction of fixed bytes can only slow down (or stay
+    // flat) as the ring/tree grows.
+    for (bool use_nccl : {false, true}) {
+        double prev = 0;
+        for (int gpus : {2, 4, 8}) {
+            sim::EventQueue q;
+            hw::Fabric f(q, hw::Topology::dgx1Volta());
+            sim::Tick end = 0;
+            if (use_nccl) {
+                comm::NcclCommunicator nccl(makeCtx(q, f, gpus));
+                nccl.reduce(16 << 20, [&] { end = q.now(); });
+                q.run();
+            } else {
+                comm::P2pParameterServer p2p(makeCtx(q, f, gpus));
+                p2p.reduce(16 << 20, [&] { end = q.now(); });
+                q.run();
+            }
+            const double secs = sim::ticksToSec(end);
+            EXPECT_GE(secs, prev * 0.95) << gpus;
+            prev = secs;
+        }
+    }
+}
+
+TEST(CommInvariantTest, PipelinedBucketsBeatSerialBuckets)
+{
+    // Many small NCCL collectives must stream faster than the sum of
+    // their isolated times (the cross-collective pipelining that wins
+    // the paper's 4/8-GPU comparisons).
+    const int buckets = 32;
+    const sim::Bytes bytes = 1 << 20;
+    double streamed;
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        comm::NcclCommunicator nccl(makeCtx(q, f, 8));
+        sim::Tick end = 0;
+        for (int i = 0; i < buckets; ++i)
+            nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        streamed = sim::ticksToSec(end);
+    }
+    double solo;
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        comm::NcclCommunicator nccl(makeCtx(q, f, 8));
+        sim::Tick end = 0;
+        nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        solo = sim::ticksToSec(end);
+    }
+    EXPECT_LT(streamed, 0.8 * buckets * solo);
+}
+
+TEST(CommInvariantTest, WireInflationShowsInLinkBytes)
+{
+    // NCCL's protocol-efficiency model sends more wire bytes than
+    // payload; the fabric's counters see the inflation.
+    sim::EventQueue q;
+    hw::Fabric f(q, hw::Topology::dgx1Volta());
+    comm::NcclCommunicator nccl(makeCtx(q, f, 2));
+    const sim::Bytes payload = 10 << 20;
+    nccl.reduce(payload, nullptr);
+    q.run();
+    auto link = f.topology().directLink(0, 1, hw::LinkType::NVLink);
+    ASSERT_TRUE(link.has_value());
+    const double eff = nccl.config().ncclLinkEfficiency;
+    EXPECT_NEAR(f.linkBytesMoved(*link),
+                static_cast<double>(payload) / eff,
+                0.01 * payload);
+}
+
+} // namespace

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Timing-plane tests for the P2P parameter server and the NCCL-like
+ * ring collectives: serialization, scaling behavior, overheads, and
+ * the paper's qualitative claims about when each method wins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "comm/factory.hh"
+#include "comm/nccl_communicator.hh"
+#include "comm/p2p_parameter_server.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using comm::CommConfig;
+using comm::CommContext;
+using comm::CommMethod;
+
+class CommTimingTest : public ::testing::Test
+{
+  protected:
+    sim::EventQueue queue;
+    hw::Fabric fabric{queue, hw::Topology::dgx1Volta()};
+    profiling::Profiler prof;
+
+    CommContext
+    ctx(int gpus)
+    {
+        CommContext c;
+        c.queue = &queue;
+        c.fabric = &fabric;
+        c.gpus = fabric.topology().gpuSet(gpus);
+        c.gpuSpec = hw::GpuSpec::voltaV100();
+        c.profiler = &prof;
+        return c;
+    }
+
+    /** Run one collective to completion; @return seconds. */
+    double
+    timed(comm::Communicator &comm, bool is_reduce, sim::Bytes bytes)
+    {
+        const sim::Tick start = queue.now();
+        sim::Tick end = 0;
+        if (is_reduce)
+            comm.reduce(bytes, [&] { end = queue.now(); });
+        else
+            comm.broadcast(bytes, [&] { end = queue.now(); });
+        queue.run();
+        return sim::ticksToSec(end - start);
+    }
+};
+
+TEST_F(CommTimingTest, SingleGpuP2pIsFree)
+{
+    comm::P2pParameterServer p2p(ctx(1));
+    EXPECT_DOUBLE_EQ(timed(p2p, true, 100 << 20), 0.0);
+    EXPECT_DOUBLE_EQ(timed(p2p, false, 100 << 20), 0.0);
+    EXPECT_EQ(p2p.perCallHostOverhead(), 0u);
+}
+
+TEST_F(CommTimingTest, SingleGpuNcclStillRunsKernels)
+{
+    comm::NcclCommunicator nccl(ctx(1));
+    EXPECT_GT(timed(nccl, true, 100 << 20), 0.0);
+    EXPECT_GT(timed(nccl, false, 100 << 20), 0.0);
+    EXPECT_GT(nccl.perCallHostOverhead(), 0u);
+    // The kernels show up in the profiler like nvprof sees them.
+    bool saw_reduce = false;
+    for (const auto &k : prof.kernels())
+        saw_reduce |= k.name == "ncclReduceKernel";
+    EXPECT_TRUE(saw_reduce);
+}
+
+TEST_F(CommTimingTest, TwoGpuReduceApproachesLinkBandwidth)
+{
+    comm::P2pParameterServer p2p(ctx(2));
+    const sim::Bytes bytes = 250u * 1000 * 1000; // 250 MB
+    // GPU1 -> GPU0 over the doubled (50 GB/s) link: ~5 ms + kernel.
+    const double secs = timed(p2p, true, bytes);
+    EXPECT_NEAR(secs, 0.005, 0.002);
+}
+
+TEST_F(CommTimingTest, CollectivesSerializeOnOneCommunicator)
+{
+    comm::P2pParameterServer p2p(ctx(2));
+    const sim::Bytes bytes = 100u * 1000 * 1000;
+    sim::Tick end1 = 0, end2 = 0;
+    p2p.reduce(bytes, [&] { end1 = queue.now(); });
+    p2p.reduce(bytes, [&] { end2 = queue.now(); });
+    queue.run();
+    // Sequential, not parallel: the second takes about twice as long.
+    EXPECT_NEAR(static_cast<double>(end2) / static_cast<double>(end1),
+                2.0, 0.1);
+}
+
+TEST_F(CommTimingTest, OnIdleFiresAfterQueueDrains)
+{
+    comm::P2pParameterServer p2p(ctx(2));
+    bool idle_seen = false;
+    p2p.reduce(1 << 20, nullptr);
+    p2p.onIdle([&] { idle_seen = true; });
+    EXPECT_FALSE(idle_seen);
+    queue.run();
+    EXPECT_TRUE(idle_seen);
+    EXPECT_TRUE(p2p.idle());
+}
+
+TEST_F(CommTimingTest, NcclRingUsesAllLinksConcurrently)
+{
+    // For a large payload on 8 GPUs, the pipelined ring should beat
+    // the tree+fanout parameter server (the paper's 4/8-GPU NCCL
+    // win for big networks).
+    const sim::Bytes bytes = 100u * 1000 * 1000; // ~AlexNet size
+    double p2p_secs, nccl_secs;
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        CommContext c;
+        c.queue = &q;
+        c.fabric = &f;
+        c.gpus = f.topology().gpuSet(8);
+        c.gpuSpec = hw::GpuSpec::voltaV100();
+        comm::P2pParameterServer p2p(c);
+        sim::Tick end = 0;
+        p2p.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        p2p_secs = sim::ticksToSec(end);
+    }
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        CommContext c;
+        c.queue = &q;
+        c.fabric = &f;
+        c.gpus = f.topology().gpuSet(8);
+        c.gpuSpec = hw::GpuSpec::voltaV100();
+        comm::NcclCommunicator nccl(c);
+        sim::Tick end = 0;
+        nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        nccl_secs = sim::ticksToSec(end);
+    }
+    EXPECT_LT(nccl_secs, p2p_secs);
+}
+
+TEST_F(CommTimingTest, NcclPipeliningBeatsSingleChunk)
+{
+    const sim::Bytes bytes = 64u << 20;
+    CommConfig pipelined;
+    pipelined.ringChunkBytes = 4u << 20;
+    pipelined.maxChunks = 16;
+    CommConfig single;
+    single.ringChunkBytes = bytes; // one chunk: no pipelining
+    single.maxChunks = 1;
+
+    double t_pipe, t_single;
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        CommContext c;
+        c.queue = &q;
+        c.fabric = &f;
+        c.gpus = f.topology().gpuSet(8);
+        c.gpuSpec = hw::GpuSpec::voltaV100();
+        comm::NcclCommunicator nccl(c, pipelined);
+        sim::Tick end = 0;
+        nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        t_pipe = sim::ticksToSec(end);
+    }
+    {
+        sim::EventQueue q;
+        hw::Fabric f(q, hw::Topology::dgx1Volta());
+        CommContext c;
+        c.queue = &q;
+        c.fabric = &f;
+        c.gpus = f.topology().gpuSet(8);
+        c.gpuSpec = hw::GpuSpec::voltaV100();
+        comm::NcclCommunicator nccl(c, single);
+        sim::Tick end = 0;
+        nccl.reduce(bytes, [&] { end = q.now(); });
+        q.run();
+        t_single = sim::ticksToSec(end);
+    }
+    // 7 store-and-forward hops without pipelining vs a full pipeline:
+    // expect a large gain.
+    EXPECT_LT(t_pipe, 0.5 * t_single);
+}
+
+TEST_F(CommTimingTest, ChunkCountClamped)
+{
+    comm::NcclCommunicator nccl(ctx(4));
+    EXPECT_EQ(nccl.chunksFor(0), 1);
+    EXPECT_EQ(nccl.chunksFor(1), 1);
+    EXPECT_EQ(nccl.chunksFor(1u << 30),
+              nccl.config().maxChunks);
+}
+
+TEST_F(CommTimingTest, RingRootIsFirst)
+{
+    comm::NcclCommunicator nccl(ctx(8));
+    ASSERT_EQ(nccl.ring().size(), 8u);
+    EXPECT_EQ(nccl.ring().front(), 0);
+}
+
+TEST_F(CommTimingTest, FactoryBuildsBothMethods)
+{
+    auto p2p = comm::makeCommunicator(CommMethod::P2P, ctx(2));
+    auto nccl = comm::makeCommunicator(CommMethod::NCCL, ctx(2));
+    EXPECT_EQ(p2p->name(), "p2p");
+    EXPECT_EQ(nccl->name(), "nccl");
+    EXPECT_EQ(comm::parseCommMethod("device"), CommMethod::P2P);
+    EXPECT_EQ(comm::parseCommMethod("nccl"), CommMethod::NCCL);
+    EXPECT_THROW(comm::parseCommMethod("mpi"), sim::FatalError);
+    EXPECT_STREQ(comm::commMethodName(CommMethod::NCCL), "nccl");
+}
+
+TEST_F(CommTimingTest, BadContextIsFatal)
+{
+    CommContext c;
+    EXPECT_THROW(comm::P2pParameterServer{c}, sim::FatalError);
+    c = ctx(2);
+    c.gpus = {8}; // a CPU node
+    EXPECT_THROW(comm::P2pParameterServer{c}, sim::FatalError);
+}
+
+/** Reduce time should grow sub-linearly with GPU count (tree). */
+class P2pScalingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(P2pScalingSweep, ReduceCompletesForAllGpuCounts)
+{
+    const int gpus = GetParam();
+    sim::EventQueue q;
+    hw::Fabric f(q, hw::Topology::dgx1Volta());
+    CommContext c;
+    c.queue = &q;
+    c.fabric = &f;
+    c.gpus = f.topology().gpuSet(gpus);
+    c.gpuSpec = hw::GpuSpec::voltaV100();
+    comm::P2pParameterServer p2p(c);
+    bool done = false;
+    p2p.reduce(10 << 20, [&] { done = true; });
+    p2p.broadcast(10 << 20, nullptr);
+    q.run();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(p2p.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, P2pScalingSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/** NCCL must complete for every paper GPU count as well. */
+class NcclScalingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NcclScalingSweep, ReduceAndBroadcastComplete)
+{
+    const int gpus = GetParam();
+    sim::EventQueue q;
+    hw::Fabric f(q, hw::Topology::dgx1Volta());
+    CommContext c;
+    c.queue = &q;
+    c.fabric = &f;
+    c.gpus = f.topology().gpuSet(gpus);
+    c.gpuSpec = hw::GpuSpec::voltaV100();
+    comm::NcclCommunicator nccl(c);
+    int done = 0;
+    nccl.reduce(10 << 20, [&] { ++done; });
+    nccl.broadcast(10 << 20, [&] { ++done; });
+    q.run();
+    EXPECT_EQ(done, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, NcclScalingSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for NVLink ring construction on the DGX-1 topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/ring.hh"
+
+namespace {
+
+using namespace dgxsim;
+using comm::findNvlinkRing;
+
+class RingTest : public ::testing::Test
+{
+  protected:
+    hw::Topology topo = hw::Topology::dgx1Volta();
+
+    /** Check every consecutive pair (and the wrap) is NVLinked. */
+    void
+    expectValidRing(const std::vector<hw::NodeId> &ring,
+                    std::size_t expected_size)
+    {
+        ASSERT_EQ(ring.size(), expected_size);
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            const hw::NodeId a = ring[i];
+            const hw::NodeId b = ring[(i + 1) % ring.size()];
+            if (ring.size() == 2 && i == 1)
+                break; // 2-rings reuse the one link both ways
+            EXPECT_TRUE(
+                topo.directLink(a, b, hw::LinkType::NVLink).has_value())
+                << "hop " << a << "->" << b;
+        }
+    }
+};
+
+TEST_F(RingTest, SingleGpuRingIsTrivial)
+{
+    EXPECT_EQ(findNvlinkRing(topo, {3}), (std::vector<hw::NodeId>{3}));
+}
+
+TEST_F(RingTest, TwoGpuRingUsesDirectLink)
+{
+    expectValidRing(findNvlinkRing(topo, {0, 1}), 2);
+}
+
+TEST_F(RingTest, TwoGpusWithoutLinkHaveNoRing)
+{
+    EXPECT_TRUE(findNvlinkRing(topo, {3, 4}).empty());
+}
+
+TEST_F(RingTest, FourGpuRingExists)
+{
+    expectValidRing(findNvlinkRing(topo, {0, 1, 2, 3}), 4);
+}
+
+TEST_F(RingTest, EightGpuRingExistsOnHybridCubeMesh)
+{
+    expectValidRing(findNvlinkRing(topo, {0, 1, 2, 3, 4, 5, 6, 7}), 8);
+}
+
+TEST_F(RingTest, RingStartsAtFirstGpu)
+{
+    const auto ring = findNvlinkRing(topo, {0, 1, 2, 3, 4, 5, 6, 7});
+    ASSERT_FALSE(ring.empty());
+    EXPECT_EQ(ring.front(), 0);
+}
+
+TEST_F(RingTest, RingVisitsEveryGpuOnce)
+{
+    auto ring = findNvlinkRing(topo, {0, 1, 2, 3, 4, 5, 6, 7});
+    std::sort(ring.begin(), ring.end());
+    EXPECT_EQ(ring, (std::vector<hw::NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(RingTest, PcieOnlyTopologyHasNoNvlinkRing)
+{
+    hw::Topology pcie = hw::Topology::pcieOnly8Gpu();
+    EXPECT_TRUE(findNvlinkRing(pcie, {0, 1, 2, 3}).empty());
+}
+
+TEST_F(RingTest, SubsetRingsExistForAllPaperGpuCounts)
+{
+    for (int count : {1, 2, 4, 8}) {
+        const auto gpus = topo.gpuSet(count);
+        EXPECT_FALSE(findNvlinkRing(topo, gpus).empty())
+            << count << " GPUs";
+    }
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the dgxprof argument parser and config mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cli.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using core::cli::Args;
+
+TEST(CliArgsTest, ParsesPositionalAndOptions)
+{
+    const Args args = Args::parse(
+        {"train", "--model", "lenet", "--gpus=8", "--report"});
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "train");
+    EXPECT_EQ(args.get("model"), "lenet");
+    EXPECT_EQ(args.getInt("gpus", 1), 8);
+    EXPECT_TRUE(args.has("report"));
+    EXPECT_FALSE(args.has("trace"));
+}
+
+TEST(CliArgsTest, FlagFollowedByOptionStaysBoolean)
+{
+    const Args args =
+        Args::parse({"--overlap", "--batch", "32", "--tensor-cores"});
+    EXPECT_TRUE(args.has("overlap"));
+    EXPECT_EQ(args.get("overlap"), "");
+    EXPECT_EQ(args.getInt("batch", 0), 32);
+    EXPECT_TRUE(args.has("tensor-cores"));
+}
+
+TEST(CliArgsTest, DefaultsWhenMissing)
+{
+    const Args args = Args::parse({});
+    EXPECT_EQ(args.get("model", "resnet-50"), "resnet-50");
+    EXPECT_EQ(args.getInt("gpus", 4), 4);
+    EXPECT_DOUBLE_EQ(args.getDouble("fusion-mb", 2.5), 2.5);
+    EXPECT_EQ(args.getIntList("gpus", {1, 2}),
+              (std::vector<int>{1, 2}));
+}
+
+TEST(CliArgsTest, IntListParsing)
+{
+    const Args args = Args::parse({"--gpus", "1,2,4,8"});
+    EXPECT_EQ(args.getIntList("gpus", {}),
+              (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(CliArgsTest, GarbageNumbersAreFatal)
+{
+    const Args args =
+        Args::parse({"--gpus", "four", "--fusion-mb", "lots",
+                     "--batches", "16,x"});
+    EXPECT_THROW(args.getInt("gpus", 1), sim::FatalError);
+    EXPECT_THROW(args.getDouble("fusion-mb", 0), sim::FatalError);
+    EXPECT_THROW(args.getIntList("batches", {}), sim::FatalError);
+}
+
+TEST(CliConfigTest, MapsAllTrainingOptions)
+{
+    const Args args = Args::parse(
+        {"--model", "vgg-16", "--gpus", "8", "--batch", "32",
+         "--method", "p2p", "--images", "512000", "--tensor-cores",
+         "--overlap", "--allreduce", "--fusion-mb", "16",
+         "--rings", "2"});
+    const core::TrainConfig cfg = core::cli::configFromArgs(args);
+    EXPECT_EQ(cfg.model, "vgg-16");
+    EXPECT_EQ(cfg.numGpus, 8);
+    EXPECT_EQ(cfg.batchPerGpu, 32);
+    EXPECT_EQ(cfg.method, comm::CommMethod::P2P);
+    EXPECT_EQ(cfg.datasetImages, 512000u);
+    EXPECT_TRUE(cfg.useTensorCores);
+    EXPECT_TRUE(cfg.overlapBpWu);
+    EXPECT_TRUE(cfg.useAllReduce);
+    EXPECT_DOUBLE_EQ(cfg.bucketFusionMB, 16.0);
+    EXPECT_EQ(cfg.commConfig.ncclRings, 2);
+}
+
+TEST(CliConfigTest, P100FlagSwapsTheGpu)
+{
+    const Args args = Args::parse({"--p100"});
+    const core::TrainConfig cfg = core::cli::configFromArgs(args);
+    EXPECT_EQ(cfg.gpuSpec.name, hw::GpuSpec::pascalP100().name);
+}
+
+TEST(CliConfigTest, BadMethodIsFatal)
+{
+    const Args args = Args::parse({"--method", "mpi"});
+    EXPECT_THROW(core::cli::configFromArgs(args), sim::FatalError);
+}
+
+} // namespace

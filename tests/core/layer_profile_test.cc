@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the per-layer profiling helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layer_profile.hh"
+#include "dnn/models.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::core;
+
+TEST(LayerProfileTest, RowsCoverEveryLayer)
+{
+    dnn::Network net = dnn::buildLeNet();
+    TrainConfig cfg;
+    cfg.batchPerGpu = 16;
+    const auto summary = profileLayers(net, cfg);
+    EXPECT_EQ(summary.layers.size(), net.layers().size());
+    for (std::size_t i = 0; i < summary.layers.size(); ++i) {
+        EXPECT_EQ(summary.layers[i].name, net.layers()[i]->name());
+        EXPECT_GT(summary.layers[i].fwdUs, 0.0);
+        EXPECT_GE(summary.layers[i].bwdUs, summary.layers[i].fwdUs);
+    }
+}
+
+TEST(LayerProfileTest, TotalsAreSums)
+{
+    dnn::Network net = dnn::buildAlexNet();
+    TrainConfig cfg;
+    cfg.batchPerGpu = 32;
+    const auto summary = profileLayers(net, cfg);
+    double fwd = 0, bwd = 0;
+    sim::Bytes params = 0;
+    for (const auto &row : summary.layers) {
+        fwd += row.fwdUs;
+        bwd += row.bwdUs;
+        params += row.params;
+    }
+    EXPECT_NEAR(summary.totalFwdUs, fwd, 1e-6);
+    EXPECT_NEAR(summary.totalBwdUs, bwd, 1e-6);
+    EXPECT_EQ(summary.totalParams, params);
+    EXPECT_EQ(params, net.paramCount());
+}
+
+TEST(LayerProfileTest, HottestIsSortedAndTruncated)
+{
+    dnn::Network net = dnn::buildResNet50();
+    TrainConfig cfg;
+    cfg.batchPerGpu = 16;
+    const auto summary = profileLayers(net, cfg);
+    const auto top = summary.hottest(5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+        EXPECT_GE(top[i - 1].fwdUs + top[i - 1].bwdUs,
+                  top[i].fwdUs + top[i].bwdUs);
+    }
+    // Asking for more rows than layers returns all of them.
+    EXPECT_EQ(summary.hottest(100000).size(), summary.layers.size());
+}
+
+TEST(LayerProfileTest, AlexNetHotspotsAreFcAndEarlyConvs)
+{
+    // The classic profile: fc6 and conv2 dominate AlexNet.
+    dnn::Network net = dnn::buildAlexNet();
+    TrainConfig cfg;
+    cfg.batchPerGpu = 16;
+    const auto top = profileLayers(net, cfg).hottest(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_TRUE(top[0].name == "fc6" || top[0].name == "conv2");
+    EXPECT_TRUE(top[1].name == "fc6" || top[1].name == "conv2");
+}
+
+TEST(LayerProfileTest, TensorCoresShrinkConvTimesOnly)
+{
+    dnn::Network net = dnn::buildResNet50();
+    TrainConfig cfg;
+    cfg.batchPerGpu = 32;
+    const auto fp32 = profileLayers(net, cfg);
+    cfg.useTensorCores = true;
+    const auto fp16 = profileLayers(net, cfg);
+    EXPECT_LT(fp16.totalFwdUs, fp32.totalFwdUs);
+    // BatchNorm rows are not tensor-eligible: identical times.
+    for (std::size_t i = 0; i < fp32.layers.size(); ++i) {
+        if (fp32.layers[i].kind == "batchnorm") {
+            EXPECT_DOUBLE_EQ(fp32.layers[i].fwdUs,
+                             fp16.layers[i].fwdUs);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for report types and config arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::core;
+
+TEST(ReportTest, SpeedupOverComputes)
+{
+    TrainReport fast, slow;
+    fast.epochSeconds = 50;
+    slow.epochSeconds = 100;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(slow), 2.0);
+    EXPECT_DOUBLE_EQ(slow.speedupOver(fast), 0.5);
+    TrainReport zero;
+    EXPECT_DOUBLE_EQ(zero.speedupOver(slow), 0.0);
+}
+
+TEST(ReportTest, GpuMemoryUnitConversions)
+{
+    GpuMemory mem;
+    mem.preTraining = 1'500'000'000ull;
+    mem.training = 12'170'000'000ull;
+    EXPECT_NEAR(mem.preTrainingGB(), 1.5, 1e-9);
+    EXPECT_NEAR(mem.trainingGB(), 12.17, 1e-9);
+}
+
+TEST(TrainConfigTest, GlobalBatchAndIterations)
+{
+    TrainConfig cfg;
+    cfg.numGpus = 8;
+    cfg.batchPerGpu = 32;
+    cfg.datasetImages = 256000;
+    EXPECT_EQ(cfg.globalBatch(), 256);
+    EXPECT_EQ(cfg.iterationsPerEpoch(), 1000u);
+    // Ceil division.
+    cfg.datasetImages = 256001;
+    EXPECT_EQ(cfg.iterationsPerEpoch(), 1001u);
+}
+
+TEST(TrainConfigTest, DefaultsMatchThePaperSetup)
+{
+    TrainConfig cfg;
+    EXPECT_EQ(cfg.datasetImages, 256000u);
+    EXPECT_FALSE(cfg.useTensorCores); // fp32 MXNet 18.04
+    EXPECT_FALSE(cfg.useAllReduce);   // Reduce + Broadcast kvstore
+    EXPECT_DOUBLE_EQ(cfg.bucketFusionMB, 0.0);
+    EXPECT_FALSE(cfg.overlapBpWu);
+    EXPECT_EQ(cfg.gpuSpec.numSms, 80); // V100
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for scaling sweeps and the text-table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scaling.hh"
+#include "core/text_table.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::core;
+
+TEST(ScalingTest, StrongScalingKeepsDatasetFixed)
+{
+    TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.batchPerGpu = 16;
+    auto points = strongScaling(cfg, {1, 2, 4});
+    ASSERT_EQ(points.size(), 3u);
+    for (const auto &p : points) {
+        EXPECT_EQ(p.report.config.datasetImages, cfg.datasetImages);
+        EXPECT_EQ(p.report.config.numGpus, p.gpus);
+    }
+    EXPECT_DOUBLE_EQ(points[0].speedup, 1.0);
+    EXPECT_GT(points[1].speedup, 1.0);
+    EXPECT_GT(points[2].speedup, points[1].speedup);
+}
+
+TEST(ScalingTest, WeakScalingGrowsDataset)
+{
+    TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.batchPerGpu = 16;
+    auto points = weakScaling(cfg, {1, 2, 4, 8});
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].report.config.datasetImages, 256000u);
+    EXPECT_EQ(points[1].report.config.datasetImages, 512000u);
+    EXPECT_EQ(points[3].report.config.datasetImages, 2048000u);
+    // Speedup is throughput-normalized: still greater than 1.
+    EXPECT_GT(points[3].speedup, 1.0);
+}
+
+TEST(ScalingTest, WeakScalingIterationsStayConstantPerGpu)
+{
+    TrainConfig cfg;
+    cfg.model = "alexnet";
+    cfg.batchPerGpu = 32;
+    auto points = weakScaling(cfg, {1, 4});
+    EXPECT_EQ(points[0].report.iterations, points[1].report.iterations);
+}
+
+TEST(TextTableTest, AlignsColumnsAndFormats)
+{
+    TextTable table({"Network", "Batch", "Time (s)"});
+    table.addRow({"LeNet", "16", TextTable::num(1.2345, 2)});
+    table.addRow({"Inception-v3", "64", TextTable::num(123.4, 1)});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("Network"), std::string::npos);
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("123.4"), std::string::npos);
+    EXPECT_NE(out.find("Inception-v3"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, WrongCellCountIsFatal)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), sim::FatalError);
+}
+
+TEST(TextTableTest, NumPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 3), "3.142");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the analytical kernel-duration model: roofline behavior,
+ * occupancy saturation, and tensor-core speedups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cuda/kernel_model.hh"
+
+namespace {
+
+using namespace dgxsim;
+using cuda::KernelCost;
+using cuda::kernelDuration;
+
+class KernelModelTest : public ::testing::Test
+{
+  protected:
+    hw::GpuSpec v100 = hw::GpuSpec::voltaV100();
+};
+
+TEST_F(KernelModelTest, EmptyKernelCostsOnlyTail)
+{
+    EXPECT_EQ(kernelDuration(v100, {}),
+              sim::usToTicks(v100.kernelTailUs));
+}
+
+TEST_F(KernelModelTest, DurationIncreasesWithFlops)
+{
+    KernelCost small{1e8, 0, false};
+    KernelCost large{1e9, 0, false};
+    EXPECT_LT(kernelDuration(v100, small), kernelDuration(v100, large));
+}
+
+TEST_F(KernelModelTest, LargeKernelApproachesPeakEfficiency)
+{
+    // A saturating kernel should run within 2x of effMax-scaled peak.
+    KernelCost huge{1e13, 0, false};
+    const double secs = sim::ticksToSec(kernelDuration(v100, huge));
+    const double ideal = 1e13 / (v100.fp32Tflops * 1e12 * v100.effMax);
+    EXPECT_LT(secs, 1.3 * ideal);
+    EXPECT_GE(secs, ideal);
+}
+
+TEST_F(KernelModelTest, SmallKernelsRunFarFromPeak)
+{
+    // Per-image efficiency should grow with batch: doubling work less
+    // than doubles duration for an unsaturated kernel.
+    KernelCost b1{1e7, 0, false};
+    KernelCost b2{2e7, 0, false};
+    const auto d1 = kernelDuration(v100, b1);
+    const auto d2 = kernelDuration(v100, b2);
+    EXPECT_LT(d2, 2 * d1);
+    EXPECT_GT(d2, d1);
+}
+
+TEST_F(KernelModelTest, MemoryBoundKernelLimitedByHbm)
+{
+    // 9 GB of traffic at 900 GB/s == 10 ms regardless of tiny flops.
+    KernelCost copy{1e3, 9e9, false};
+    const double ms = sim::ticksToMs(kernelDuration(v100, copy));
+    EXPECT_NEAR(ms, 10.0, 0.1);
+}
+
+TEST_F(KernelModelTest, TensorCoresSpeedUpLargeGemms)
+{
+    KernelCost gemm{1e12, 0, false};
+    KernelCost gemm_tc{1e12, 0, true};
+    const auto fp32 = kernelDuration(v100, gemm);
+    const auto tc = kernelDuration(v100, gemm_tc);
+    EXPECT_LT(tc, fp32);
+    // The paper quotes ~7x peak ratio; with saturation effects the
+    // realized gain on a large GEMM should still be substantial.
+    EXPECT_GT(static_cast<double>(fp32) / static_cast<double>(tc), 3.0);
+}
+
+TEST_F(KernelModelTest, TensorCoresDoNotHelpTinyKernels)
+{
+    // A tiny kernel is dominated by the tail + low occupancy, so the
+    // tensor-core advantage should mostly vanish.
+    KernelCost tiny{1e6, 0, false};
+    KernelCost tiny_tc{1e6, 0, true};
+    const auto fp32 = kernelDuration(v100, tiny);
+    const auto tc = kernelDuration(v100, tiny_tc);
+    const double ratio =
+        static_cast<double>(fp32) / static_cast<double>(tc);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST_F(KernelModelTest, MonotoneInFlops)
+{
+    sim::Tick prev = 0;
+    for (double flops = 1e6; flops < 1e13; flops *= 3.7) {
+        const sim::Tick d = kernelDuration(v100, {flops, 0, false});
+        EXPECT_GE(d, prev);
+        prev = d;
+    }
+}
+
+TEST_F(KernelModelTest, V100FasterThanP100)
+{
+    const hw::GpuSpec p100 = hw::GpuSpec::pascalP100();
+    KernelCost work{1e11, 1e8, true};
+    EXPECT_LT(kernelDuration(v100, work), kernelDuration(p100, work));
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for per-device memory accounting and out-of-memory behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cuda/device.hh"
+#include "cuda/memory_tracker.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using cuda::MemCategory;
+using cuda::MemoryTracker;
+
+TEST(MemoryTrackerTest, AllocAndFreeBalance)
+{
+    MemoryTracker mem(1000);
+    mem.alloc(MemCategory::Weights, 400);
+    mem.alloc(MemCategory::Activations, 300);
+    EXPECT_EQ(mem.used(), 700u);
+    EXPECT_EQ(mem.usedBy(MemCategory::Weights), 400u);
+    EXPECT_EQ(mem.headroom(), 300u);
+    mem.free(MemCategory::Weights, 400);
+    EXPECT_EQ(mem.used(), 300u);
+    EXPECT_EQ(mem.usedBy(MemCategory::Weights), 0u);
+}
+
+TEST(MemoryTrackerTest, PeakTracksHighWater)
+{
+    MemoryTracker mem(1000);
+    mem.alloc(MemCategory::Workspace, 800);
+    mem.free(MemCategory::Workspace, 700);
+    mem.alloc(MemCategory::Weights, 100);
+    EXPECT_EQ(mem.peak(), 800u);
+    EXPECT_EQ(mem.used(), 200u);
+}
+
+TEST(MemoryTrackerTest, OverCapacityThrowsFatal)
+{
+    MemoryTracker mem(1000);
+    mem.alloc(MemCategory::Weights, 900);
+    EXPECT_THROW(mem.alloc(MemCategory::Activations, 200),
+                 sim::FatalError);
+    // Failed allocation must not change accounting.
+    EXPECT_EQ(mem.used(), 900u);
+}
+
+TEST(MemoryTrackerTest, FreeAllClearsOneCategoryOnly)
+{
+    MemoryTracker mem(1000);
+    mem.alloc(MemCategory::Activations, 500);
+    mem.alloc(MemCategory::Weights, 100);
+    mem.freeAll(MemCategory::Activations);
+    EXPECT_EQ(mem.used(), 100u);
+    EXPECT_EQ(mem.usedBy(MemCategory::Activations), 0u);
+    EXPECT_EQ(mem.usedBy(MemCategory::Weights), 100u);
+}
+
+TEST(MemoryTrackerTest, CategoryNamesArePrintable)
+{
+    EXPECT_STREQ(cuda::memCategoryName(MemCategory::Weights), "weights");
+    EXPECT_STREQ(cuda::memCategoryName(MemCategory::CommBuffers),
+                 "comm-buffers");
+    EXPECT_STREQ(cuda::memCategoryName(MemCategory::Context), "context");
+}
+
+TEST(DeviceTest, DeviceOwnsSpecAndMemory)
+{
+    cuda::Device dev(3, hw::GpuSpec::voltaV100());
+    EXPECT_EQ(dev.node(), 3);
+    EXPECT_EQ(dev.spec().numSms, 80);
+    EXPECT_EQ(dev.mem().capacity(), sim::Bytes(16) << 30);
+    dev.mem().alloc(MemCategory::Context, 1 << 20);
+    EXPECT_EQ(dev.mem().used(), sim::Bytes(1) << 20);
+}
+
+TEST(GpuSpecTest, V100MatchesPublishedNumbers)
+{
+    const hw::GpuSpec v100 = hw::GpuSpec::voltaV100();
+    EXPECT_EQ(v100.numSms, 80);
+    EXPECT_NEAR(v100.fp32Tflops, 15.7, 0.1);
+    EXPECT_NEAR(v100.tensorTflops, 125.0, 0.1);
+    EXPECT_NEAR(v100.memBwGBps, 900.0, 1.0);
+    // Peak flops per tick == TFLOPs numerically (1e12 / 1e12).
+    EXPECT_DOUBLE_EQ(v100.peakFlopsPerTick(false), v100.fp32Tflops);
+    EXPECT_DOUBLE_EQ(v100.peakFlopsPerTick(true), v100.tensorTflops);
+}
+
+TEST(GpuSpecTest, P100HasNoTensorCores)
+{
+    const hw::GpuSpec p100 = hw::GpuSpec::pascalP100();
+    EXPECT_DOUBLE_EQ(p100.tensorTflops, 0.0);
+    // Requesting tensor math falls back to fp32 peak.
+    EXPECT_DOUBLE_EQ(p100.peakFlopsPerTick(true), p100.fp32Tflops);
+}
+
+} // namespace

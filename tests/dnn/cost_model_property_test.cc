@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Property sweeps over the layer/network cost models, across the
+ * whole zoo: monotonicity, consistency, and in-place accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cuda/kernel_model.hh"
+#include "dnn/models.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::dnn;
+
+class ZooSweep : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    Network net = buildByName(GetParam());
+};
+
+TEST_P(ZooSweep, KernelDurationsMonotoneInBatch)
+{
+    const hw::GpuSpec v100 = hw::GpuSpec::voltaV100();
+    for (const auto &layer : net.layers()) {
+        sim::Tick prev = 0;
+        for (int batch : {1, 4, 16, 64}) {
+            const sim::Tick d = cuda::kernelDuration(
+                v100, cuda::KernelCost{layer->forwardFlops(batch),
+                                       layer->forwardBytes(batch),
+                                       false,
+                                       layer->efficiencyScale()});
+            EXPECT_GE(d, prev) << layer->name();
+            prev = d;
+        }
+    }
+}
+
+TEST_P(ZooSweep, PerImageTimeImprovesWithBatch)
+{
+    // The saturation curve must make bigger batches at least as
+    // efficient per image (paper: "increasing batch size reduces
+    // training time for an epoch").
+    const hw::GpuSpec v100 = hw::GpuSpec::voltaV100();
+    auto iter_ticks = [&](int batch) {
+        sim::Tick total = 0;
+        for (const auto &layer : net.layers()) {
+            total += cuda::kernelDuration(
+                v100, cuda::KernelCost{layer->forwardFlops(batch),
+                                       layer->forwardBytes(batch),
+                                       false,
+                                       layer->efficiencyScale()});
+        }
+        return static_cast<double>(total) / batch;
+    };
+    EXPECT_LT(iter_ticks(32), iter_ticks(16));
+    EXPECT_LT(iter_ticks(64), iter_ticks(32));
+}
+
+TEST_P(ZooSweep, ShapesChainThroughTheNetwork)
+{
+    // Every layer's input shape equals some previously produced
+    // shape (linear chain, branch input, or concat output).
+    const auto &layers = net.layers();
+    for (std::size_t i = 1; i < layers.size(); ++i) {
+        const TensorShape &in = layers[i]->inputShape();
+        bool found = in == net.inputShape();
+        for (std::size_t j = 0; j < i && !found; ++j)
+            found = layers[j]->outputShape() == in;
+        EXPECT_TRUE(found) << layers[i]->name();
+    }
+}
+
+TEST_P(ZooSweep, InPlaceLayersStoreNoActivations)
+{
+    for (const auto &layer : net.layers()) {
+        if (layer->inPlace()) {
+            EXPECT_EQ(layer->activationBytes(16), 0u) << layer->name();
+        }
+        if (layer->kind() == LayerKind::Conv ||
+            layer->kind() == LayerKind::FullyConnected) {
+            EXPECT_FALSE(layer->inPlace()) << layer->name();
+            EXPECT_GT(layer->activationBytes(1), 0u) << layer->name();
+        }
+    }
+}
+
+TEST_P(ZooSweep, BackwardCostsAtLeastForward)
+{
+    for (const auto &layer : net.layers()) {
+        EXPECT_GE(layer->backwardFlops(8), layer->forwardFlops(8))
+            << layer->name();
+        EXPECT_GE(layer->backwardBytes(8), layer->forwardBytes(8))
+            << layer->name();
+        EXPECT_GE(layer->backwardKernels(), 1) << layer->name();
+        EXPECT_LE(layer->backwardKernels(), 2) << layer->name();
+    }
+}
+
+TEST_P(ZooSweep, WorkspaceMonotoneAndCapped)
+{
+    sim::Bytes prev = 0;
+    for (int batch : {1, 8, 64, 512}) {
+        const sim::Bytes ws = net.maxWorkspaceBytes(batch);
+        EXPECT_GE(ws, prev);
+        prev = ws;
+    }
+    EXPECT_LE(prev, sim::Bytes(512) << 20);
+}
+
+TEST_P(ZooSweep, ParamCountIndependentOfBatch)
+{
+    // Weights and gradient buckets depend only on the architecture —
+    // the fact behind "the amount of data transferred per WU remains
+    // constant" in the paper.
+    const auto buckets = net.gradientBuckets();
+    const std::uint64_t params = net.paramCount();
+    EXPECT_EQ(net.paramCount(), params);
+    sim::Bytes bucket_total = 0;
+    for (const auto &b : buckets)
+        bucket_total += b.bytes;
+    EXPECT_EQ(bucket_total, params * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooSweep,
+                         ::testing::Values("lenet", "alexnet",
+                                           "googlenet", "inception-v3",
+                                           "resnet-50"));
+
+TEST(EfficiencyScaleTest, FcLayersArePenalized)
+{
+    FullyConnected fc("fc", TensorShape{256, 1, 1}, 1000);
+    Conv2d conv("c", TensorShape{64, 28, 28}, 64, 3, 3, 1, 1, 1);
+    EXPECT_LT(fc.efficiencyScale(), conv.efficiencyScale());
+    EXPECT_DOUBLE_EQ(conv.efficiencyScale(), 1.0);
+}
+
+} // namespace

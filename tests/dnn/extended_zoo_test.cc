@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the extended model zoo (VGG-16, ResNet-152) against
+ * published facts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+TEST(Vgg16Test, ExactPublishedParameterCount)
+{
+    Network net = buildVgg16();
+    EXPECT_EQ(net.paramCount(), 138357544u);
+    EXPECT_EQ(net.structure.convLayers, 13);
+    EXPECT_EQ(net.structure.fcLayers, 3);
+    // ~15.5 GMACs == ~31 GFLOPs per image.
+    EXPECT_NEAR(net.forwardFlops(1) / 1e9, 31.0, 1.5);
+}
+
+TEST(Vgg16Test, FcHeadDominatesParameters)
+{
+    Network net = buildVgg16();
+    std::uint64_t fc_params = 0;
+    for (const auto &layer : net.layers()) {
+        if (layer->kind() == LayerKind::FullyConnected)
+            fc_params += layer->paramCount();
+    }
+    EXPECT_GT(fc_params, net.paramCount() * 8 / 10);
+}
+
+TEST(ResNet152Test, PublishedParameterBallpark)
+{
+    Network net = buildResNet152();
+    // torchvision: 60.19M (bias-free convs).
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 60.19e6,
+                0.25e6);
+    EXPECT_EQ(net.structure.residualBlocks, 50);
+    // conv1 + 50 x 3 + 4 projections.
+    EXPECT_EQ(net.structure.convLayers, 155);
+    // ~11.6 GMACs == ~23 GFLOPs.
+    EXPECT_NEAR(net.forwardFlops(1) / 1e9, 23.1, 1.5);
+}
+
+TEST(ExtendedZooTest, NamesIncludePaperFivePlusExtensions)
+{
+    const auto &paper = modelNames();
+    const auto &all = extendedModelNames();
+    EXPECT_EQ(paper.size(), 5u);
+    EXPECT_EQ(all.size(), 7u);
+    for (const auto &name : all)
+        EXPECT_NO_THROW(buildByName(name)) << name;
+}
+
+TEST(ExtendedZooTest, Vgg16IsTheCommunicationHeaviest)
+{
+    // Weights per FLOP: VGG-16 tops the zoo, which is why it is the
+    // canonical communication-bound workload.
+    const double vgg = buildVgg16().paramCount() /
+                       buildVgg16().forwardFlops(1);
+    for (const auto &name : modelNames()) {
+        if (name == "lenet" || name == "alexnet")
+            continue; // tiny-compute outliers
+        Network net = buildByName(name);
+        EXPECT_GT(vgg, net.paramCount() / net.forwardFlops(1)) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for layer shape inference, parameter counts, and cost
+ * models, checked against hand-computed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+TEST(ConvLayerTest, ShapeInferenceValidPadding)
+{
+    // LeNet conv1: 28x28x1, 20 filters of 5x5, stride 1, no padding.
+    Conv2d conv("conv1", TensorShape{1, 28, 28}, 20, 5, 5, 1, 0, 0);
+    EXPECT_EQ(conv.outputShape(), (TensorShape{20, 24, 24}));
+    EXPECT_EQ(conv.paramCount(), 5u * 5 * 1 * 20 + 20);
+}
+
+TEST(ConvLayerTest, ShapeInferenceSamePadding)
+{
+    Conv2d conv("c", TensorShape{64, 56, 56}, 128, 3, 3, 1, -1, -1);
+    EXPECT_EQ(conv.outputShape(), (TensorShape{128, 56, 56}));
+    EXPECT_EQ(conv.padH(), 1);
+}
+
+TEST(ConvLayerTest, StridedShapeInference)
+{
+    // AlexNet conv1: 224x224x3, 64 filters 11x11 stride 4 pad 2.
+    Conv2d conv("conv1", TensorShape{3, 224, 224}, 64, 11, 11, 4, 2, 2);
+    EXPECT_EQ(conv.outputShape(), (TensorShape{64, 55, 55}));
+}
+
+TEST(ConvLayerTest, AsymmetricKernelShape)
+{
+    // Inception-v3 1x7 conv with same padding keeps the grid.
+    Conv2d conv("c", TensorShape{128, 17, 17}, 128, 1, 7, 1, 0, 3);
+    EXPECT_EQ(conv.outputShape(), (TensorShape{128, 17, 17}));
+    EXPECT_EQ(conv.paramCount(), 1u * 7 * 128 * 128 + 128);
+}
+
+TEST(ConvLayerTest, ForwardFlopsFormula)
+{
+    Conv2d conv("c", TensorShape{3, 8, 8}, 4, 3, 3, 1, 1, 1);
+    // 2 * k*k*cin * out_elems: 2*27 * (4*8*8) = 13824 per sample.
+    EXPECT_DOUBLE_EQ(conv.forwardFlops(1), 13824.0);
+    EXPECT_DOUBLE_EQ(conv.forwardFlops(10), 138240.0);
+    // Backward computes wgrad + dgrad: twice forward, two kernels.
+    EXPECT_DOUBLE_EQ(conv.backwardFlops(1), 2 * 13824.0);
+    EXPECT_EQ(conv.backwardKernels(), 2);
+    EXPECT_TRUE(conv.tensorEligible());
+}
+
+TEST(ConvLayerTest, CollapsedOutputIsFatal)
+{
+    EXPECT_THROW(Conv2d("c", TensorShape{3, 4, 4}, 8, 7, 7, 1, 0, 0),
+                 dgxsim::sim::FatalError);
+    EXPECT_THROW(Conv2d("c", TensorShape{3, 8, 8}, 8, 3, 3, 0, 1, 1),
+                 dgxsim::sim::FatalError);
+}
+
+TEST(ConvLayerTest, WorkspaceGrowsWithBatchAndIsCapped)
+{
+    Conv2d conv("c", TensorShape{64, 56, 56}, 64, 3, 3, 1, 1, 1);
+    EXPECT_GT(conv.workspaceBytes(8), conv.workspaceBytes(1));
+    EXPECT_LE(conv.workspaceBytes(4096), 512u << 20);
+}
+
+TEST(FullyConnectedTest, ParamsAndFlops)
+{
+    // LeNet fc1: 50x4x4 -> 500.
+    FullyConnected fc("fc1", TensorShape{50, 4, 4}, 500);
+    EXPECT_EQ(fc.paramCount(), 800u * 500 + 500);
+    EXPECT_DOUBLE_EQ(fc.forwardFlops(1), 2.0 * 800 * 500);
+    EXPECT_EQ(fc.outputShape(), (TensorShape{500, 1, 1}));
+    EXPECT_TRUE(fc.tensorEligible());
+}
+
+TEST(PoolLayerTest, MaxPoolShape)
+{
+    Pool2d pool("p", TensorShape{20, 24, 24}, Pool2d::Mode::Max, 2, 2);
+    EXPECT_EQ(pool.outputShape(), (TensorShape{20, 12, 12}));
+    EXPECT_EQ(pool.paramCount(), 0u);
+    EXPECT_EQ(pool.backwardKernels(), 1);
+}
+
+TEST(PoolLayerTest, PaddedPoolShape)
+{
+    // GoogLeNet pool1: 112 -> 56 with 3x3 stride 2 pad 1.
+    Pool2d pool("p", TensorShape{64, 112, 112}, Pool2d::Mode::Max, 3, 2,
+                1);
+    EXPECT_EQ(pool.outputShape(), (TensorShape{64, 56, 56}));
+}
+
+TEST(PoolLayerTest, GlobalAvgPoolCollapsesSpatial)
+{
+    Pool2d pool("p", TensorShape{2048, 7, 7}, Pool2d::Mode::GlobalAvg,
+                0, 1);
+    EXPECT_EQ(pool.outputShape(), (TensorShape{2048, 1, 1}));
+}
+
+TEST(BatchNormTest, TwoParamsPerChannel)
+{
+    BatchNorm bn("bn", TensorShape{256, 14, 14});
+    EXPECT_EQ(bn.paramCount(), 512u);
+    EXPECT_FALSE(bn.tensorEligible());
+}
+
+TEST(ConcatTest, SumsChannels)
+{
+    Concat cat("cat", {TensorShape{64, 28, 28}, TensorShape{128, 28, 28},
+                       TensorShape{32, 28, 28}});
+    EXPECT_EQ(cat.outputShape(), (TensorShape{224, 28, 28}));
+    EXPECT_DOUBLE_EQ(cat.forwardFlops(16), 0.0);
+    // The branches own the stored activations.
+    EXPECT_EQ(cat.activationBytes(16), 0u);
+}
+
+TEST(ConcatTest, SpatialMismatchIsFatal)
+{
+    EXPECT_THROW(Concat("cat", {TensorShape{64, 28, 28},
+                                TensorShape{64, 14, 14}}),
+                 dgxsim::sim::FatalError);
+}
+
+TEST(ActivationLayersTest, ElementwiseCosts)
+{
+    const TensorShape s{64, 10, 10};
+    Activation relu("relu", s);
+    EXPECT_DOUBLE_EQ(relu.forwardFlops(2), 2.0 * 6400);
+    EXPECT_EQ(relu.outputShape(), s);
+    EltwiseAdd add("add", s);
+    EXPECT_DOUBLE_EQ(add.forwardFlops(1), 6400.0);
+    Dropout drop("drop", s);
+    EXPECT_GT(drop.forwardFlops(1), 0.0);
+    Softmax sm("sm", TensorShape{1000, 1, 1});
+    EXPECT_DOUBLE_EQ(sm.forwardFlops(1), 3000.0);
+    LRN lrn("lrn", s);
+    EXPECT_GT(lrn.forwardFlops(1), relu.forwardFlops(1));
+}
+
+TEST(LayerKindTest, NamesArePrintable)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv), "conv");
+    EXPECT_STREQ(layerKindName(LayerKind::FullyConnected), "fc");
+    EXPECT_STREQ(layerKindName(LayerKind::Concat), "concat");
+    EXPECT_STREQ(layerKindName(LayerKind::EltwiseAdd), "eltwise-add");
+}
+
+TEST(LayerTest, ActivationBytesScaleWithBatch)
+{
+    Conv2d conv("c", TensorShape{3, 32, 32}, 16, 3, 3, 1, 1, 1);
+    EXPECT_EQ(conv.activationBytes(4), 4u * 16 * 32 * 32 * 4);
+    EXPECT_EQ(conv.activationBytes(8), 2 * conv.activationBytes(4));
+}
+
+TEST(TensorShapeTest, ElementAndByteMath)
+{
+    TensorShape s{3, 224, 224};
+    EXPECT_EQ(s.elements(), 3u * 224 * 224);
+    EXPECT_EQ(s.bytes(), s.elements() * 4);
+    EXPECT_EQ(s.str(), "3x224x224");
+    EXPECT_EQ(convOutDim(224, 7, 2, 3), 112);
+    EXPECT_EQ(convOutDim(28, 5, 1, 0), 24);
+}
+
+} // namespace

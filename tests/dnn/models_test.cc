@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests checking the model zoo against published architecture facts
+ * (paper Table I and the original papers' parameter counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+TEST(LeNetTest, ExactParameterCount)
+{
+    Network net = buildLeNet();
+    // conv1 520 + conv2 25050 + fc1 400500 + fc2 5010.
+    EXPECT_EQ(net.paramCount(), 431080u);
+    EXPECT_EQ(net.structure.convLayers, 2);
+    EXPECT_EQ(net.structure.fcLayers, 2);
+    EXPECT_EQ(net.structure.inceptionModules, 0);
+    EXPECT_EQ(net.weightedLayers(), 4);
+}
+
+TEST(AlexNetTest, TorchvisionParameterCount)
+{
+    Network net = buildAlexNet();
+    EXPECT_EQ(net.paramCount(), 61100840u);
+    EXPECT_EQ(net.structure.convLayers, 5);
+    EXPECT_EQ(net.structure.fcLayers, 3);
+    EXPECT_EQ(net.weightedLayers(), 8);
+}
+
+TEST(GoogLeNetTest, ClassicParameterCount)
+{
+    Network net = buildGoogLeNet();
+    EXPECT_EQ(net.paramCount(), 6998552u);
+    EXPECT_EQ(net.structure.inceptionModules, 9);
+    EXPECT_EQ(net.structure.convLayers, 3);
+    EXPECT_EQ(net.structure.fcLayers, 1);
+    // 2 stem convs + reduce + 6 convs per inception module.
+    EXPECT_EQ(net.weightedLayers(), 3 + 9 * 6 + 1);
+}
+
+TEST(InceptionV3Test, PublishedParameterBallpark)
+{
+    Network net = buildInceptionV3();
+    // torchvision: 23.83M (bias-free convs); ours adds conv biases.
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 23.83e6,
+                0.15e6);
+    EXPECT_EQ(net.structure.inceptionModules, 11);
+    EXPECT_EQ(net.structure.convLayers, 5);
+    EXPECT_EQ(net.inputShape(), (TensorShape{3, 299, 299}));
+}
+
+TEST(ResNet50Test, PublishedParameterBallpark)
+{
+    Network net = buildResNet50();
+    // torchvision: 25.557M.
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 25.56e6,
+                0.15e6);
+    EXPECT_EQ(net.structure.residualBlocks, 16);
+    // conv1 + 16 blocks x 3 convs + 4 projections = 53.
+    EXPECT_EQ(net.structure.convLayers, 53);
+    EXPECT_EQ(net.structure.fcLayers, 1);
+}
+
+TEST(ModelZooTest, ParameterOrderingMatchesTableI)
+{
+    // Table I: LeNet < GoogLeNet < Inception-v3 ~ ResNet < AlexNet.
+    const auto lenet = buildLeNet().paramCount();
+    const auto alexnet = buildAlexNet().paramCount();
+    const auto googlenet = buildGoogLeNet().paramCount();
+    const auto inception = buildInceptionV3().paramCount();
+    const auto resnet = buildResNet50().paramCount();
+    EXPECT_LT(lenet, googlenet);
+    EXPECT_LT(googlenet, inception);
+    EXPECT_LT(inception, alexnet);
+    EXPECT_LT(resnet, alexnet);
+}
+
+TEST(ModelZooTest, ComputeIntensityOrdering)
+{
+    // The paper sorts compute-intensiveness LeNet < AlexNet <
+    // ResNet/GoogLeNet < Inception-v3 (per-image FLOPs).
+    const double lenet = buildLeNet().forwardFlops(1);
+    const double alexnet = buildAlexNet().forwardFlops(1);
+    const double googlenet = buildGoogLeNet().forwardFlops(1);
+    const double inception = buildInceptionV3().forwardFlops(1);
+    const double resnet = buildResNet50().forwardFlops(1);
+    EXPECT_LT(lenet, alexnet);
+    EXPECT_LT(alexnet, googlenet);
+    EXPECT_LT(googlenet, resnet);
+    EXPECT_LT(resnet, inception);
+}
+
+TEST(ModelZooTest, PublishedForwardFlops)
+{
+    // Known per-image forward GFLOPs (2x multiply-accumulate): AlexNet
+    // ~1.4, GoogLeNet ~3.2, ResNet-50 ~8.2, Inception-v3 ~11.4.
+    EXPECT_NEAR(buildAlexNet().forwardFlops(1) / 1e9, 1.4, 0.2);
+    EXPECT_NEAR(buildGoogLeNet().forwardFlops(1) / 1e9, 3.2, 0.4);
+    EXPECT_NEAR(buildResNet50().forwardFlops(1) / 1e9, 8.2, 0.8);
+    EXPECT_NEAR(buildInceptionV3().forwardFlops(1) / 1e9, 11.4, 1.0);
+}
+
+TEST(ModelZooTest, GradientBucketsMatchWeightedLayers)
+{
+    for (const std::string &name : modelNames()) {
+        Network net = buildByName(name);
+        const auto buckets = net.gradientBuckets();
+        EXPECT_EQ(static_cast<int>(buckets.size()),
+                  net.weightedLayers())
+            << name;
+        dgxsim::sim::Bytes total = 0;
+        for (const auto &b : buckets) {
+            EXPECT_GT(b.bytes, 0u) << name;
+            total += b.bytes;
+        }
+        EXPECT_EQ(total, net.paramBytes()) << name;
+    }
+}
+
+TEST(ModelZooTest, WeightsPerBucketOrdering)
+{
+    // The paper: AlexNet "has a large number of weights per layer"
+    // and "utilizes the high BW of NVLink more efficiently than
+    // LeNet"; the deep BN-heavy networks transfer many small arrays.
+    auto avg_bucket = [](Network net) {
+        return static_cast<double>(net.paramBytes()) /
+               static_cast<double>(net.gradientBuckets().size());
+    };
+    const double alexnet = avg_bucket(buildAlexNet());
+    for (const std::string &other :
+         {std::string("lenet"), std::string("googlenet"),
+          std::string("inception-v3"), std::string("resnet-50")}) {
+        EXPECT_GT(alexnet, 10.0 * avg_bucket(buildByName(other)))
+            << other;
+    }
+    // LeNet has by far the fewest transfers per weight update.
+    EXPECT_LT(buildLeNet().gradientBuckets().size(), 8u);
+    EXPECT_GT(buildInceptionV3().gradientBuckets().size(), 100u);
+}
+
+TEST(ModelZooTest, BuildByNameAliases)
+{
+    EXPECT_EQ(buildByName("inception-v3").name(), "Inception-v3");
+    EXPECT_EQ(buildByName("inceptionv3").name(), "Inception-v3");
+    EXPECT_EQ(buildByName("resnet50").name(), "ResNet-50");
+    EXPECT_EQ(buildByName("vgg16").name(), "VGG-16");
+    EXPECT_THROW(buildByName("mobilenet"), dgxsim::sim::FatalError);
+}
+
+TEST(ModelZooTest, SummaryMentionsStructure)
+{
+    const std::string s = buildGoogLeNet().summary();
+    EXPECT_NE(s.find("GoogLeNet"), std::string::npos);
+    EXPECT_NE(s.find("9 inception"), std::string::npos);
+    const std::string r = buildResNet50().summary();
+    EXPECT_NE(r.find("16 residual blocks"), std::string::npos);
+}
+
+TEST(ModelZooTest, ActivationsScaleSuperlinearlyVsParams)
+{
+    // Table IV insight: for large workloads the memory for
+    // intermediate outputs far exceeds the network model itself.
+    for (const std::string &name :
+         {std::string("googlenet"), std::string("inception-v3"),
+          std::string("resnet-50")}) {
+        Network net = buildByName(name);
+        EXPECT_GT(net.activationBytes(64), 4 * net.paramBytes())
+            << name;
+    }
+}
+
+TEST(ModelZooTest, BackwardFlopsRoughlyTwiceForward)
+{
+    for (const std::string &name : modelNames()) {
+        Network net = buildByName(name);
+        const double f = net.forwardFlops(16);
+        const double b = net.backwardFlops(16);
+        EXPECT_GT(b, 1.5 * f) << name;
+        EXPECT_LT(b, 2.2 * f) << name;
+    }
+}
+
+class ZooBatchLinearity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ZooBatchLinearity, FlopsAndActivationsLinearInBatch)
+{
+    Network net = buildByName(GetParam());
+    EXPECT_DOUBLE_EQ(net.forwardFlops(32), 2.0 * net.forwardFlops(16));
+    EXPECT_EQ(net.activationBytes(32), 2 * net.activationBytes(16));
+    EXPECT_DOUBLE_EQ(net.backwardFlops(32),
+                     2.0 * net.backwardFlops(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooBatchLinearity,
+                         ::testing::Values("lenet", "alexnet",
+                                           "googlenet", "inception-v3",
+                                           "resnet-50"));
+
+} // namespace

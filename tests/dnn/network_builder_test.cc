@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the NetworkBuilder fluent API: shape propagation, branch
+ * modules, residual wiring, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/network.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+TEST(NetworkBuilderTest, ShapePropagatesThroughChain)
+{
+    NetworkBuilder b("net", TensorShape{3, 32, 32});
+    b.conv("c1", 16, 3, 1, 1);
+    EXPECT_EQ(b.shape(), (TensorShape{16, 32, 32}));
+    b.maxPool("p1", 2, 2);
+    EXPECT_EQ(b.shape(), (TensorShape{16, 16, 16}));
+    b.fc("fc", 10);
+    EXPECT_EQ(b.shape(), (TensorShape{10, 1, 1}));
+}
+
+TEST(NetworkBuilderTest, ModuleConcatenatesBranches)
+{
+    NetworkBuilder b("net", TensorShape{8, 14, 14});
+    b.beginModule();
+    b.conv("b1", 16, 1, 1, 0);
+    b.branch();
+    b.conv("b2", 32, 3, 1, 1);
+    b.branch();
+    b.maxPool("b3", 3, 1, 1);
+    b.endModule("cat");
+    EXPECT_EQ(b.shape(), (TensorShape{16 + 32 + 8, 14, 14}));
+    Network net = b.build();
+    EXPECT_EQ(net.structure.inceptionModules, 1);
+    // Convs inside a module do not count as standalone conv layers.
+    EXPECT_EQ(net.structure.convLayers, 0);
+}
+
+TEST(NetworkBuilderTest, NestedModuleIsFatal)
+{
+    NetworkBuilder b("net", TensorShape{8, 14, 14});
+    b.beginModule();
+    EXPECT_THROW(b.beginModule(), dgxsim::sim::FatalError);
+}
+
+TEST(NetworkBuilderTest, BranchOutsideModuleIsFatal)
+{
+    NetworkBuilder b("net", TensorShape{8, 14, 14});
+    EXPECT_THROW(b.branch(), dgxsim::sim::FatalError);
+    EXPECT_THROW(b.endModule("cat"), dgxsim::sim::FatalError);
+}
+
+TEST(NetworkBuilderTest, BuildInsideModuleIsFatal)
+{
+    NetworkBuilder b("net", TensorShape{8, 14, 14});
+    b.beginModule();
+    b.conv("c", 8, 1, 1, 0);
+    EXPECT_THROW(b.build(), dgxsim::sim::FatalError);
+}
+
+TEST(NetworkBuilderTest, ResidualAddRequiresMatchingShapes)
+{
+    NetworkBuilder b("net", TensorShape{16, 8, 8});
+    const TensorShape identity = b.markResidual();
+    b.conv("c1", 16, 3, 1, 1);
+    b.residualAdd("add", identity);
+    EXPECT_EQ(b.shape(), (TensorShape{16, 8, 8}));
+
+    NetworkBuilder bad("net", TensorShape{16, 8, 8});
+    const TensorShape id2 = bad.markResidual();
+    bad.conv("c1", 32, 3, 2, 1);
+    EXPECT_THROW(bad.residualAdd("add", id2), dgxsim::sim::FatalError);
+}
+
+TEST(NetworkBuilderTest, SideConvBnProjectsShortcut)
+{
+    NetworkBuilder b("net", TensorShape{64, 56, 56});
+    const TensorShape shortcut = b.markResidual();
+    b.conv("main", 256, 3, 2, 1);
+    const TensorShape projected =
+        b.sideConvBn("proj", shortcut, 256, 2);
+    EXPECT_EQ(projected, b.shape());
+    b.residualAdd("add", projected);
+    Network net = b.build();
+    // side path adds a conv and a batchnorm.
+    EXPECT_EQ(net.structure.convLayers, 2);
+}
+
+TEST(NetworkBuilderTest, ConvBnReluAddsThreeLayers)
+{
+    NetworkBuilder b("net", TensorShape{3, 8, 8});
+    b.convBnRelu("c", 8, 3, 1, 1);
+    Network net = b.build();
+    EXPECT_EQ(net.layers().size(), 3u);
+    EXPECT_EQ(net.layers()[0]->kind(), LayerKind::Conv);
+    EXPECT_EQ(net.layers()[1]->kind(), LayerKind::BatchNorm);
+    EXPECT_EQ(net.layers()[2]->kind(), LayerKind::Activation);
+}
+
+TEST(NetworkTest, AggregatesSumOverLayers)
+{
+    NetworkBuilder b("net", TensorShape{3, 8, 8});
+    b.conv("c1", 4, 3, 1, 1).relu("r1").fc("fc", 10);
+    Network net = b.build();
+    double fwd = 0;
+    dgxsim::sim::Bytes act = 0;
+    std::uint64_t params = 0;
+    for (const auto &layer : net.layers()) {
+        fwd += layer->forwardFlops(4);
+        act += layer->activationBytes(4);
+        params += layer->paramCount();
+    }
+    EXPECT_DOUBLE_EQ(net.forwardFlops(4), fwd);
+    EXPECT_EQ(net.activationBytes(4), act);
+    EXPECT_EQ(net.paramCount(), params);
+}
+
+TEST(NetworkTest, MaxWorkspaceIsMaxNotSum)
+{
+    NetworkBuilder b("net", TensorShape{3, 64, 64});
+    b.conv("small", 8, 1, 1, 0).conv("big", 64, 5, 1, 2);
+    Network net = b.build();
+    dgxsim::sim::Bytes max_ws = 0;
+    for (const auto &layer : net.layers())
+        max_ws = std::max(max_ws, layer->workspaceBytes(8));
+    EXPECT_EQ(net.maxWorkspaceBytes(8), max_ws);
+    EXPECT_GT(max_ws, 0u);
+}
+
+TEST(NetworkTest, GradientBucketsInForwardOrder)
+{
+    NetworkBuilder b("net", TensorShape{3, 16, 16});
+    b.conv("first", 8, 3, 1, 1).relu("r").fc("second", 10);
+    Network net = b.build();
+    const auto buckets = net.gradientBuckets();
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_EQ(buckets[0].layerName, "first");
+    EXPECT_EQ(buckets[1].layerName, "second");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Semantic validation of data-parallel synchronous SGD using the
+ * real-arithmetic reference MLP: sharded-gradient averaging must be
+ * exactly equivalent to full-batch gradients, and training must
+ * actually learn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/reference_trainer.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+/** Deterministic toy dataset: y = [sum(x), max-ish nonlinearity]. */
+std::vector<Sample>
+makeDataset(int n)
+{
+    std::vector<Sample> data;
+    for (int i = 0; i < n; ++i) {
+        const double a = 0.1 * ((i * 7) % 13) - 0.6;
+        const double b = 0.1 * ((i * 11) % 17) - 0.8;
+        const double c = 0.1 * ((i * 3) % 7) - 0.3;
+        Sample s;
+        s.x = {a, b, c};
+        s.y = {a + b + c, std::tanh(a * b - c)};
+        data.push_back(std::move(s));
+    }
+    return data;
+}
+
+TEST(ReferenceMlpTest, DeterministicInitialization)
+{
+    ReferenceMlp m1({3, 8, 2}, 42);
+    ReferenceMlp m2({3, 8, 2}, 42);
+    EXPECT_EQ(m1.parameters(), m2.parameters());
+    ReferenceMlp m3({3, 8, 2}, 43);
+    EXPECT_NE(m1.parameters(), m3.parameters());
+}
+
+TEST(ReferenceMlpTest, ParamCountMatchesArchitecture)
+{
+    ReferenceMlp mlp({3, 8, 2}, 1);
+    EXPECT_EQ(mlp.paramCount(), 3u * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ReferenceMlpTest, GradientsMatchFiniteDifferences)
+{
+    ReferenceMlp mlp({2, 4, 1}, 7);
+    const std::vector<Sample> batch = {{{0.3, -0.2}, {0.5}},
+                                       {{-0.1, 0.4}, {-0.2}}};
+    const GradientVector grads = mlp.gradients(batch);
+    const double eps = 1e-6;
+    std::vector<double> params = mlp.parameters();
+    for (std::size_t i = 0; i < params.size(); i += 3) {
+        std::vector<double> up = params, down = params;
+        up[i] += eps;
+        down[i] -= eps;
+        ReferenceMlp plus = mlp, minus = mlp;
+        plus.setParameters(up);
+        minus.setParameters(down);
+        const double numeric =
+            (plus.loss(batch) - minus.loss(batch)) / (2 * eps);
+        EXPECT_NEAR(grads[i], numeric, 1e-5) << "param " << i;
+    }
+}
+
+TEST(ReferenceMlpTest, TrainingReducesLoss)
+{
+    ReferenceMlp mlp({3, 16, 2}, 99);
+    const auto data = makeDataset(64);
+    const double initial = mlp.loss(data);
+    for (int epoch = 0; epoch < 200; ++epoch)
+        mlp.applyGradients(mlp.gradients(data), 0.1);
+    EXPECT_LT(mlp.loss(data), 0.2 * initial);
+}
+
+TEST(ReferenceMlpTest, ShardedGradientAverageEqualsFullBatch)
+{
+    // The core data-parallel identity the paper's Fig. 1 relies on:
+    // averaging per-shard mean gradients over equal shards equals the
+    // full-batch mean gradient.
+    ReferenceMlp mlp({3, 16, 2}, 5);
+    const auto data = makeDataset(32);
+    const GradientVector full = mlp.gradients(data);
+
+    for (int workers : {2, 4, 8}) {
+        std::vector<GradientVector> per_worker;
+        const int shard = 32 / workers;
+        for (int w = 0; w < workers; ++w) {
+            std::vector<Sample> slice(data.begin() + w * shard,
+                                      data.begin() + (w + 1) * shard);
+            per_worker.push_back(mlp.gradients(slice));
+        }
+        const GradientVector avg = averageGradients(per_worker);
+        ASSERT_EQ(avg.size(), full.size());
+        for (std::size_t i = 0; i < full.size(); ++i)
+            EXPECT_NEAR(avg[i], full[i], 1e-12) << workers << " workers";
+    }
+}
+
+TEST(ReferenceMlpTest, DataParallelTrainingMatchesSingleWorker)
+{
+    // Simulate the full PS schedule: shard -> local grads -> average
+    // -> update on the server -> broadcast. The resulting parameters
+    // must track single-worker full-batch SGD step for step.
+    const auto data = makeDataset(24);
+    ReferenceMlp solo({3, 8, 2}, 11);
+    ReferenceMlp server({3, 8, 2}, 11);
+    std::vector<ReferenceMlp> workers(4, ReferenceMlp({3, 8, 2}, 11));
+
+    for (int step = 0; step < 20; ++step) {
+        solo.applyGradients(solo.gradients(data), 0.05);
+
+        std::vector<GradientVector> grads;
+        for (int w = 0; w < 4; ++w) {
+            std::vector<Sample> shard(data.begin() + w * 6,
+                                      data.begin() + (w + 1) * 6);
+            grads.push_back(workers[w].gradients(shard));
+        }
+        server.applyGradients(averageGradients(grads), 0.05);
+        for (auto &w : workers)
+            w.setParameters(server.parameters());
+    }
+    const auto &a = solo.parameters();
+    const auto &b = server.parameters();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(ReferenceMlpTest, SizeMismatchesAreFatal)
+{
+    ReferenceMlp mlp({2, 3, 1}, 1);
+    EXPECT_THROW(mlp.forward({1.0, 2.0, 3.0}), dgxsim::sim::FatalError);
+    EXPECT_THROW(mlp.applyGradients(GradientVector{1.0}, 0.1),
+                 dgxsim::sim::FatalError);
+    EXPECT_THROW(mlp.setParameters({1.0}), dgxsim::sim::FatalError);
+    EXPECT_THROW(averageGradients({}), dgxsim::sim::FatalError);
+    EXPECT_THROW(averageGradients({{1.0, 2.0}, {1.0}}),
+                 dgxsim::sim::FatalError);
+    EXPECT_THROW(ReferenceMlp({5}, 1), dgxsim::sim::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Round-trip tests for network serialization: every zoo model must
+ * survive serialize -> deserialize with identical cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dnn/models.hh"
+#include "dnn/serialize.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::dnn;
+
+class RoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RoundTrip, CostModelsSurviveSerialization)
+{
+    Network original = buildByName(GetParam());
+    Network copy = deserialize(serialize(original));
+
+    EXPECT_EQ(copy.name(), original.name());
+    EXPECT_EQ(copy.inputShape(), original.inputShape());
+    ASSERT_EQ(copy.layers().size(), original.layers().size());
+    EXPECT_EQ(copy.paramCount(), original.paramCount());
+    EXPECT_DOUBLE_EQ(copy.forwardFlops(16), original.forwardFlops(16));
+    EXPECT_DOUBLE_EQ(copy.backwardFlops(16),
+                     original.backwardFlops(16));
+    EXPECT_EQ(copy.activationBytes(16), original.activationBytes(16));
+    EXPECT_EQ(copy.maxWorkspaceBytes(16),
+              original.maxWorkspaceBytes(16));
+    EXPECT_EQ(copy.structure.convLayers, original.structure.convLayers);
+    EXPECT_EQ(copy.structure.inceptionModules,
+              original.structure.inceptionModules);
+    EXPECT_EQ(copy.gradientBuckets().size(),
+              original.gradientBuckets().size());
+
+    // Per-layer identity.
+    for (std::size_t i = 0; i < copy.layers().size(); ++i) {
+        const Layer &a = *original.layers()[i];
+        const Layer &b = *copy.layers()[i];
+        EXPECT_EQ(a.kind(), b.kind()) << i;
+        EXPECT_EQ(a.name(), b.name()) << i;
+        EXPECT_EQ(a.outputShape(), b.outputShape()) << i;
+        EXPECT_EQ(a.paramCount(), b.paramCount()) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RoundTrip,
+                         ::testing::Values("lenet", "alexnet",
+                                           "googlenet", "inception-v3",
+                                           "resnet-50", "vgg-16",
+                                           "resnet-152"));
+
+TEST(SerializeTest, TextIsHumanReadable)
+{
+    const std::string text = serialize(buildLeNet());
+    EXPECT_NE(text.find("network LeNet input 1x28x28"),
+              std::string::npos);
+    EXPECT_NE(text.find("conv name=conv1"), std::string::npos);
+    EXPECT_NE(text.find("fc name=fc1"), std::string::npos);
+    EXPECT_NE(text.find("structure conv=2"), std::string::npos);
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored)
+{
+    Network net = deserialize(
+        "# a tiny test network\n"
+        "network Tiny input 3x8x8\n"
+        "\n"
+        "structure conv=1 incep=0 fc=1 res=0\n"
+        "conv name=c1 in=3x8x8 out_c=4 kh=3 kw=3 stride=1 ph=1 pw=1\n"
+        "# in-place activation\n"
+        "relu name=r1 in=4x8x8\n"
+        "fc name=f1 in=4x8x8 out=10\n");
+    EXPECT_EQ(net.layers().size(), 3u);
+    EXPECT_EQ(net.paramCount(), 4u * 27 + 4 + 256 * 10 + 10);
+}
+
+TEST(SerializeTest, MalformedInputIsFatal)
+{
+    using dgxsim::sim::FatalError;
+    EXPECT_THROW(deserialize(""), FatalError);
+    EXPECT_THROW(deserialize("conv name=c in=3x8x8"), FatalError);
+    EXPECT_THROW(deserialize("network X inputs 3x8x8\n"), FatalError);
+    EXPECT_THROW(
+        deserialize("network X input 3x8x8\nwarp name=w in=3x8x8\n"),
+        FatalError);
+    EXPECT_THROW(
+        deserialize("network X input 3x8x8\nconv name=c in=3x8x8\n"),
+        FatalError); // missing conv fields
+    EXPECT_THROW(deserialize("network X input 3by8by8\n"), FatalError);
+}
+
+TEST(SerializeTest, FileRoundTrip)
+{
+    const std::string path = "/tmp/dgxsim_serialize_test.net";
+    saveNetworkFile(buildGoogLeNet(), path);
+    Network loaded = loadNetworkFile(path);
+    EXPECT_EQ(loaded.paramCount(), buildGoogLeNet().paramCount());
+    std::remove(path.c_str());
+    EXPECT_THROW(loadNetworkFile("/nonexistent/net"),
+                 dgxsim::sim::FatalError);
+}
+
+} // namespace

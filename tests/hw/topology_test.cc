@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the DGX-1 topology and the route policy. The expectations
+ * encode the structural facts the paper states about Fig. 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hw/topology.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim::hw;
+
+class Dgx1TopologyTest : public ::testing::Test
+{
+  protected:
+    Topology topo = Topology::dgx1Volta();
+};
+
+TEST_F(Dgx1TopologyTest, HasEightGpusAndTwoCpus)
+{
+    EXPECT_EQ(topo.numGpus(), 8);
+    EXPECT_EQ(topo.numNodes(), 10);
+    for (NodeId g = 0; g < 8; ++g)
+        EXPECT_EQ(topo.nodeKind(g), NodeKind::Gpu);
+    EXPECT_EQ(topo.nodeKind(8), NodeKind::Cpu);
+    EXPECT_EQ(topo.nodeKind(9), NodeKind::Cpu);
+}
+
+TEST_F(Dgx1TopologyTest, PaperStatedDirectConnections)
+{
+    // "GPU0 has direct NVLink connections with GPU1, GPU2, GPU3, and
+    // GPU6."
+    EXPECT_TRUE(topo.directLink(0, 1, LinkType::NVLink).has_value());
+    EXPECT_TRUE(topo.directLink(0, 2, LinkType::NVLink).has_value());
+    EXPECT_TRUE(topo.directLink(0, 3, LinkType::NVLink).has_value());
+    EXPECT_TRUE(topo.directLink(0, 6, LinkType::NVLink).has_value());
+    EXPECT_FALSE(topo.directLink(0, 4, LinkType::NVLink).has_value());
+    EXPECT_FALSE(topo.directLink(0, 5, LinkType::NVLink).has_value());
+    EXPECT_FALSE(topo.directLink(0, 7, LinkType::NVLink).has_value());
+    // "GPU1 has a direct NVLink connection with GPU7."
+    EXPECT_TRUE(topo.directLink(1, 7, LinkType::NVLink).has_value());
+    // "e.g. between GPU3 and GPU4" there is no direct connection.
+    EXPECT_FALSE(topo.directLink(3, 4, LinkType::NVLink).has_value());
+}
+
+TEST_F(Dgx1TopologyTest, DoubledLinksMatchPaperBandwidthClaims)
+{
+    // "The BW ... between GPU0 and GPU1, and GPU0 and GPU2, is twice
+    // the BW rate between GPU0 and GPU3."
+    const double bw01 = topo.routeBandwidthGbps(0, 1);
+    const double bw02 = topo.routeBandwidthGbps(0, 2);
+    const double bw03 = topo.routeBandwidthGbps(0, 3);
+    EXPECT_DOUBLE_EQ(bw01, 2 * bw03);
+    EXPECT_DOUBLE_EQ(bw02, 2 * bw03);
+    EXPECT_DOUBLE_EQ(bw03, 25.0);
+}
+
+TEST_F(Dgx1TopologyTest, EveryGpuHasAtMostSixNvlinkBricks)
+{
+    for (NodeId g = 0; g < 8; ++g) {
+        int bricks = 0;
+        for (std::size_t i : topo.linksOf(g, LinkType::NVLink))
+            bricks += topo.links()[i].lanes;
+        EXPECT_LE(bricks, 6) << "GPU" << g;
+        EXPECT_GE(bricks, 4) << "GPU" << g;
+    }
+}
+
+TEST_F(Dgx1TopologyTest, NvlinkTopologyIsSymmetricQuadMirror)
+{
+    // Quad B mirrors quad A: link (a,b) exists iff (a+4,b+4) does.
+    for (NodeId a = 0; a < 4; ++a) {
+        for (NodeId b = a + 1; b < 4; ++b) {
+            auto la = topo.directLink(a, b, LinkType::NVLink);
+            auto lb = topo.directLink(a + 4, b + 4, LinkType::NVLink);
+            ASSERT_EQ(la.has_value(), lb.has_value());
+            if (la) {
+                EXPECT_EQ(topo.links()[*la].lanes,
+                          topo.links()[*lb].lanes);
+            }
+        }
+    }
+}
+
+TEST_F(Dgx1TopologyTest, EveryGpuHasAPcieUplink)
+{
+    for (NodeId g = 0; g < 8; ++g) {
+        bool has_cpu_link = false;
+        for (std::size_t i : topo.linksOf(g, LinkType::PCIe)) {
+            if (topo.nodeKind(topo.links()[i].peer(g)) == NodeKind::Cpu)
+                has_cpu_link = true;
+        }
+        EXPECT_TRUE(has_cpu_link) << "GPU" << g;
+    }
+}
+
+TEST_F(Dgx1TopologyTest, LoopbackRoute)
+{
+    Route r = topo.findRoute(3, 3);
+    EXPECT_EQ(r.kind, RouteKind::Loopback);
+    EXPECT_EQ(r.hops(), 0);
+}
+
+TEST_F(Dgx1TopologyTest, DirectRouteUsesOneLeg)
+{
+    Route r = topo.findRoute(0, 2);
+    EXPECT_EQ(r.kind, RouteKind::DirectNvlink);
+    ASSERT_EQ(r.hops(), 1);
+    EXPECT_EQ(r.legs[0].from, 0);
+    EXPECT_EQ(r.legs[0].to, 2);
+}
+
+TEST_F(Dgx1TopologyTest, NonNeighborsUseStagedNvlinkWithinTwoHops)
+{
+    // Paper: "A maximum of one intermediate node (two hops) is
+    // required to connect any pair of GPUs."
+    for (NodeId a = 0; a < 8; ++a) {
+        for (NodeId b = 0; b < 8; ++b) {
+            if (a == b)
+                continue;
+            Route r = topo.findRoute(a, b);
+            EXPECT_NE(r.kind, RouteKind::HostPcie)
+                << "GPU" << a << "->GPU" << b;
+            EXPECT_LE(r.hops(), 2);
+        }
+    }
+}
+
+TEST_F(Dgx1TopologyTest, StagedRouteLegsAreConnected)
+{
+    Route r = topo.findRoute(0, 7);
+    ASSERT_EQ(r.kind, RouteKind::StagedNvlink);
+    ASSERT_EQ(r.hops(), 2);
+    EXPECT_EQ(r.legs[0].from, 0);
+    EXPECT_EQ(r.legs[0].to, r.legs[1].from);
+    EXPECT_EQ(r.legs[1].to, 7);
+    // The relay must be a GPU neighbor of both ends.
+    const NodeId relay = r.legs[0].to;
+    EXPECT_TRUE(topo.directLink(0, relay, LinkType::NVLink).has_value());
+    EXPECT_TRUE(topo.directLink(relay, 7, LinkType::NVLink).has_value());
+}
+
+TEST_F(Dgx1TopologyTest, StagedRoutePrefersWidestRelay)
+{
+    // 0->7 candidate relays: 1 (2+1 lanes -> min 25), 2? (no 2-7),
+    // 3 (1,? 3-7 absent), 6 (1+1 -> 25). Bandwidth ties resolve to
+    // the lowest relay id, so expect GPU1 or a 50-wide path if any.
+    Route r = topo.findRoute(0, 7);
+    const NodeId relay = r.legs[0].to;
+    double best = 0;
+    for (NodeId cand = 0; cand < 8; ++cand) {
+        auto l1 = topo.directLink(0, cand, LinkType::NVLink);
+        auto l2 = topo.directLink(cand, 7, LinkType::NVLink);
+        if (!l1 || !l2)
+            continue;
+        best = std::max(best, std::min(topo.links()[*l1].gbpsPerDir(),
+                                       topo.links()[*l2].gbpsPerDir()));
+    }
+    auto l1 = topo.directLink(0, relay, LinkType::NVLink);
+    auto l2 = topo.directLink(relay, 7, LinkType::NVLink);
+    EXPECT_DOUBLE_EQ(std::min(topo.links()[*l1].gbpsPerDir(),
+                              topo.links()[*l2].gbpsPerDir()),
+                     best);
+}
+
+TEST_F(Dgx1TopologyTest, CpuToGpuGoesOverPcie)
+{
+    Route r = topo.findRoute(8, 0);
+    EXPECT_EQ(r.kind, RouteKind::HostPcie);
+    EXPECT_EQ(r.hops(), 1);
+    // Cross-socket adds the QPI hop.
+    Route rx = topo.findRoute(8, 5);
+    EXPECT_EQ(rx.kind, RouteKind::HostPcie);
+    EXPECT_EQ(rx.hops(), 2);
+}
+
+TEST_F(Dgx1TopologyTest, GpuSetReturnsFirstNGpus)
+{
+    auto gpus = topo.gpuSet(4);
+    EXPECT_EQ(gpus, (std::vector<NodeId>{0, 1, 2, 3}));
+    EXPECT_THROW(topo.gpuSet(9), dgxsim::sim::FatalError);
+    EXPECT_THROW(topo.gpuSet(0), dgxsim::sim::FatalError);
+}
+
+TEST_F(Dgx1TopologyTest, ScaleNvlinkBandwidthOnlyTouchesNvlink)
+{
+    const double pcie_before = topo.routeBandwidthGbps(8, 0);
+    topo.scaleNvlinkBandwidth(2.0);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(0, 3), 50.0);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(8, 0), pcie_before);
+    EXPECT_THROW(topo.scaleNvlinkBandwidth(0.0),
+                 dgxsim::sim::FatalError);
+}
+
+TEST(PcieOnlyTopologyTest, AllGpuPairsRouteThroughHost)
+{
+    Topology topo = Topology::pcieOnly8Gpu();
+    Route same_socket = topo.findRoute(0, 1);
+    EXPECT_EQ(same_socket.kind, RouteKind::HostPcie);
+    EXPECT_EQ(same_socket.hops(), 2); // DtoH + HtoD
+    Route cross = topo.findRoute(0, 7);
+    EXPECT_EQ(cross.kind, RouteKind::HostPcie);
+    EXPECT_EQ(cross.hops(), 3); // DtoH + QPI + HtoD
+}
+
+TEST(TopologyNamesTest, EnumNamesArePrintable)
+{
+    EXPECT_STREQ(linkTypeName(LinkType::NVLink), "NVLink");
+    EXPECT_STREQ(linkTypeName(LinkType::PCIe), "PCIe");
+    EXPECT_STREQ(linkTypeName(LinkType::QPI), "QPI");
+    EXPECT_STREQ(routeKindName(RouteKind::DirectNvlink),
+                 "direct-nvlink");
+    EXPECT_STREQ(routeKindName(RouteKind::StagedNvlink),
+                 "staged-nvlink");
+}
+
+TEST(TopologyBuildTest, BadLinkEndpointsAreFatal)
+{
+    Topology topo;
+    NodeId a = topo.addNode(NodeKind::Gpu, "GPU0");
+    EXPECT_THROW(topo.addLink(Link{a, a, LinkType::NVLink, 1, 25, 1}),
+                 dgxsim::sim::FatalError);
+    EXPECT_THROW(topo.addLink(Link{a, 5, LinkType::NVLink, 1, 25, 1}),
+                 dgxsim::sim::FatalError);
+}
+
+} // namespace

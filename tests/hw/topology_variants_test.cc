@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for topology variants and per-link bandwidth manipulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/nccl_communicator.hh"
+#include "comm/ring.hh"
+#include "hw/fabric.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::hw;
+
+TEST(UniformTopologyTest, SameEdgesAsTheCubeMesh)
+{
+    Topology stock = Topology::dgx1Volta();
+    Topology uniform = Topology::dgx1VoltaUniform();
+    ASSERT_EQ(stock.links().size(), uniform.links().size());
+    for (std::size_t i = 0; i < stock.links().size(); ++i) {
+        EXPECT_EQ(stock.links()[i].a, uniform.links()[i].a);
+        EXPECT_EQ(stock.links()[i].b, uniform.links()[i].b);
+        EXPECT_EQ(stock.links()[i].type, uniform.links()[i].type);
+    }
+}
+
+TEST(UniformTopologyTest, AggregateNvlinkBandwidthPreserved)
+{
+    auto aggregate = [](const Topology &topo) {
+        double total = 0;
+        for (const Link &link : topo.links()) {
+            if (link.type == LinkType::NVLink)
+                total += link.gbpsPerDir();
+        }
+        return total;
+    };
+    EXPECT_NEAR(aggregate(Topology::dgx1Volta()),
+                aggregate(Topology::dgx1VoltaUniform()), 1e-9);
+}
+
+TEST(UniformTopologyTest, NoDoubledPairsRemain)
+{
+    Topology uniform = Topology::dgx1VoltaUniform();
+    double bw = -1;
+    for (const Link &link : uniform.links()) {
+        if (link.type != LinkType::NVLink)
+            continue;
+        EXPECT_EQ(link.lanes, 1);
+        if (bw < 0)
+            bw = link.gbpsPerDir();
+        EXPECT_DOUBLE_EQ(link.gbpsPerDir(), bw);
+    }
+    EXPECT_NEAR(bw, 25.0 * 20 / 16, 1e-9);
+}
+
+TEST(UniformTopologyTest, RingStillExists)
+{
+    Topology uniform = Topology::dgx1VoltaUniform();
+    EXPECT_FALSE(
+        comm::findNvlinkRing(uniform, uniform.gpuSet(8)).empty());
+}
+
+TEST(LinkScalingTest, ScaleOneLinkOnly)
+{
+    Topology topo = Topology::dgx1Volta();
+    auto link = topo.directLink(0, 3, LinkType::NVLink);
+    ASSERT_TRUE(link.has_value());
+    const double before01 = topo.routeBandwidthGbps(0, 1);
+    topo.scaleLinkBandwidth(*link, 0.5);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(0, 3), 12.5);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(0, 1), before01);
+    EXPECT_THROW(topo.scaleLinkBandwidth(9999, 0.5),
+                 sim::FatalError);
+    EXPECT_THROW(topo.scaleLinkBandwidth(*link, 0.0),
+                 sim::FatalError);
+}
+
+TEST(LinkScalingTest, LiveFabricHonorsDegradedLink)
+{
+    sim::EventQueue q;
+    Fabric fabric(q, Topology::dgx1Volta());
+    auto link = fabric.topology().directLink(0, 3, LinkType::NVLink);
+    ASSERT_TRUE(link.has_value());
+    fabric.scaleLinkBandwidth(*link, 0.5);
+    sim::Tick end = 0;
+    fabric.transfer(0, 3, 125u * 1000 * 1000, [&] { end = q.now(); });
+    q.run();
+    // 125 MB over 12.5 GB/s == 10 ms.
+    EXPECT_NEAR(sim::ticksToMs(end), 10.0, 0.1);
+}
+
+TEST(LinkScalingTest, DegradedRingLinkSlowsCollectives)
+{
+    // Degrading a link on the 8-GPU ring must slow a large NCCL
+    // reduce; degrading the unused-direction link must not.
+    auto timed = [](double scale, NodeId a, NodeId b) {
+        sim::EventQueue q;
+        Fabric f(q, Topology::dgx1Volta());
+        if (scale != 1.0) {
+            auto link =
+                f.topology().directLink(a, b, LinkType::NVLink);
+            EXPECT_TRUE(link.has_value());
+            f.scaleLinkBandwidth(*link, scale);
+        }
+        comm::CommContext c;
+        c.queue = &q;
+        c.fabric = &f;
+        c.gpus = f.topology().gpuSet(8);
+        c.gpuSpec = GpuSpec::voltaV100();
+        comm::NcclCommunicator nccl(c);
+        sim::Tick end = 0;
+        nccl.reduce(64 << 20, [&] { end = q.now(); });
+        q.run();
+        return sim::ticksToSec(end);
+    };
+    const double healthy = timed(1.0, 0, 1);
+    const double ring_degraded = timed(0.5, 1, 2);
+    EXPECT_GT(ring_degraded, 1.3 * healthy);
+}
+
+} // namespace

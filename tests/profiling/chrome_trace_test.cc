@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the chrome://tracing export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/trainer.hh"
+#include "profiling/profiler.hh"
+
+namespace {
+
+using namespace dgxsim;
+using profiling::Profiler;
+
+TEST(ChromeTraceTest, EmitsCompleteEvents)
+{
+    Profiler p;
+    p.recordKernel("conv_fwd", 2, sim::usToTicks(10), sim::usToTicks(25));
+    p.recordApi("cudaStreamSynchronize", "worker0", 0,
+                sim::usToTicks(5));
+    p.recordCopy("PtoP", 0, 1, 4096, sim::usToTicks(1),
+                 sim::usToTicks(3));
+    const std::string json = p.chromeTrace();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"conv_fwd\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": \"GPU2\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": \"worker0\""), std::string::npos);
+    EXPECT_NE(json.find("PtoP 4096B"), std::string::npos);
+    // Duration of the kernel is 15 us.
+    EXPECT_NE(json.find("\"dur\": 15"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyProfilerYieldsValidSkeleton)
+{
+    Profiler p;
+    const std::string json = p.chromeTrace();
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("]}"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EscapesQuotesInNames)
+{
+    Profiler p;
+    p.recordKernel("weird\"name", 0, 0, 10);
+    const std::string json = p.chromeTrace();
+    EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WritesFile)
+{
+    Profiler p;
+    p.recordKernel("k", 0, 0, 1000);
+    const std::string path = "/tmp/dgxsim_trace_test.json";
+    p.writeChromeTrace(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("traceEvents"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, TrainingRunProducesBalancedTrace)
+{
+    core::TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 2;
+    cfg.batchPerGpu = 16;
+    cfg.measuredIterations = 1;
+    core::Trainer trainer(cfg);
+    trainer.run();
+    const std::string json = trainer.profiler().chromeTrace();
+    // Every event object closes; a cheap brace-balance check.
+    std::size_t open = 0, close = 0;
+    for (char c : json) {
+        open += c == '{';
+        close += c == '}';
+    }
+    EXPECT_EQ(open, close);
+    EXPECT_GT(open, 50u);
+    EXPECT_NE(json.find("mxnetEngineDispatch"), std::string::npos);
+}
+
+} // namespace

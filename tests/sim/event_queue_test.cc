@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * cancellation and bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using dgxsim::sim::EventHandle;
+using dgxsim::sim::EventQueue;
+using dgxsim::sim::Tick;
+
+TEST(EventQueueTest, StartsAtTickZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingEvents(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickEventsRunInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CallbackCanScheduleFurtherEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleAfter(4, [&] {
+            ++fired;
+            q.scheduleAfter(5, [&] { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueueTest, SchedulingInThePastIsFatal)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(50, [] {}), dgxsim::sim::FatalError);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(h.valid());
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(h.valid());
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executedEvents(), 0u);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelAfterFiringReturnsFalse)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(h.valid());
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueueTest, CancelledEventDoesNotBlockQueueDrain)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(h);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(10, [&] { fired.push_back(10); });
+    q.schedule(20, [&] { fired.push_back(20); });
+    q.schedule(30, [&] { fired.push_back(30); });
+    q.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(q.now(), 20u);
+    q.run();
+    EXPECT_EQ(fired.back(), 30u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenQueueDrains)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueueTest, StepExecutesExactlyOneEvent)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] { ++count; });
+    q.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 1u);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, ExecutedEventsCounterCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i + 1, [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 7u);
+}
+
+/** Deterministic interleave: a self-rescheduling pair of processes. */
+TEST(EventQueueTest, InterleavedProcessesAreDeterministic)
+{
+    auto run_once = [] {
+        EventQueue q;
+        std::vector<int> trace;
+        std::function<void(int, Tick)> proc = [&](int id, Tick period) {
+            trace.push_back(id);
+            if (q.now() < 100) {
+                q.scheduleAfter(period,
+                                [&proc, id, period] { proc(id, period); });
+            }
+        };
+        q.schedule(0, [&] { proc(1, 7); });
+        q.schedule(0, [&] { proc(2, 11); });
+        q.run();
+        return trace;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Stress and property tests for the flow network under large,
+ * irregular (but deterministic) workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/flow_network.hh"
+
+namespace {
+
+using namespace dgxsim::sim;
+
+/** Deterministic pseudo-random stream (xorshift32). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint32_t seed) : state_(seed ? seed : 1) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return state_;
+    }
+
+    std::uint32_t
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+  private:
+    std::uint32_t state_;
+};
+
+TEST(FlowNetworkStressTest, HundredsOfStaggeredFlowsAllComplete)
+{
+    EventQueue q;
+    FlowNetwork net(q);
+    std::vector<FlowNetwork::ChannelId> chans;
+    for (int c = 0; c < 12; ++c)
+        chans.push_back(net.addChannel(0.5 + 0.25 * c));
+
+    Rng rng(12345);
+    int completed = 0;
+    const int flows = 400;
+    Bytes total_bytes = 0;
+    std::vector<Bytes> per_chan(chans.size(), 0);
+    for (int f = 0; f < flows; ++f) {
+        const Bytes bytes = rng.range(100, 100000);
+        // 1-3 channel path with distinct channels.
+        std::vector<FlowNetwork::ChannelId> path;
+        const int hops = rng.range(1, 3);
+        std::uint32_t first = rng.range(0, chans.size() - 1);
+        for (int h = 0; h < hops; ++h)
+            path.push_back(chans[(first + h) % chans.size()]);
+        for (auto c : path)
+            per_chan[c] += bytes;
+        total_bytes += bytes;
+        const Tick start = rng.range(0, 50000);
+        q.schedule(start, [&net, bytes, path, &completed] {
+            net.startFlow(bytes, path, [&completed] { ++completed; });
+        });
+    }
+    q.run();
+    EXPECT_EQ(completed, flows);
+    for (std::size_t c = 0; c < chans.size(); ++c)
+        EXPECT_NEAR(net.bytesDelivered(chans[c]),
+                    static_cast<double>(per_chan[c]), 1.0 * flows);
+}
+
+TEST(FlowNetworkStressTest, ThroughputNeverExceedsCapacityIntegral)
+{
+    // Over the whole run, delivered bytes on a channel cannot exceed
+    // capacity x elapsed time.
+    EventQueue q;
+    FlowNetwork net(q);
+    const double cap = 2.0;
+    auto ch = net.addChannel(cap);
+    Rng rng(999);
+    for (int f = 0; f < 100; ++f) {
+        const Bytes bytes = rng.range(1000, 50000);
+        const Tick start = rng.range(0, 10000);
+        q.schedule(start,
+                   [&net, ch, bytes] { net.startFlow(bytes, {ch}, {}); });
+    }
+    const Tick end = q.run();
+    EXPECT_LE(net.bytesDelivered(ch),
+              cap * static_cast<double>(end) + 1.0);
+    EXPECT_LE(net.busyTicks(ch), static_cast<double>(end) + 1.0);
+}
+
+TEST(FlowNetworkStressTest, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = [] {
+        EventQueue q;
+        FlowNetwork net(q);
+        auto a = net.addChannel(1.0);
+        auto b = net.addChannel(3.0);
+        Rng rng(777);
+        std::vector<Tick> ends;
+        for (int f = 0; f < 64; ++f) {
+            const Bytes bytes = rng.range(10, 5000);
+            const bool both = rng.next() % 2;
+            std::vector<dgxsim::sim::FlowNetwork::ChannelId> path =
+                both ? std::vector<FlowNetwork::ChannelId>{a, b}
+                     : std::vector<FlowNetwork::ChannelId>{a};
+            q.schedule(rng.range(0, 2000),
+                       [&net, &q, bytes, path, &ends] {
+                           net.startFlow(bytes, path, [&q, &ends] {
+                               ends.push_back(q.now());
+                           });
+                       });
+        }
+        q.run();
+        return ends;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FlowNetworkStressTest, CascadingCompletionsDoNotStarveAnyFlow)
+{
+    // A long chain where each completion launches the next while a
+    // background elephant flow persists: the elephant must still
+    // finish (no starvation in max-min sharing).
+    EventQueue q;
+    FlowNetwork net(q);
+    auto ch = net.addChannel(1.0);
+    bool elephant_done = false;
+    net.startFlow(200000, {ch}, [&] { elephant_done = true; });
+
+    int mice = 0;
+    std::function<void()> launch = [&]() {
+        if (mice++ >= 100)
+            return;
+        net.startFlow(500, {ch}, launch);
+    };
+    launch();
+    q.run();
+    EXPECT_TRUE(elephant_done);
+    EXPECT_EQ(mice, 101);
+}
+
+TEST(FlowNetworkStressTest, BusyTicksReflectUtilization)
+{
+    EventQueue q;
+    FlowNetwork net(q);
+    auto ch = net.addChannel(1.0);
+    net.startFlow(1000, {ch}, {});
+    q.run();
+    // Fully busy for 1000 ticks.
+    EXPECT_NEAR(net.busyTicks(ch), 1000.0, 2.0);
+}
+
+} // namespace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for time/byte unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace {
+
+using namespace dgxsim::sim;
+
+TEST(TypesTest, TickUnitRatios)
+{
+    EXPECT_EQ(ticksPerNs, 1000u);
+    EXPECT_EQ(ticksPerUs, 1000u * 1000u);
+    EXPECT_EQ(ticksPerMs, 1000u * 1000u * 1000u);
+    EXPECT_EQ(ticksPerSec, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(TypesTest, RoundTripSeconds)
+{
+    EXPECT_DOUBLE_EQ(ticksToSec(secToTicks(1.5)), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToMs(msToTicks(2.0)), 2.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(7.0)), 7.0);
+}
+
+TEST(TypesTest, NsConversion)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(usToTicks(1.0), 1000000u);
+}
+
+TEST(TypesTest, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(16_GiB, 16ull << 30);
+}
+
+TEST(TypesTest, BandwidthConversion)
+{
+    // 25 GB/s == 0.025 bytes per picosecond tick.
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerTick(25.0), 0.025);
+    EXPECT_DOUBLE_EQ(bytesPerTickToGbps(gbpsToBytesPerTick(123.0)), 123.0);
+}
+
+TEST(TypesTest, BandwidthTimesTimeGivesBytes)
+{
+    // 25 GB/s for 1 ms should move 25 MB.
+    const double bytes = gbpsToBytesPerTick(25.0) *
+                         static_cast<double>(msToTicks(1.0));
+    EXPECT_NEAR(bytes, 25e6, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * dgxprof — the command-line front end of the simulator.
+ *
+ * Subcommands:
+ *   train    simulate one training configuration, print the report
+ *   sweep    grid over GPUs x batch x method, print a table
+ *   topo     show the DGX-1 topology, routes and bandwidths
+ *   advise   pick max batch size and best method for a model
+ *   async    asynchronous-SGD simulation with staleness metrics
+ *   modelpar pipelined model-parallel simulation
+ *   models   list the model zoo
+ *
+ * Run `dgxprof help` (or any subcommand with --help) for usage.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/async_trainer.hh"
+#include "core/cli.hh"
+#include "core/layer_profile.hh"
+#include "core/model_parallel_trainer.hh"
+#include "core/scaling.hh"
+#include "core/text_table.hh"
+#include "core/trainer.hh"
+#include "dnn/models.hh"
+#include "dnn/serialize.hh"
+#include "hw/fabric.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using core::TextTable;
+using core::cli::Args;
+
+int
+usage()
+{
+    std::printf(
+        "dgxprof — DNN training profiling on a simulated Volta DGX-1\n"
+        "\n"
+        "usage: dgxprof <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  train     simulate one run      (--model | --model-file F; --gpus --batch "
+        "--method p2p|nccl\n"
+        "                                   [--allreduce] [--fusion-mb "
+        "N] [--tensor-cores]\n"
+        "                                   [--overlap] [--rings 2] "
+        "[--p100] [--images N]\n"
+        "                                   [--trace FILE] [--csv "
+        "FILE] [--report])\n"
+        "  sweep     grid of runs          (--model [--gpus 1,2,4,8] "
+        "[--batches 16,32,64])\n"
+        "  topo      DGX-1 topology, routes, bandwidth matrix\n"
+        "  advise    batch-size + method advice (--model [--gpus N])\n"
+        "  async     asynchronous SGD      (--model --gpus --batch)\n"
+        "  modelpar  model parallelism     (--model --gpus --batch "
+        "[--microbatches N])\n"
+        "  layers    per-layer cost breakdown (--model [--batch N] "
+        "[--top N])\n"
+        "  models    list the model zoo\n");
+    return 2;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    // --model-file loads a serialized network description instead of
+    // a zoo model (see dnn/serialize.hh for the format).
+    std::unique_ptr<core::Trainer> owned;
+    if (args.has("model-file")) {
+        dnn::Network net =
+            dnn::loadNetworkFile(args.get("model-file"));
+        cfg.model = net.name();
+        owned = std::make_unique<core::Trainer>(
+            cfg, std::move(net), hw::Topology::dgx1Volta());
+    } else {
+        owned = std::make_unique<core::Trainer>(cfg);
+    }
+    core::Trainer &trainer = *owned;
+    const core::TrainReport r = trainer.run();
+    if (r.oom) {
+        std::printf("OOM: %s\n", r.oomDetail.c_str());
+        return 1;
+    }
+    std::printf("%s\n", r.oneLine().c_str());
+    std::printf("  %llu iterations x %.3f ms; sync share %.1f%%; "
+                "inter-GPU %.1f MB/iter\n",
+                static_cast<unsigned long long>(r.iterations),
+                r.iterationSeconds * 1e3, 100 * r.syncApiFraction,
+                r.interGpuBytesPerIter / 1e6);
+    std::printf("  memory: pre %.2f GB, GPU0 %.2f GB, workers %.2f "
+                "GB\n",
+                r.gpu0.preTrainingGB(), r.gpu0.trainingGB(),
+                r.gpux.trainingGB());
+    if (args.has("report"))
+        std::printf("\n%s", trainer.profiler().report().c_str());
+    if (args.has("trace")) {
+        const std::string path = args.get("trace", "trace.json");
+        trainer.profiler().writeChromeTrace(path);
+        std::printf("trace written to %s\n", path.c_str());
+    }
+    if (args.has("csv")) {
+        const std::string path = args.get("csv", "profile.csv");
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            sim::fatal("cannot open ", path);
+        std::fputs(trainer.profiler().csv().c_str(), f);
+        std::fclose(f);
+        std::printf("profile CSV written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    core::TrainConfig base = core::cli::configFromArgs(args);
+    const auto gpus = args.getIntList("gpus", {1, 2, 4, 8});
+    const auto batches = args.getIntList("batches", {16, 32, 64});
+    std::printf("sweep of %s (256K images):\n", base.model.c_str());
+    TextTable table({"gpus", "batch", "p2p epoch (s)", "nccl epoch (s)",
+                     "best"});
+    for (int g : gpus) {
+        for (int b : batches) {
+            core::TrainConfig cfg = base;
+            cfg.numGpus = g;
+            cfg.batchPerGpu = b;
+            cfg.method = comm::CommMethod::P2P;
+            const auto p2p = core::Trainer::simulate(cfg);
+            cfg.method = comm::CommMethod::NCCL;
+            const auto nccl = core::Trainer::simulate(cfg);
+            if (p2p.oom || nccl.oom) {
+                table.addRow({std::to_string(g), std::to_string(b),
+                              "OOM", "OOM", "-"});
+                continue;
+            }
+            table.addRow(
+                {std::to_string(g), std::to_string(b),
+                 TextTable::num(p2p.epochSeconds, 2),
+                 TextTable::num(nccl.epochSeconds, 2),
+                 p2p.epochSeconds <= nccl.epochSeconds ? "p2p"
+                                                       : "nccl"});
+        }
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
+cmdTopo()
+{
+    hw::Topology topo = hw::Topology::dgx1Volta();
+    TextTable table({"pair", "route", "bw (GB/s)"});
+    for (hw::NodeId a = 0; a < 8; ++a) {
+        for (hw::NodeId b = a + 1; b < 8; ++b) {
+            table.addRow({"GPU" + std::to_string(a) + "-GPU" +
+                              std::to_string(b),
+                          hw::routeKindName(topo.findRoute(a, b).kind),
+                          TextTable::num(topo.routeBandwidthGbps(a, b),
+                                         0)});
+        }
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
+cmdAdvise(const Args &args)
+{
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    const auto best = core::Trainer::maxBatchPerGpu(
+        cfg, {16, 32, 64, 128, 256, 512});
+    if (!best) {
+        std::printf("%s does not fit on a 16 GB V100 at any batch "
+                    "size\n",
+                    cfg.model.c_str());
+        return 1;
+    }
+    cfg.batchPerGpu = *best;
+    cfg.method = comm::CommMethod::P2P;
+    const auto p2p = core::Trainer::simulate(cfg);
+    cfg.method = comm::CommMethod::NCCL;
+    const auto nccl = core::Trainer::simulate(cfg);
+    const bool pick_nccl = nccl.epochSeconds < p2p.epochSeconds;
+    std::printf("%s on %d GPUs: use batch %d per GPU with the %s "
+                "kvstore (%.2fs/epoch vs %.2fs)\n",
+                cfg.model.c_str(), cfg.numGpus, *best,
+                pick_nccl ? "nccl" : "p2p (device)",
+                std::min(p2p.epochSeconds, nccl.epochSeconds),
+                std::max(p2p.epochSeconds, nccl.epochSeconds));
+    return 0;
+}
+
+int
+cmdAsync(const Args &args)
+{
+    const auto r = core::AsyncTrainer::simulate(
+        core::cli::configFromArgs(args));
+    std::printf("%s\n", r.oneLine().c_str());
+    return 0;
+}
+
+int
+cmdModelPar(const Args &args)
+{
+    const auto r = core::ModelParallelTrainer::simulate(
+        core::cli::configFromArgs(args),
+        args.getInt("microbatches", 0));
+    std::printf("%s\n", r.oneLine().c_str());
+    std::printf("  stage weights (MB):");
+    for (sim::Bytes b : r.stageParamBytes)
+        std::printf(" %.1f", b / 1e6);
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdLayers(const Args &args)
+{
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    dnn::Network net = args.has("model-file")
+                           ? dnn::loadNetworkFile(args.get("model-file"))
+                           : dnn::buildByName(cfg.model);
+    const auto summary = core::profileLayers(net, cfg);
+    const std::size_t top =
+        static_cast<std::size_t>(args.getInt("top", 15));
+    std::printf("%s, batch %d — hottest %zu layers by kernel time:\n",
+                net.name().c_str(), cfg.batchPerGpu, top);
+    TextTable table({"layer", "kind", "output", "fwd (us)", "bwd (us)",
+                     "GFLOPs", "params", "act (MB)"});
+    for (const auto &row : summary.hottest(top)) {
+        table.addRow(
+            {row.name, row.kind, row.outputShape,
+             TextTable::num(row.fwdUs, 1), TextTable::num(row.bwdUs, 1),
+             TextTable::num(row.gflops, 2),
+             std::to_string(row.params),
+             TextTable::num(row.activationBytes / 1e6, 2)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("totals: fwd %.2f ms, bwd %.2f ms, %.1fM params, "
+                "%.1f MB stored activations\n",
+                summary.totalFwdUs / 1e3, summary.totalBwdUs / 1e3,
+                summary.totalParams / 1e6,
+                summary.totalActivationBytes / 1e6);
+    return 0;
+}
+
+int
+cmdModels()
+{
+    TextTable table({"name", "params (M)", "fwd GFLOPs/img", "layers"});
+    for (const std::string &name : dnn::extendedModelNames()) {
+        dnn::Network net = dnn::buildByName(name);
+        table.addRow({name, TextTable::num(net.paramCount() / 1e6, 2),
+                      TextTable::num(net.forwardFlops(1) / 1e9, 2),
+                      std::to_string(net.layers().size())});
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> tokens(argv + 2, argv + argc);
+    const Args args = Args::parse(tokens);
+    if (args.has("help") || command == "help")
+        return usage();
+
+    try {
+        if (command == "train")
+            return cmdTrain(args);
+        if (command == "sweep")
+            return cmdSweep(args);
+        if (command == "topo")
+            return cmdTopo();
+        if (command == "advise")
+            return cmdAdvise(args);
+        if (command == "async")
+            return cmdAsync(args);
+        if (command == "modelpar")
+            return cmdModelPar(args);
+        if (command == "layers")
+            return cmdLayers(args);
+        if (command == "models")
+            return cmdModels();
+    } catch (const dgxsim::sim::FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+}
