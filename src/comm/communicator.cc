@@ -16,6 +16,11 @@ Communicator::Communicator(CommContext ctx, CommConfig cfg)
         if (ctx_.fabric->topology().nodeKind(g) != hw::NodeKind::Gpu)
             sim::fatal("node ", g, " is not a GPU");
     }
+    if (cfg_.audit) {
+        sim::Auditor *auditor = ctx_.fabric->enableAudit();
+        if (ctx_.profiler)
+            ctx_.profiler->setAuditor(auditor);
+    }
 }
 
 void
@@ -142,8 +147,12 @@ Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
         dur, [this, kernel_name, gpu, start, dur,
               done = std::move(done)]() {
             if (ctx_.profiler) {
+                // All runKernel call sites serialize per device (the
+                // op queue for the parameter server, the local/all-
+                // reduce gates for NCCL), so one lane per device
+                // suffices for the audit.
                 ctx_.profiler->recordKernel(kernel_name, gpu, start,
-                                            start + dur);
+                                            start + dur, "comm");
             }
             if (done)
                 done();

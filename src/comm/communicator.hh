@@ -75,6 +75,14 @@ struct CommConfig
      * per-collective setup this is the "NCCL overhead" of Table II.
      */
     double ncclIterFixedUs = 250.0;
+    /**
+     * Attach the simulation invariant auditor (sim/auditor.hh) to
+     * the fabric this communicator runs on: byte conservation, link
+     * capacity and record-ordering invariants are then validated
+     * throughout the run. Also forced on by the DGXSIM_AUDIT
+     * environment variable.
+     */
+    bool audit = false;
 };
 
 /** Base class: op queue + common context. */

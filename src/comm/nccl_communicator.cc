@@ -54,6 +54,7 @@ struct RingPassState
     std::vector<hw::NodeId> path;
     std::vector<sim::Bytes> chunkBytes;
     std::string kernelName;
+    std::string lane;
     bool accumulate = false;
     int remaining = 0;
     std::function<void()> done;
@@ -66,13 +67,15 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
                            std::shared_ptr<std::vector<HopGate>> gates,
                            sim::Bytes bytes,
                            const std::string &kernel_name,
-                           bool accumulate, Callback done)
+                           const std::string &lane, bool accumulate,
+                           Callback done)
 {
     const int nchunks = chunksFor(bytes);
 
     auto state = std::make_shared<RingPassState>();
     state->path = path;
     state->kernelName = kernel_name;
+    state->lane = lane;
     state->accumulate = accumulate;
     state->remaining = nchunks;
     state->done = std::move(done);
@@ -95,12 +98,18 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
     };
 
     // Recursive chunk advance; hop gates keep chunks (and successive
-    // collectives) ordered so the pipeline staggers.
-    auto advance = std::make_shared<
-        std::function<void(int, std::size_t)>>();
-    *advance = [this, state, gates, advance,
-                hop_kernel_ticks](int chunk, std::size_t hop) {
-        (*gates)[hop].acquire([this, state, gates, advance,
+    // collectives) ordered so the pipeline staggers. The function
+    // object captures only a weak self-reference — the strong refs
+    // live in the in-flight callbacks — so the recursion frees
+    // itself once the last chunk lands instead of leaking a
+    // shared_ptr cycle.
+    using AdvanceFn = std::function<void(int, std::size_t)>;
+    auto advance = std::make_shared<AdvanceFn>();
+    *advance = [this, state, gates, hop_kernel_ticks,
+                weak = std::weak_ptr<AdvanceFn>(advance)](
+                   int chunk, std::size_t hop) {
+        auto self = weak.lock();
+        (*gates)[hop].acquire([this, state, gates, self,
                                hop_kernel_ticks, chunk, hop]() {
             const hw::NodeId src = state->path[hop];
             const hw::NodeId dst = state->path[hop + 1];
@@ -113,28 +122,36 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
             const sim::Tick start = ctx_.queue->now();
             ctx_.fabric->transfer(
                 src, dst, wire_bytes,
-                [this, state, gates, advance, hop_kernel_ticks, chunk,
-                 hop, src, dst, cbytes, start]() {
+                [this, state, gates, self, hop_kernel_ticks, chunk,
+                 hop, src, dst, cbytes, wire_bytes, start]() {
                     if (ctx_.profiler) {
+                        // Payload bytes plus the wire bytes that set
+                        // the duration, so rate math stays honest.
                         ctx_.profiler->recordCopy("NCCL", src, dst,
                                                   cbytes, start,
-                                                  ctx_.queue->now());
+                                                  ctx_.queue->now(),
+                                                  wire_bytes);
                     }
                     const sim::Tick kdur =
                         hop_kernel_ticks(state->accumulate, cbytes);
                     const sim::Tick kstart = ctx_.queue->now();
                     ctx_.queue->scheduleAfter(
                         kdur,
-                        [this, state, gates, advance, chunk, hop, dst,
+                        [this, state, gates, self, chunk, hop, dst,
                          kstart, kdur]() {
                             if (ctx_.profiler) {
+                                // Kernels behind one hop gate
+                                // serialize; lane+hop names that
+                                // ordering domain for the audit.
                                 ctx_.profiler->recordKernel(
                                     state->kernelName, dst, kstart,
-                                    kstart + kdur);
+                                    kstart + kdur,
+                                    state->lane + ".h" +
+                                        std::to_string(hop));
                             }
                             (*gates)[hop].release();
                             if (hop + 1 < state->path.size() - 1) {
-                                (*advance)(chunk, hop + 1);
+                                (*self)(chunk, hop + 1);
                             } else if (--state->remaining == 0) {
                                 state->done();
                             }
@@ -171,9 +188,13 @@ NcclCommunicator::doReduce(sim::Bytes bytes, Callback done)
     // two halves use opposite link channels concurrently.
     std::vector<hw::NodeId> path(ring_.begin() + 1, ring_.end());
     path.push_back(ring_.front());
-    if (cfg_.ncclRings < 2) {
-        ringPass(path, reduceGates_, bytes, "ncclReduceKernel", true,
-                 std::move(done));
+    const sim::Bytes half = bytes / 2;
+    if (cfg_.ncclRings < 2 || half == 0) {
+        // A sub-2-byte payload leaves the reversed ring with nothing
+        // to carry; running it anyway would charge a full pass of
+        // hop latencies and kernels for zero bytes.
+        ringPass(path, reduceGates_, bytes, "ncclReduceKernel",
+                 "nccl.red", true, std::move(done));
         return;
     }
     std::vector<hw::NodeId> path_rev(ringRev_.begin() + 1,
@@ -184,11 +205,10 @@ NcclCommunicator::doReduce(sim::Bytes bytes, Callback done)
         if (--*pending == 0)
             done();
     };
-    const sim::Bytes half = bytes / 2;
     ringPass(path, reduceGates_, bytes - half, "ncclReduceKernel",
-             true, half_done);
-    ringPass(path_rev, reduceGatesRev_, half, "ncclReduceKernel", true,
-             half_done);
+             "nccl.red", true, half_done);
+    ringPass(path_rev, reduceGatesRev_, half, "ncclReduceKernel",
+             "nccl.redR", true, half_done);
 }
 
 void
@@ -206,9 +226,11 @@ NcclCommunicator::doBroadcast(sim::Bytes bytes, Callback done)
         });
         return;
     }
-    if (cfg_.ncclRings < 2) {
+    const sim::Bytes half = bytes / 2;
+    if (cfg_.ncclRings < 2 || half == 0) {
+        // Same empty-half guard as doReduce.
         ringPass(ring_, bcastGates_, bytes, "ncclBroadcastKernel",
-                 false, std::move(done));
+                 "nccl.bc", false, std::move(done));
         return;
     }
     auto pending = std::make_shared<int>(2);
@@ -216,11 +238,10 @@ NcclCommunicator::doBroadcast(sim::Bytes bytes, Callback done)
         if (--*pending == 0)
             done();
     };
-    const sim::Bytes half = bytes / 2;
     ringPass(ring_, bcastGates_, bytes - half, "ncclBroadcastKernel",
-             false, half_done);
+             "nccl.bc", false, half_done);
     ringPass(ringRev_, bcastGatesRev_, half, "ncclBroadcastKernel",
-             false, half_done);
+             "nccl.bcR", false, half_done);
 }
 
 void
@@ -259,8 +280,14 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
     state->done = std::move(done);
 
     auto gate = allReduceGate_;
+    // Weak self-reference for the same reason as ringPass's advance:
+    // the in-flight callbacks keep the step function alive, and the
+    // last one releases it.
     auto run_step = std::make_shared<std::function<void()>>();
-    *run_step = [this, state, gate, run_step, n]() {
+    *run_step = [this, state, gate, n,
+                 weak = std::weak_ptr<std::function<void()>>(
+                     run_step)]() {
+        auto self = weak.lock();
         if (state->step == state->totalSteps) {
             (*gate)[0].release();
             state->done();
@@ -278,12 +305,12 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
             const sim::Tick start = ctx_.queue->now();
             ctx_.fabric->transfer(
                 src, dst, wire,
-                [this, state, run_step, reduce_phase, src, dst,
+                [this, state, self, reduce_phase, src, dst, wire,
                  start]() {
                     if (ctx_.profiler) {
                         ctx_.profiler->recordCopy(
                             "NCCL", src, dst, state->shard, start,
-                            ctx_.queue->now());
+                            ctx_.queue->now(), wire);
                     }
                     const double membytes =
                         (reduce_phase ? 3.0 : 2.0) *
@@ -295,15 +322,20 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
                         sim::usToTicks(cfg_.ringHopLatencyUs);
                     const sim::Tick kstart = ctx_.queue->now();
                     ctx_.queue->scheduleAfter(
-                        kdur, [this, state, run_step, dst, kstart,
+                        kdur, [this, state, self, dst, kstart,
                                kdur]() {
                             if (ctx_.profiler) {
+                                // All-reduce steps serialize on the
+                                // collective-wide gate; each GPU sees
+                                // one kernel per step, so a per-GPU
+                                // lane is ordered.
                                 ctx_.profiler->recordKernel(
                                     "ncclAllReduceKernel", dst,
-                                    kstart, kstart + kdur);
+                                    kstart, kstart + kdur,
+                                    "nccl.ar");
                             }
                             if (--state->pendingHops == 0)
-                                (*run_step)();
+                                (*self)();
                         });
                 });
         }

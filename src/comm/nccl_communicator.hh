@@ -105,12 +105,15 @@ class NcclCommunicator : public Communicator
     /**
      * Run a pipelined ring pass along @p path (path[k] sends to
      * path[k+1]) with a per-hop kernel named @p kernel_name, keeping
-     * chunk order with the persistent @p gates.
+     * chunk order with the persistent @p gates. @p lane names the
+     * gate set in profiler records (kernels within one lane+hop
+     * serialize on its gate).
      */
     void ringPass(const std::vector<hw::NodeId> &path,
                   std::shared_ptr<std::vector<HopGate>> gates,
                   sim::Bytes bytes, const std::string &kernel_name,
-                  bool accumulate, Callback done);
+                  const std::string &lane, bool accumulate,
+                  Callback done);
 
     /** Ring rotated so the root (gpus()[0]) is first. */
     std::vector<hw::NodeId> ring_;

@@ -32,6 +32,8 @@ AsyncTrainer::AsyncTrainer(TrainConfig cfg, hw::Topology topo)
     }
     serverStream_ = std::make_unique<cuda::Stream>(queue_, &profiler_,
                                                    gpus_[0], "server");
+    if (cfg_.audit || fabric_->auditor())
+        profiler_.setAuditor(fabric_->enableAudit());
 }
 
 AsyncTrainer::~AsyncTrainer() = default;

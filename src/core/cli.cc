@@ -120,6 +120,7 @@ configFromArgs(const Args &args)
     cfg.overlapBpWu = args.has("overlap");
     cfg.useAllReduce = args.has("allreduce");
     cfg.bucketFusionMB = args.getDouble("fusion-mb", 0.0);
+    cfg.audit = args.has("audit");
     if (args.has("rings"))
         cfg.commConfig.ncclRings = args.getInt("rings", 1);
     if (args.has("p100"))

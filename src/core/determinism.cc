@@ -1,0 +1,46 @@
+#include "core/determinism.hh"
+
+#include <cstdio>
+
+#include "core/trainer.hh"
+
+namespace dgxsim::core {
+
+std::uint64_t
+runDigest(const TrainConfig &cfg)
+{
+    return Trainer::simulate(cfg).digest;
+}
+
+DeterminismCheck
+checkDeterminism(TrainConfig cfg)
+{
+    DeterminismCheck check;
+    const TrainReport first = Trainer::simulate(cfg);
+    const TrainReport second = Trainer::simulate(cfg);
+    check.firstDigest = first.digest;
+    check.secondDigest = second.digest;
+    check.oom = first.oom || second.oom;
+    check.deterministic = first.oom == second.oom &&
+                          first.digest == second.digest;
+    return check;
+}
+
+std::string
+DeterminismCheck::summary() const
+{
+    char buf[128];
+    if (oom) {
+        std::snprintf(buf, sizeof(buf), "determinism: %s (OOM run)",
+                      deterministic ? "PASS" : "FAIL");
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "determinism: %s (%016llx vs %016llx)",
+                      deterministic ? "PASS" : "FAIL",
+                      static_cast<unsigned long long>(firstDigest),
+                      static_cast<unsigned long long>(secondDigest));
+    }
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

@@ -32,6 +32,8 @@ ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
             queue_, &profiler_, gpus_[g],
             "stage" + std::to_string(g)));
     }
+    if (cfg_.audit || fabric_->auditor())
+        profiler_.setAuditor(fabric_->enableAudit());
     partition();
 }
 

@@ -64,6 +64,20 @@ struct TrainReport
     /** Bytes moved GPU-to-GPU per iteration (all links). */
     double interGpuBytesPerIter = 0;
 
+    /**
+     * Order-sensitive digest of the full profiler record stream plus
+     * end-of-run simulation state. Two runs of the same configuration
+     * must produce the same digest (the determinism invariant; see
+     * core/determinism.hh).
+     */
+    std::uint64_t digest = 0;
+    /** True when the invariant auditor ran (TrainConfig::audit). */
+    bool audited = false;
+    /** Invariant checks evaluated by the auditor. */
+    std::uint64_t auditChecks = 0;
+    /** Violations recorded (0 unless the auditor is non-strict). */
+    std::uint64_t auditViolations = 0;
+
     /** Memory usage: the root/server GPU and a worker GPU. */
     GpuMemory gpu0;
     GpuMemory gpux;

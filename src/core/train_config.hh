@@ -103,6 +103,15 @@ struct TrainConfig
      * MXNet's one-array-per-layer behavior.
      */
     double bucketFusionMB = 0.0;
+    /**
+     * Run the simulation invariant auditor (sim/auditor.hh): byte
+     * conservation per flow, link-capacity and busy-time bounds,
+     * record ordering, memory-capacity limits, and end-of-run
+     * quiescence are validated while the run executes. Violations
+     * abort the run with a diagnostic. Also forced on by the
+     * DGXSIM_AUDIT environment variable or commConfig.audit.
+     */
+    bool audit = false;
     /** GPU model (swap for pascalP100() in ablations). */
     hw::GpuSpec gpuSpec = hw::GpuSpec::voltaV100();
     /** Communication tunables. */

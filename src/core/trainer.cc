@@ -5,6 +5,7 @@
 #include "core/fp_bp_schedule.hh"
 #include "cuda/kernel_model.hh"
 #include "dnn/models.hh"
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core {
@@ -77,6 +78,17 @@ Trainer::Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
     cctx.profiler = &profiler_;
     comm_ = comm::makeCommunicator(cfg_.method, std::move(cctx),
                                    cfg_.commConfig);
+
+    // The fabric may already carry an auditor (commConfig.audit or
+    // the DGXSIM_AUDIT environment override); cfg_.audit attaches
+    // one too. Either way, wire it into the profiler and the memory
+    // trackers so every record stream is validated.
+    if (cfg_.audit || fabric_->auditor()) {
+        sim::Auditor *auditor = fabric_->enableAudit();
+        profiler_.setAuditor(auditor);
+        for (auto &dev : devices_)
+            dev->mem().setAuditor(auditor);
+    }
 
     // Gradient buckets: one per weighted layer (MXNet), optionally
     // fused into larger messages (Horovod/DDP-style extension).
@@ -378,6 +390,43 @@ Trainer::run()
 
     startIteration(0);
     queue_.run();
+
+    if (sim::Auditor *auditor = fabric_->auditor()) {
+        // End-of-run quiescence: nothing pending, nothing in flight.
+        auditor->checkQuiescent(queue_, fabric_->flows());
+        auditor->expect(comm_->idle(), queue_.now(),
+                        "communicator busy after the queue drained");
+        for (std::size_t g = 0; g < computeStreams_.size(); ++g) {
+            auditor->expect(computeStreams_[g]->drained(), queue_.now(),
+                            "compute stream ", g,
+                            " not drained after the queue drained");
+        }
+        auditor->expect(updateStream_->drained(), queue_.now(),
+                        "update stream not drained after the queue "
+                        "drained");
+        report.audited = true;
+        report.auditChecks = auditor->checksPerformed();
+        report.auditViolations = auditor->violationCount();
+    }
+
+    // Fold the record stream with the final simulation state: equal
+    // digests across runs means equal event histories, which is the
+    // determinism contract (core/determinism.hh).
+    {
+        std::uint64_t d = profiler_.digest();
+        auto fold = [&d](std::uint64_t v) {
+            d ^= v;
+            d *= 0x100000001b3ull; // FNV prime
+        };
+        fold(static_cast<std::uint64_t>(queue_.now()));
+        fold(queue_.executedEvents());
+        for (std::size_t l = 0; l < fabric_->topology().links().size();
+             ++l) {
+            fold(static_cast<std::uint64_t>(
+                fabric_->linkBytesMoved(l)));
+        }
+        report.digest = d;
+    }
 
     const double measured = cfg_.measuredIterations;
     const double iters = static_cast<double>(report.iterations);

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstddef>
 
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -60,6 +61,7 @@ class MemoryTracker
         byCat_[idx(cat)] += bytes;
         if (used_ > peak_)
             peak_ = used_;
+        audit();
     }
 
     /** Release @p bytes from @p cat. */
@@ -73,6 +75,7 @@ class MemoryTracker
         }
         used_ -= bytes;
         byCat_[idx(cat)] -= bytes;
+        audit();
     }
 
     /** Release everything in one category. */
@@ -81,6 +84,7 @@ class MemoryTracker
     {
         used_ -= byCat_[idx(cat)];
         byCat_[idx(cat)] = 0;
+        audit();
     }
 
     sim::Bytes used() const { return used_; }
@@ -91,11 +95,33 @@ class MemoryTracker
     /** @return bytes still allocatable. */
     sim::Bytes headroom() const { return capacity_ - used_; }
 
+    /**
+     * Attach an invariant auditor validating capacity bounds and
+     * per-category bookkeeping on every alloc/free. nullptr detaches.
+     */
+    void
+    setAuditor(sim::Auditor *auditor)
+    {
+        auditor_ = auditor;
+        audit();
+    }
+
   private:
     static std::size_t
     idx(MemCategory cat)
     {
         return static_cast<std::size_t>(cat);
+    }
+
+    void
+    audit() const
+    {
+        if (!auditor_)
+            return;
+        sim::Bytes cat_sum = 0;
+        for (sim::Bytes b : byCat_)
+            cat_sum += b;
+        auditor_->onMemoryUpdate(used_, peak_, capacity_, cat_sum);
     }
 
     sim::Bytes capacity_;
@@ -104,6 +130,7 @@ class MemoryTracker
     std::array<sim::Bytes,
                static_cast<std::size_t>(MemCategory::NumCategories)>
         byCat_{};
+    sim::Auditor *auditor_ = nullptr;
 };
 
 } // namespace dgxsim::cuda

@@ -106,7 +106,7 @@ Stream::pump()
                                    label = std::move(op.label)] {
             if (profiler_)
                 profiler_->recordKernel(label, deviceId_, start,
-                                        start + dur);
+                                        start + dur, name_);
             opDone();
         });
         break;

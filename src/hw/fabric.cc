@@ -19,6 +19,25 @@ Fabric::Fabric(sim::EventQueue &queue, Topology topo, HostSpec host)
         chans_.push_back({flows_.addChannel(cap, base + ">"),
                           flows_.addChannel(cap, base + "<")});
     }
+    if (sim::Auditor::envEnabled())
+        enableAudit();
+}
+
+void
+Fabric::setAuditor(sim::Auditor *auditor)
+{
+    auditor_ = auditor;
+    flows_.setAuditor(auditor);
+}
+
+sim::Auditor *
+Fabric::enableAudit()
+{
+    if (!auditor_) {
+        ownedAuditor_ = std::make_unique<sim::Auditor>();
+        setAuditor(ownedAuditor_.get());
+    }
+    return auditor_;
 }
 
 sim::FlowNetwork::ChannelId
@@ -69,6 +88,12 @@ Fabric::runLegs(std::shared_ptr<TransferRecord> rec, Route route,
 {
     if (leg >= route.legs.size()) {
         rec->end = queue_.now();
+        if (auditor_) {
+            auditor_->expect(rec->end >= rec->start, rec->end,
+                             "transfer ", topo_.nodeLabel(rec->src),
+                             "->", topo_.nodeLabel(rec->dst),
+                             " ends before it starts");
+        }
         records_.push_back(*rec);
         if (done)
             done();
@@ -136,6 +161,13 @@ Fabric::transferDirect(NodeId src, NodeId dst, sim::Bytes bytes,
         bytes, {channelFor(*link, src)},
         [this, rec, done = std::move(done)]() {
             rec->end = queue_.now();
+            if (auditor_) {
+                auditor_->expect(rec->end >= rec->start, rec->end,
+                                 "direct transfer ",
+                                 topo_.nodeLabel(rec->src), "->",
+                                 topo_.nodeLabel(rec->dst),
+                                 " ends before it starts");
+            }
             records_.push_back(*rec);
             if (done)
                 done();

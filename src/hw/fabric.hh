@@ -10,9 +10,11 @@
 #define DGXSIM_HW_FABRIC_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hw/topology.hh"
+#include "sim/auditor.hh"
 #include "sim/event_queue.hh"
 #include "sim/flow_network.hh"
 
@@ -80,6 +82,24 @@ class Fabric
     /** Discard accumulated transfer records. */
     void clearRecords() { records_.clear(); }
 
+    /**
+     * Attach an invariant auditor: the flow network and transfer
+     * bookkeeping report into it. Passing nullptr detaches.
+     */
+    void setAuditor(sim::Auditor *auditor);
+
+    /** @return the attached auditor, or nullptr. */
+    sim::Auditor *auditor() const { return auditor_; }
+
+    /**
+     * Attach an auditor owned by the fabric if none is attached yet.
+     * Called automatically from the constructor when DGXSIM_AUDIT is
+     * set, so forced audit runs cover every fabric in the test and
+     * bench suite without per-callsite changes.
+     * @return the active auditor.
+     */
+    sim::Auditor *enableAudit();
+
   private:
     /** Channel carrying traffic from @p from across link @p link. */
     sim::FlowNetwork::ChannelId channelFor(std::size_t link,
@@ -96,6 +116,9 @@ class Fabric
     /** Per link: channel a->b then b->a. */
     std::vector<std::array<sim::FlowNetwork::ChannelId, 2>> chans_;
     std::vector<TransferRecord> records_;
+    sim::Auditor *auditor_ = nullptr;
+    /** Auditor created by enableAudit() when none was provided. */
+    std::unique_ptr<sim::Auditor> ownedAuditor_;
 };
 
 } // namespace dgxsim::hw

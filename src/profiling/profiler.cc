@@ -101,6 +101,81 @@ Profiler::copiedBytes(const std::string &kind) const
     return total;
 }
 
+sim::Bytes
+Profiler::copiedWireBytes(const std::string &kind) const
+{
+    sim::Bytes total = 0;
+    for (const CopyRecord &c : copies_) {
+        if (kind.empty() || c.kind == kind)
+            total += c.wireBytes;
+    }
+    return total;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+fnvBytes(std::uint64_t &h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvString(std::uint64_t &h, const std::string &s)
+{
+    fnvBytes(h, s.data(), s.size());
+    const char sep = '\0';
+    fnvBytes(h, &sep, 1);
+}
+
+template <typename T>
+void
+fnvValue(std::uint64_t &h, T v)
+{
+    fnvBytes(h, &v, sizeof(v));
+}
+
+} // namespace
+
+std::uint64_t
+Profiler::digest() const
+{
+    std::uint64_t h = kFnvOffset;
+    fnvValue(h, kernels_.size());
+    for (const KernelRecord &k : kernels_) {
+        fnvString(h, k.name);
+        fnvString(h, k.stream);
+        fnvValue(h, k.device);
+        fnvValue(h, k.start);
+        fnvValue(h, k.end);
+    }
+    fnvValue(h, apis_.size());
+    for (const ApiRecord &a : apis_) {
+        fnvString(h, a.name);
+        fnvString(h, a.thread);
+        fnvValue(h, a.start);
+        fnvValue(h, a.end);
+    }
+    fnvValue(h, copies_.size());
+    for (const CopyRecord &c : copies_) {
+        fnvString(h, c.kind);
+        fnvValue(h, c.src);
+        fnvValue(h, c.dst);
+        fnvValue(h, c.bytes);
+        fnvValue(h, c.wireBytes);
+        fnvValue(h, c.start);
+        fnvValue(h, c.end);
+    }
+    return h;
+}
+
 std::string
 Profiler::report() const
 {
@@ -143,21 +218,22 @@ Profiler::csv() const
 {
     std::ostringstream os;
     os << std::fixed << std::setprecision(3);
-    os << "kind,name,where,start_us,dur_us,bytes\n";
+    os << "kind,name,where,start_us,dur_us,bytes,wire_bytes\n";
     for (const KernelRecord &k : kernels_) {
         os << "kernel," << k.name << ",gpu" << k.device << ","
            << sim::ticksToUs(k.start) << "," << sim::ticksToUs(k.duration())
-           << ",0\n";
+           << ",0,0\n";
     }
     for (const ApiRecord &a : apis_) {
         os << "api," << a.name << "," << a.thread << ","
            << sim::ticksToUs(a.start) << "," << sim::ticksToUs(a.duration())
-           << ",0\n";
+           << ",0,0\n";
     }
     for (const CopyRecord &c : copies_) {
         os << "memcpy," << c.kind << ",gpu" << c.src << ">gpu" << c.dst
            << "," << sim::ticksToUs(c.start) << ","
-           << sim::ticksToUs(c.duration()) << "," << c.bytes << "\n";
+           << sim::ticksToUs(c.duration()) << "," << c.bytes << ","
+           << c.wireBytes << "\n";
     }
     return os.str();
 }

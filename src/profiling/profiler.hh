@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/auditor.hh"
 #include "sim/types.hh"
 
 namespace dgxsim::profiling {
@@ -27,6 +28,14 @@ struct KernelRecord
     int device = -1;
     sim::Tick start = 0;
     sim::Tick end = 0;
+    /**
+     * Serialized issue context (CUDA stream name, NCCL ring-hop
+     * gate, communicator op queue). Kernels within one (device,
+     * stream) lane never overlap; lanes on the same device may,
+     * like concurrent streams on real hardware. Empty when the
+     * issuer is unknown.
+     */
+    std::string stream;
 
     sim::Tick duration() const { return end - start; }
 };
@@ -51,6 +60,13 @@ struct CopyRecord
     sim::Bytes bytes = 0;
     sim::Tick start = 0;
     sim::Tick end = 0;
+    /**
+     * Bytes that actually crossed the wire, including protocol
+     * overhead (NCCL FIFO/flag traffic). The transfer's duration
+     * reflects this count, so bandwidth derived from records must
+     * use it; equals `bytes` for plain DMA copies.
+     */
+    sim::Bytes wireBytes = 0;
 
     sim::Tick duration() const { return end - start; }
 };
@@ -78,25 +94,42 @@ struct SummaryRow
 class Profiler
 {
   public:
+    /**
+     * Record a kernel. @p stream names the serialized lane that
+     * issued it (see KernelRecord::stream); pass "" when unknown.
+     */
     void
     recordKernel(std::string name, int device, sim::Tick start,
-                 sim::Tick end)
+                 sim::Tick end, std::string stream = "")
     {
-        kernels_.push_back({std::move(name), device, start, end});
+        if (auditor_)
+            auditor_->onKernelRecord(device, stream, start, end);
+        kernels_.push_back(
+            {std::move(name), device, start, end, std::move(stream)});
     }
 
     void
     recordApi(std::string name, std::string thread, sim::Tick start,
               sim::Tick end)
     {
+        if (auditor_)
+            auditor_->onApiRecord(thread, start, end);
         apis_.push_back({std::move(name), std::move(thread), start, end});
     }
 
+    /**
+     * Record a copy. @p wire_bytes is the on-wire byte count when it
+     * differs from the payload (protocol overhead); 0 means equal.
+     */
     void
     recordCopy(std::string kind, int src, int dst, sim::Bytes bytes,
-               sim::Tick start, sim::Tick end)
+               sim::Tick start, sim::Tick end, sim::Bytes wire_bytes = 0)
     {
-        copies_.push_back({std::move(kind), src, dst, bytes, start, end});
+        const sim::Bytes wire = wire_bytes ? wire_bytes : bytes;
+        if (auditor_)
+            auditor_->onCopyRecord(start, end, bytes, wire);
+        copies_.push_back(
+            {std::move(kind), src, dst, bytes, start, end, wire});
     }
 
     const std::vector<KernelRecord> &kernels() const { return kernels_; }
@@ -118,8 +151,11 @@ class Profiler
     /** Total kernel-busy time on one device. */
     sim::Tick deviceKernelTime(int device) const;
 
-    /** Total bytes copied, optionally filtered by copy kind. */
+    /** Total payload bytes copied, optionally filtered by copy kind. */
     sim::Bytes copiedBytes(const std::string &kind = "") const;
+
+    /** Total on-wire bytes copied, optionally filtered by copy kind. */
+    sim::Bytes copiedWireBytes(const std::string &kind = "") const;
 
     /** Drop all records. */
     void
@@ -146,10 +182,25 @@ class Profiler
     /** Write chromeTrace() to @p path (fatal on I/O failure). */
     void writeChromeTrace(const std::string &path) const;
 
+    /**
+     * Fold every record into an order-sensitive FNV-1a digest. Two
+     * runs of the same configuration must produce identical digests;
+     * the determinism harness (core/determinism.hh) is built on this.
+     */
+    std::uint64_t digest() const;
+
+    /**
+     * Attach an invariant auditor: every future record is validated
+     * as it lands (kernel-lane monotonicity, API-thread serialization,
+     * copy sanity). Passing nullptr detaches.
+     */
+    void setAuditor(sim::Auditor *auditor) { auditor_ = auditor; }
+
   private:
     std::vector<KernelRecord> kernels_;
     std::vector<ApiRecord> apis_;
     std::vector<CopyRecord> copies_;
+    sim::Auditor *auditor_ = nullptr;
 };
 
 } // namespace dgxsim::profiling

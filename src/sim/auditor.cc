@@ -1,0 +1,109 @@
+#include "sim/auditor.hh"
+
+#include <cstdlib>
+
+#include "sim/event_queue.hh"
+#include "sim/flow_network.hh"
+
+namespace dgxsim::sim {
+
+bool
+Auditor::envEnabled()
+{
+    const char *v = std::getenv("DGXSIM_AUDIT");
+    return v && *v && std::string(v) != "0";
+}
+
+std::string
+Auditor::summary() const
+{
+    std::ostringstream os;
+    os << checks_ << " checks, " << violations_.size()
+       << " violations";
+    return os.str();
+}
+
+void
+Auditor::fail(const std::string &what, Tick when)
+{
+    violations_.push_back(Violation{what, when});
+    if (strict_) {
+        fatal("audit violation at tick ", when, ": ", what);
+    } else {
+        warn("audit violation at tick ", when, ": ", what);
+    }
+}
+
+void
+Auditor::onKernelRecord(int device, const std::string &lane, Tick start,
+                        Tick end)
+{
+    expect(end >= start, end, "kernel record on device ", device,
+           " ends (", end, ") before it starts (", start, ")");
+    if (lane.empty())
+        return;
+    Tick &last = laneEnd_[{device, lane}];
+    expect(start >= last, end, "kernel records overlap in lane '",
+           lane, "' on device ", device, ": start ", start,
+           " precedes previous end ", last);
+    if (end > last)
+        last = end;
+}
+
+void
+Auditor::onApiRecord(const std::string &thread, Tick start, Tick end)
+{
+    expect(end >= start, end, "API record on thread '", thread,
+           "' ends (", end, ") before it starts (", start, ")");
+    Tick &last = threadEnd_[thread];
+    expect(start >= last, end, "API records overlap on host thread '",
+           thread, "': start ", start, " precedes previous end ",
+           last);
+    if (end > last)
+        last = end;
+}
+
+void
+Auditor::onCopyRecord(Tick start, Tick end, Bytes bytes,
+                      Bytes wire_bytes)
+{
+    expect(end >= start, end, "copy record ends (", end,
+           ") before it starts (", start, ")");
+    expect(wire_bytes >= bytes, end, "copy record carries fewer wire "
+           "bytes (", wire_bytes, ") than payload bytes (", bytes,
+           ")");
+}
+
+void
+Auditor::onMemoryUpdate(Bytes used, Bytes peak, Bytes capacity,
+                        Bytes cat_sum)
+{
+    expect(used <= capacity, 0, "memory tracker holds ", used,
+           " bytes, exceeding the ", capacity, "-byte capacity");
+    expect(peak <= capacity, 0, "memory tracker peak ", peak,
+           " exceeds the ", capacity, "-byte capacity");
+    expect(used <= peak, 0, "memory tracker in-use count ", used,
+           " exceeds its recorded peak ", peak);
+    expect(cat_sum == used, 0, "memory tracker per-category sum ",
+           cat_sum, " disagrees with in-use count ", used);
+}
+
+void
+Auditor::checkQuiescent(const EventQueue &queue,
+                        const FlowNetwork &flows)
+{
+    expect(queue.empty(), queue.now(), "event queue still holds ",
+           queue.pendingEvents(), " events at end of simulation");
+    expect(flows.activeFlows() == 0, queue.now(),
+           "flow network still has ", flows.activeFlows(),
+           " active flows at end of simulation");
+    const double elapsed = static_cast<double>(queue.now());
+    for (std::size_t c = 0; c < flows.numChannels(); ++c) {
+        const double busy = flows.busyTicks(c);
+        expect(busy <= elapsed * (1 + 1e-9) + 1e-6, queue.now(),
+               "channel ", c, " accumulated ", busy,
+               " busy ticks in only ", elapsed, " elapsed ticks");
+    }
+}
+
+} // namespace dgxsim::sim

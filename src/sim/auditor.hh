@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Opt-in invariant auditor for the discrete-event core.
+ *
+ * Every paper-claims number rests on the simulator silently conserving
+ * bytes, respecting link capacities and replaying deterministically.
+ * The Auditor is an observer that the FlowNetwork, Fabric, Streams,
+ * MemoryTrackers and Profiler report into when attached; it validates
+ * the structural invariants at settle/complete points and either
+ * throws (strict mode, the default) or collects violations for
+ * inspection. It is off unless requested via the `--audit` CLI flag,
+ * the TrainConfig/CommConfig flags, or the DGXSIM_AUDIT environment
+ * variable (which is how tools/run_audit.sh forces it across the
+ * whole existing test suite).
+ *
+ * Invariants checked:
+ *  - per-flow byte conservation: delivered == requested at completion
+ *    (within a small epsilon absorbing fluid-model rounding);
+ *  - per-channel allocated rate sums never exceed capacity, and a
+ *    channel's busy-time integral never exceeds elapsed time;
+ *  - kernel records within one serialized lane (a CUDA stream, a ring
+ *    hop gate, a communicator op queue) are monotonic and
+ *    non-overlapping per device — lanes on the same device may overlap
+ *    each other, exactly like concurrent streams on real hardware;
+ *  - host API records per thread are monotonic (host threads are
+ *    serial);
+ *  - memory trackers stay within device capacity with consistent
+ *    per-category bookkeeping;
+ *  - at end of simulation the event queue is empty and no flow is
+ *    still active (checkQuiescent()).
+ */
+
+#ifndef DGXSIM_SIM_AUDITOR_HH
+#define DGXSIM_SIM_AUDITOR_HH
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dgxsim::sim {
+
+class EventQueue;
+class FlowNetwork;
+
+/** Collects (or throws on) simulation invariant violations. */
+class Auditor
+{
+  public:
+    /** One failed invariant check. */
+    struct Violation
+    {
+        std::string what;
+        Tick when = 0;
+    };
+
+    /**
+     * @param strict When true (default) the first violation throws
+     * FatalError; when false violations accumulate for inspection.
+     */
+    explicit Auditor(bool strict = true) : strict_(strict) {}
+
+    /** @return true when DGXSIM_AUDIT is set to a non-empty value
+     * other than "0" in the environment. */
+    static bool envEnabled();
+
+    bool strict() const { return strict_; }
+
+    /** @return the number of invariant checks performed so far. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    /** @return the number of failed checks. */
+    std::size_t violationCount() const { return violations_.size(); }
+
+    /** @return all recorded violations (non-strict mode). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** @return a one-line "N checks, M violations" summary. */
+    std::string summary() const;
+
+    /**
+     * Record one invariant check. On failure, records a violation and
+     * (in strict mode) throws FatalError.
+     */
+    template <typename... Args>
+    void
+    expect(bool ok, Tick when, const Args &...args)
+    {
+        ++checks_;
+        if (ok)
+            return;
+        std::ostringstream os;
+        detail::formatInto(os, args...);
+        fail(os.str(), when);
+    }
+
+    /**
+     * A kernel record landed. @p lane names the serialized context
+     * that issued it (stream name, ring-hop gate, communicator op
+     * queue); records within one (device, lane) pair must be
+     * monotonic and non-overlapping. An empty lane only checks
+     * end >= start.
+     */
+    void onKernelRecord(int device, const std::string &lane, Tick start,
+                        Tick end);
+
+    /** A host API record landed; host threads are serial. */
+    void onApiRecord(const std::string &thread, Tick start, Tick end);
+
+    /** A copy record landed (copies may overlap freely). */
+    void onCopyRecord(Tick start, Tick end, Bytes bytes,
+                      Bytes wire_bytes);
+
+    /**
+     * A memory tracker changed state. @p cat_sum is the sum of the
+     * per-category byte counts, which must equal @p used.
+     */
+    void onMemoryUpdate(Bytes used, Bytes peak, Bytes capacity,
+                        Bytes cat_sum);
+
+    /**
+     * End-of-simulation check: the event queue drained and the flow
+     * network has no active flows; every channel's busy time fits in
+     * the elapsed simulated time.
+     */
+    void checkQuiescent(const EventQueue &queue,
+                        const FlowNetwork &flows);
+
+  private:
+    void fail(const std::string &what, Tick when);
+
+    bool strict_;
+    std::uint64_t checks_ = 0;
+    std::vector<Violation> violations_;
+    /** Last kernel end per (device, lane). */
+    std::map<std::pair<int, std::string>, Tick> laneEnd_;
+    /** Last API end per host thread. */
+    std::map<std::string, Tick> threadEnd_;
+};
+
+} // namespace dgxsim::sim
+
+#endif // DGXSIM_SIM_AUDITOR_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::sim {
@@ -53,6 +54,7 @@ FlowNetwork::startFlow(Bytes bytes, std::vector<ChannelId> path,
     FlowId id = nextFlow_++;
     Flow flow;
     flow.remaining = static_cast<double>(bytes);
+    flow.requested = flow.remaining;
     flow.path = std::move(path);
     flow.onComplete = std::move(on_complete);
     flow.lastUpdate = queue_.now();
@@ -133,6 +135,8 @@ FlowNetwork::settleProgress()
                 dt * (flow.rate / channels_[c].capacity);
         }
     }
+    if (auditor_)
+        auditBusyTicks();
 }
 
 void
@@ -197,6 +201,46 @@ FlowNetwork::allocateRates()
             }
         }
     }
+    if (auditor_)
+        auditRates();
+}
+
+void
+FlowNetwork::auditRates()
+{
+    const Tick now = queue_.now();
+    std::vector<double> sum(channels_.size(), 0.0);
+    for (const auto &[id, flow] : active_) {
+        auditor_->expect(flow.rate >= 0, now, "flow ", id,
+                         " allocated a negative rate ", flow.rate);
+        for (ChannelId c : flow.path)
+            sum[c] += flow.rate;
+    }
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        // Small relative slack absorbs max-min fair-share rounding.
+        auditor_->expect(
+            sum[c] <= channels_[c].capacity * (1 + 1e-9) + 1e-12, now,
+            "channel ", c, " (", channels_[c].name,
+            ") oversubscribed: allocated rate sum ", sum[c],
+            " exceeds capacity ", channels_[c].capacity);
+    }
+}
+
+void
+FlowNetwork::auditBusyTicks()
+{
+    const double elapsed = static_cast<double>(queue_.now());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        auditor_->expect(
+            channels_[c].busyTicks <= elapsed * (1 + 1e-9) + 1e-6,
+            queue_.now(), "channel ", c, " (", channels_[c].name,
+            ") accumulated ", channels_[c].busyTicks,
+            " busy ticks in only ", elapsed, " elapsed ticks");
+        auditor_->expect(channels_[c].delivered >= 0, queue_.now(),
+                         "channel ", c,
+                         " delivered a negative byte count ",
+                         channels_[c].delivered);
+    }
 }
 
 void
@@ -216,8 +260,13 @@ FlowNetwork::rescheduleCompletions()
         }
         if (flow.rate <= 0)
             panic("active flow with zero rate cannot make progress");
-        const Tick eta = static_cast<Tick>(
-            std::ceil(flow.remaining / flow.rate));
+        // Clamp to >= 1 tick: a residual just above kByteEpsilon
+        // against a huge rate must never round to a same-tick
+        // completion, which would re-enter complete() at the tick
+        // that scheduled it.
+        const Tick eta = std::max<Tick>(
+            1,
+            static_cast<Tick>(std::ceil(flow.remaining / flow.rate)));
         FlowId fid = id;
         flow.completion =
             queue_.schedule(now + eta, [this, fid] { complete(fid); });
@@ -242,6 +291,17 @@ FlowNetwork::complete(FlowId id)
     if (it == active_.end())
         return;
     settleProgress();
+    if (auditor_) {
+        // Byte conservation: everything requested was delivered (the
+        // epsilon absorbs fluid-model floating-point rounding).
+        const Flow &flow = it->second;
+        const double slack =
+            std::max(kByteEpsilon, 1e-12 * flow.requested);
+        auditor_->expect(flow.remaining <= slack, queue_.now(),
+                         "flow ", id, " completed with ",
+                         flow.remaining, " of ", flow.requested,
+                         " bytes undelivered");
+    }
     std::function<void()> cb = std::move(it->second.onComplete);
     queue_.cancel(it->second.completion);
     active_.erase(it);

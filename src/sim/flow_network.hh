@@ -26,6 +26,8 @@
 
 namespace dgxsim::sim {
 
+class Auditor;
+
 /**
  * Shared-bandwidth transfer fabric. Channels are unidirectional
  * capacity pools; callers model a full-duplex link as two channels.
@@ -91,6 +93,17 @@ class FlowNetwork
      */
     double busyTicks(ChannelId id) const;
 
+    /**
+     * Attach (or detach, with nullptr) an invariant auditor. While
+     * attached, byte conservation is verified at every flow
+     * completion and rate/busy-time invariants at every settle and
+     * reallocation point.
+     */
+    void setAuditor(Auditor *auditor) { auditor_ = auditor; }
+
+    /** @return the attached auditor, or nullptr. */
+    Auditor *auditor() const { return auditor_; }
+
   private:
     struct Channel
     {
@@ -103,6 +116,7 @@ class FlowNetwork
     struct Flow
     {
         double remaining = 0; ///< bytes
+        double requested = 0; ///< bytes asked for at startFlow()
         std::vector<ChannelId> path;
         std::function<void()> onComplete;
         double rate = 0; ///< bytes per tick
@@ -126,10 +140,17 @@ class FlowNetwork
     void activate(FlowId id);
     void complete(FlowId id);
 
+    /** Audit rate sums vs. capacity after an allocation pass. */
+    void auditRates();
+
+    /** Audit per-channel busy-time integrals after a settle pass. */
+    void auditBusyTicks();
+
     EventQueue &queue_;
     std::vector<Channel> channels_;
     std::unordered_map<FlowId, Flow> active_;
     FlowId nextFlow_ = 0;
+    Auditor *auditor_ = nullptr;
 };
 
 } // namespace dgxsim::sim

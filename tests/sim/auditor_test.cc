@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the invariant auditor: lane/thread monotonicity,
+ * memory bookkeeping, copy sanity, quiescence, and the strict vs.
+ * collecting failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/auditor.hh"
+#include "sim/event_queue.hh"
+#include "sim/flow_network.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using dgxsim::sim::Auditor;
+using dgxsim::sim::EventQueue;
+using dgxsim::sim::FatalError;
+using dgxsim::sim::FlowNetwork;
+
+TEST(AuditorTest, PassingChecksAccumulateNoViolations)
+{
+    Auditor audit;
+    audit.expect(true, 10, "fine");
+    audit.expect(true, 20, "also fine");
+    EXPECT_EQ(audit.checksPerformed(), 2u);
+    EXPECT_EQ(audit.violationCount(), 0u);
+}
+
+TEST(AuditorTest, StrictModeThrowsOnFirstViolation)
+{
+    Auditor audit(/*strict=*/true);
+    EXPECT_THROW(audit.expect(false, 5, "boom at ", 5),
+                 FatalError);
+    EXPECT_EQ(audit.violationCount(), 1u);
+}
+
+TEST(AuditorTest, NonStrictModeCollectsViolations)
+{
+    Auditor audit(/*strict=*/false);
+    audit.expect(false, 1, "first");
+    audit.expect(false, 2, "second");
+    EXPECT_EQ(audit.violationCount(), 2u);
+    EXPECT_EQ(audit.violations()[0].what, "first");
+    EXPECT_EQ(audit.violations()[1].when, 2u);
+}
+
+TEST(AuditorTest, KernelLaneMustBeMonotonic)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onKernelRecord(0, "compute0", 0, 100);
+    audit.onKernelRecord(0, "compute0", 100, 200); // ok: abuts
+    audit.onKernelRecord(0, "compute0", 150, 300); // overlap
+    EXPECT_EQ(audit.violationCount(), 1u);
+}
+
+TEST(AuditorTest, DifferentLanesOnOneDeviceMayOverlap)
+{
+    // Two streams on the same GPU legitimately run concurrently.
+    Auditor audit(/*strict=*/false);
+    audit.onKernelRecord(0, "compute0", 0, 100);
+    audit.onKernelRecord(0, "nccl.red.h0", 50, 150);
+    EXPECT_EQ(audit.violationCount(), 0u);
+}
+
+TEST(AuditorTest, SameLaneOnDifferentDevicesIsIndependent)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onKernelRecord(0, "comm", 0, 100);
+    audit.onKernelRecord(1, "comm", 50, 150);
+    EXPECT_EQ(audit.violationCount(), 0u);
+}
+
+TEST(AuditorTest, EmptyLaneOnlyChecksDuration)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onKernelRecord(0, "", 0, 100);
+    audit.onKernelRecord(0, "", 50, 150); // overlap tolerated
+    EXPECT_EQ(audit.violationCount(), 0u);
+    audit.onKernelRecord(0, "", 100, 50); // end < start is not
+    EXPECT_EQ(audit.violationCount(), 1u);
+}
+
+TEST(AuditorTest, HostThreadsAreSerial)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onApiRecord("worker0", 0, 100);
+    audit.onApiRecord("worker1", 50, 150); // other thread: fine
+    audit.onApiRecord("worker0", 90, 200); // overlaps its own
+    EXPECT_EQ(audit.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CopyWireBytesMustCoverPayload)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onCopyRecord(0, 10, 100, 100); // wire == payload: fine
+    audit.onCopyRecord(0, 10, 100, 133); // inflated wire: fine
+    audit.onCopyRecord(0, 10, 100, 50);  // wire < payload: bug
+    EXPECT_EQ(audit.violationCount(), 1u);
+}
+
+TEST(AuditorTest, MemoryInvariants)
+{
+    Auditor audit(/*strict=*/false);
+    audit.onMemoryUpdate(100, 100, 1000, 100); // consistent
+    EXPECT_EQ(audit.violationCount(), 0u);
+    audit.onMemoryUpdate(2000, 2000, 1000, 2000); // over capacity
+    EXPECT_GE(audit.violationCount(), 1u);
+    const auto before = audit.violationCount();
+    audit.onMemoryUpdate(100, 100, 1000, 90); // categories drifted
+    EXPECT_GT(audit.violationCount(), before);
+}
+
+TEST(AuditorTest, QuiescentPassesOnDrainedState)
+{
+    EventQueue q;
+    FlowNetwork net(q);
+    net.addChannel(1.0);
+    Auditor audit;
+    net.setAuditor(&audit);
+    bool done = false;
+    net.startFlow(100, {0}, [&] { done = true; });
+    q.run();
+    EXPECT_TRUE(done);
+    EXPECT_NO_THROW(audit.checkQuiescent(q, net));
+    EXPECT_GT(audit.checksPerformed(), 0u);
+}
+
+TEST(AuditorTest, QuiescentFlagsPendingWork)
+{
+    EventQueue q;
+    FlowNetwork net(q);
+    net.addChannel(1.0);
+    net.startFlow(100, {0}, [] {});
+    // Do not run the queue: the flow's completion is still pending.
+    Auditor audit(/*strict=*/false);
+    audit.checkQuiescent(q, net);
+    EXPECT_GE(audit.violationCount(), 2u); // queue + active flow
+}
+
+TEST(AuditorTest, SummaryMentionsCounts)
+{
+    Auditor audit(/*strict=*/false);
+    audit.expect(true, 0, "ok");
+    audit.expect(false, 1, "bad");
+    const std::string s = audit.summary();
+    EXPECT_NE(s.find("2"), std::string::npos);
+    EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(AuditorTest, EnvEnabledRespectsValue)
+{
+    ::unsetenv("DGXSIM_AUDIT");
+    EXPECT_FALSE(Auditor::envEnabled());
+    ::setenv("DGXSIM_AUDIT", "0", 1);
+    EXPECT_FALSE(Auditor::envEnabled());
+    ::setenv("DGXSIM_AUDIT", "1", 1);
+    EXPECT_TRUE(Auditor::envEnabled());
+    ::unsetenv("DGXSIM_AUDIT");
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property tests for flow-network byte conservation under churn:
+ * randomized seeded flow populations with capacity changes applied
+ * mid-flight must deliver exactly what was requested, with a strict
+ * auditor attached throughout. Also pins the completion-ETA clamp
+ * regression (an ETA must never round to zero ticks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "sim/auditor.hh"
+#include "sim/event_queue.hh"
+#include "sim/flow_network.hh"
+
+namespace {
+
+using dgxsim::sim::Auditor;
+using dgxsim::sim::Bytes;
+using dgxsim::sim::EventQueue;
+using dgxsim::sim::FlowNetwork;
+using dgxsim::sim::Tick;
+
+TEST(FlowConservationTest, RandomFlowsWithCapacityChurnConserveBytes)
+{
+    for (std::uint32_t seed : {1u, 7u, 42u, 1234u}) {
+        std::mt19937 rng(seed);
+        EventQueue q;
+        FlowNetwork net(q);
+        Auditor audit; // strict: any violation throws
+        net.setAuditor(&audit);
+
+        std::uniform_real_distribution<double> cap_dist(0.5, 16.0);
+        const int nchan = 6;
+        for (int c = 0; c < nchan; ++c)
+            net.addChannel(cap_dist(rng));
+
+        std::uniform_int_distribution<Bytes> bytes_dist(1, 1 << 20);
+        std::uniform_int_distribution<int> len_dist(1, 3);
+        std::uniform_int_distribution<int> chan_dist(0, nchan - 1);
+        std::uniform_int_distribution<Tick> when_dist(0, 50000);
+
+        const int nflows = 40;
+        int completed = 0;
+        // Expected delivered bytes per channel: each flow charges
+        // its full byte count to every channel on its path.
+        std::vector<double> expected(nchan, 0.0);
+        for (int f = 0; f < nflows; ++f) {
+            const Bytes bytes = bytes_dist(rng);
+            // Random simple path (channels are a set, but repeats
+            // are legal for the fluid model; keep them distinct to
+            // stay physical).
+            std::vector<FlowNetwork::ChannelId> path;
+            const int len = len_dist(rng);
+            while (static_cast<int>(path.size()) < len) {
+                const auto c = static_cast<FlowNetwork::ChannelId>(
+                    chan_dist(rng));
+                bool dup = false;
+                for (auto seen : path)
+                    dup |= seen == c;
+                if (!dup)
+                    path.push_back(c);
+            }
+            for (auto c : path)
+                expected[c] += static_cast<double>(bytes);
+            const Tick at = when_dist(rng);
+            q.schedule(at, [&net, &completed, bytes,
+                              path = std::move(path)]() {
+                net.startFlow(bytes, path, [&completed] {
+                    ++completed;
+                });
+            });
+        }
+
+        // Capacity churn while flows are in flight: every change
+        // forces a settle + reallocation + rescheduling pass, the
+        // exact paths the conservation invariant guards.
+        for (int k = 0; k < 25; ++k) {
+            const auto c =
+                static_cast<FlowNetwork::ChannelId>(chan_dist(rng));
+            const double cap = cap_dist(rng);
+            q.schedule(when_dist(rng), [&net, c, cap]() {
+                net.setChannelCapacity(c, cap);
+            });
+        }
+
+        ASSERT_NO_THROW(q.run()) << "seed " << seed;
+        EXPECT_EQ(completed, nflows) << "seed " << seed;
+        EXPECT_EQ(net.activeFlows(), 0u) << "seed " << seed;
+        audit.checkQuiescent(q, net);
+        EXPECT_EQ(audit.violationCount(), 0u) << "seed " << seed;
+        EXPECT_GT(audit.checksPerformed(), 0u);
+
+        // Exact conservation per channel: what went in came out
+        // (within the per-flow completion epsilon, accumulated).
+        for (int c = 0; c < nchan; ++c) {
+            EXPECT_NEAR(net.bytesDelivered(c), expected[c], 1.0)
+                << "seed " << seed << " channel " << c;
+        }
+    }
+}
+
+TEST(FlowConservationTest, CompletionEtaNeverRoundsToZero)
+{
+    // Regression guard for rescheduleCompletions(): a nearly-finished
+    // flow on a very fast channel gets an ETA of max(1, ceil(...)),
+    // never 0 — a zero ETA would schedule completion at `now` and
+    // could livelock the settle/reschedule loop.
+    EventQueue q;
+    FlowNetwork net(q);
+    // Tiny capacity to start, so the flow barely progresses.
+    const auto ch = net.addChannel(1e-6);
+    bool done = false;
+    Tick finish = 0;
+    net.startFlow(10, {ch}, [&] {
+        done = true;
+        finish = q.now();
+    });
+    // Mid-flight, make the channel absurdly fast: remaining / rate
+    // becomes ~1e-11 ticks, the ceil/clamp must still yield >= 1.
+    q.schedule(100, [&net, ch]() {
+        net.setChannelCapacity(ch, 1e12);
+    });
+    q.run();
+    EXPECT_TRUE(done);
+    EXPECT_GE(finish, 101u);
+}
+
+TEST(FlowConservationTest, AuditorCatchesOverSubscribedChannel)
+{
+    // Sanity-check that the rate audit actually bites: force an
+    // impossible state by shrinking a channel to a fraction of the
+    // allocated rate *between* settle passes is not observable from
+    // outside (setChannelCapacity immediately reallocates), so
+    // instead verify the audit passes on a legal two-flow share.
+    EventQueue q;
+    FlowNetwork net(q);
+    Auditor audit(/*strict=*/false);
+    net.setAuditor(&audit);
+    const auto ch = net.addChannel(2.0);
+    int done = 0;
+    net.startFlow(1000, {ch}, [&] { ++done; });
+    net.startFlow(500, {ch}, [&] { ++done; });
+    q.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(audit.violationCount(), 0u);
+}
+
+} // namespace

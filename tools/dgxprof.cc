@@ -10,6 +10,7 @@
  *   async    asynchronous-SGD simulation with staleness metrics
  *   modelpar pipelined model-parallel simulation
  *   models   list the model zoo
+ *   verify   determinism check: run a config twice, compare digests
  *
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
@@ -20,6 +21,7 @@
 
 #include "core/async_trainer.hh"
 #include "core/cli.hh"
+#include "core/determinism.hh"
 #include "core/layer_profile.hh"
 #include "core/model_parallel_trainer.hh"
 #include "core/scaling.hh"
@@ -52,7 +54,7 @@ usage()
         "                                   [--overlap] [--rings 2] "
         "[--p100] [--images N]\n"
         "                                   [--trace FILE] [--csv "
-        "FILE] [--report])\n"
+        "FILE] [--report] [--audit])\n"
         "  sweep     grid of runs          (--model [--gpus 1,2,4,8] "
         "[--batches 16,32,64])\n"
         "  topo      DGX-1 topology, routes, bandwidth matrix\n"
@@ -62,7 +64,11 @@ usage()
         "[--microbatches N])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
         "[--top N])\n"
-        "  models    list the model zoo\n");
+        "  models    list the model zoo\n"
+        "  verify    determinism check    (same options as train; "
+        "runs twice,\n"
+        "                                   compares digests, exits "
+        "non-zero on mismatch)\n");
     return 2;
 }
 
@@ -98,6 +104,13 @@ cmdTrain(const Args &args)
                 "GB\n",
                 r.gpu0.preTrainingGB(), r.gpu0.trainingGB(),
                 r.gpux.trainingGB());
+    if (r.audited) {
+        std::printf("  audit: %llu checks, %llu violations; digest "
+                    "%016llx\n",
+                    static_cast<unsigned long long>(r.auditChecks),
+                    static_cast<unsigned long long>(r.auditViolations),
+                    static_cast<unsigned long long>(r.digest));
+    }
     if (args.has("report"))
         std::printf("\n%s", trainer.profiler().report().c_str());
     if (args.has("trace")) {
@@ -252,6 +265,15 @@ cmdLayers(const Args &args)
 }
 
 int
+cmdVerify(const Args &args)
+{
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    const auto check = core::checkDeterminism(cfg);
+    std::printf("%s\n", check.summary().c_str());
+    return check.deterministic ? 0 : 1;
+}
+
+int
 cmdModels()
 {
     TextTable table({"name", "params (M)", "fwd GFLOPs/img", "layers"});
@@ -295,6 +317,8 @@ main(int argc, char **argv)
             return cmdLayers(args);
         if (command == "models")
             return cmdModels();
+        if (command == "verify")
+            return cmdVerify(args);
     } catch (const dgxsim::sim::FatalError &err) {
         std::fprintf(stderr, "%s\n", err.what());
         return 1;
