@@ -14,10 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include <map>
 #include <string>
-#include <tuple>
 
+#include "campaign/campaign.hh"
 #include "core/scaling.hh"
 #include "core/text_table.hh"
 #include "core/trainer.hh"
@@ -25,31 +24,25 @@
 
 namespace dgxsim::bench {
 
-/** Cache key: model, gpus, batch, method, dataset, overlap. */
-using RunKey = std::tuple<std::string, int, int, int, std::uint64_t,
-                          bool>;
-
-/** Memoized training simulation. */
+/**
+ * Memoized training simulation, shared with the campaign subsystem:
+ * campaign::cachedSimulate keys on the full configuration, so table
+ * printers reuse the exact reports the benchmark cases produced (and
+ * a campaign run in the same process would reuse both).
+ */
 inline const core::TrainReport &
 run(const std::string &model, int gpus, int batch,
     comm::CommMethod method,
     std::uint64_t dataset_images = 256000, bool overlap = false)
 {
-    static std::map<RunKey, core::TrainReport> cache;
-    RunKey key{model, gpus, batch, static_cast<int>(method),
-               dataset_images, overlap};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        core::TrainConfig cfg;
-        cfg.model = model;
-        cfg.numGpus = gpus;
-        cfg.batchPerGpu = batch;
-        cfg.method = method;
-        cfg.datasetImages = dataset_images;
-        cfg.overlapBpWu = overlap;
-        it = cache.emplace(key, core::Trainer::simulate(cfg)).first;
-    }
-    return it->second;
+    core::TrainConfig cfg;
+    cfg.model = model;
+    cfg.numGpus = gpus;
+    cfg.batchPerGpu = batch;
+    cfg.method = method;
+    cfg.datasetImages = dataset_images;
+    cfg.overlapBpWu = overlap;
+    return campaign::cachedSimulate(cfg);
 }
 
 /**

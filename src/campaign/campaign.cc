@@ -1,0 +1,110 @@
+#include "campaign/campaign.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "campaign/thread_pool.hh"
+#include "comm/factory.hh"
+#include "core/trainer.hh"
+
+namespace dgxsim::campaign {
+
+std::vector<core::TrainConfig>
+CampaignSpec::expand() const
+{
+    std::vector<core::TrainConfig> configs;
+    configs.reserve(models.size() * gpus.size() * batches.size() *
+                    methods.size());
+    for (const std::string &model : models) {
+        for (int g : gpus) {
+            for (int b : batches) {
+                for (comm::CommMethod m : methods) {
+                    core::TrainConfig cfg = base;
+                    cfg.model = model;
+                    cfg.numGpus = g;
+                    cfg.batchPerGpu = b;
+                    cfg.method = m;
+                    configs.push_back(std::move(cfg));
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+std::string
+configKey(const core::TrainConfig &cfg)
+{
+    // Every field that can steer the simulation from the CLI or a
+    // campaign spec participates; two configs with equal keys must
+    // produce equal reports. %.17g keeps doubles exact.
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s|g%d|b%d|m%d|i%" PRIu64
+        "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
+        "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
+        "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
+        "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g",
+        cfg.model.c_str(), cfg.numGpus, cfg.batchPerGpu,
+        static_cast<int>(cfg.method), cfg.datasetImages,
+        cfg.measuredIterations, cfg.overlapBpWu ? 1 : 0,
+        cfg.useTensorCores ? 1 : 0, cfg.useAllReduce ? 1 : 0,
+        cfg.bucketFusionMB, cfg.audit ? 1 : 0, cfg.engineDispatchUs,
+        cfg.setupOnceSeconds, cfg.gpuSpec.name.c_str(),
+        cfg.commConfig.ncclRings,
+        static_cast<std::uint64_t>(cfg.commConfig.ringChunkBytes),
+        cfg.commConfig.ncclLinkEfficiency,
+        cfg.commConfig.ringHopLatencyUs,
+        cfg.commConfig.ncclIterFixedUs, cfg.commConfig.ncclSetupUs,
+        cfg.commConfig.memcpyIssueUs, cfg.commConfig.maxChunks,
+        cfg.memoryModel.contextGB, cfg.memoryModel.activationFactor,
+        cfg.memoryModel.workspaceFactor,
+        cfg.memoryModel.cudnnPoolMBPerConv,
+        cfg.memoryModel.rootCommFactor,
+        cfg.memoryModel.datasetBuffers);
+    return buf;
+}
+
+const core::TrainReport &
+cachedSimulate(const core::TrainConfig &cfg)
+{
+    static std::mutex mutex;
+    static std::map<std::string, core::TrainReport> cache;
+    const std::string key = configKey(cfg);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Simulate outside the lock so independent configurations run
+    // concurrently. Two threads racing on the same key compute the
+    // same (deterministic) report; the second insert is a no-op.
+    core::TrainReport report = core::Trainer::simulate(cfg);
+    std::lock_guard<std::mutex> lock(mutex);
+    return cache.emplace(key, std::move(report)).first->second;
+}
+
+std::vector<RunRecord>
+runCampaign(const std::vector<core::TrainConfig> &configs, int jobs,
+            const ProgressFn &progress)
+{
+    std::vector<RunRecord> records(configs.size());
+    std::mutex progressMutex;
+    std::size_t completed = 0;
+    parallelFor(configs.size(), jobs, [&](std::size_t i) {
+        // Each index writes only its own slot: record order is the
+        // config order, never the completion order.
+        records[i] = recordFromReport(cachedSimulate(configs[i]));
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress(++completed, configs.size(), records[i]);
+        }
+    });
+    return records;
+}
+
+} // namespace dgxsim::campaign

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The campaign runner: many independent training simulations,
+ * executed on a host thread pool, with structured results.
+ *
+ * The paper's contribution is a measurement grid (5 networks x
+ * {1,2,4,8} GPUs x {P2P, NCCL}); a campaign is exactly such a grid.
+ * Each simulation is a pure single-threaded function of its
+ * TrainConfig (the determinism contract of core/determinism.hh), so
+ * fanning configurations out across threads cannot change any
+ * result — only the wall-clock time to produce them. Results come
+ * back in grid order regardless of --jobs, which makes the JSON/CSV
+ * output byte-identical at any parallelism and lets a golden
+ * baseline be a plain committed file.
+ *
+ * cachedSimulate() memoizes reports process-wide (thread-safe), so
+ * the sweep/check commands and the benchmark harnesses never pay for
+ * the same configuration twice.
+ */
+
+#ifndef DGXSIM_CAMPAIGN_CAMPAIGN_HH
+#define DGXSIM_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/record.hh"
+#include "core/train_config.hh"
+
+namespace dgxsim::campaign {
+
+/** A grid of training configurations (the paper's sweep axes). */
+struct CampaignSpec
+{
+    std::vector<std::string> models = {"resnet-50"};
+    std::vector<int> gpus = {1, 2, 4, 8};
+    std::vector<int> batches = {16, 32, 64};
+    std::vector<comm::CommMethod> methods = {comm::CommMethod::P2P,
+                                             comm::CommMethod::NCCL};
+    /** Template for every non-grid knob (images, overlap, ...). */
+    core::TrainConfig base;
+
+    /**
+     * @return the grid expanded to configurations in deterministic
+     * model-major order: model, then gpus, then batch, then method.
+     */
+    std::vector<core::TrainConfig> expand() const;
+};
+
+/**
+ * Simulate @p cfg through a process-wide thread-safe memo cache.
+ * Repeated calls with an equivalent configuration return the stored
+ * report without re-running. The reference stays valid for the
+ * process lifetime.
+ */
+const core::TrainReport &cachedSimulate(const core::TrainConfig &cfg);
+
+/**
+ * @return a cache/identity key covering every TrainConfig field that
+ * can change simulation results through the CLI or campaign specs.
+ */
+std::string configKey(const core::TrainConfig &cfg);
+
+/** Progress callback: (completed so far, total, finished record).
+ * Called from worker threads under a lock, in completion order. */
+using ProgressFn =
+    std::function<void(std::size_t, std::size_t, const RunRecord &)>;
+
+/**
+ * Run every configuration in @p configs on up to @p jobs threads and
+ * return one RunRecord per configuration, in input order (the order
+ * never depends on jobs or scheduling). OOM configurations produce a
+ * record with oom=true rather than failing the campaign.
+ */
+std::vector<RunRecord>
+runCampaign(const std::vector<core::TrainConfig> &configs, int jobs,
+            const ProgressFn &progress = nullptr);
+
+} // namespace dgxsim::campaign
+
+#endif // DGXSIM_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,298 @@
+#include "campaign/record.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "campaign/json.hh"
+#include "comm/factory.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::campaign {
+
+namespace {
+
+/** Format a double so that parsing it back is exact. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+fmtHex64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+std::uint64_t
+parseHex64(const std::string &text)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 16);
+    if (end == text.c_str() || *end != '\0')
+        sim::fatal("malformed digest '", text, "'");
+    return v;
+}
+
+/** Escape a string for JSON output. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Escape a CSV field (quote when it contains , " or newline). */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+std::uint64_t
+u64At(const JsonValue &obj, const std::string &key)
+{
+    // Our integral fields fit in a double's 53-bit mantissa (bytes,
+    // iteration counts); digests travel as hex strings instead.
+    const double v = obj.numberAt(key);
+    if (v < 0)
+        sim::fatal("JSON member '", key, "' is negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+std::string
+RunRecord::key() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s x%d b%d %s i%" PRIu64,
+                  model.c_str(), gpus, batch, method.c_str(), images);
+    return buf;
+}
+
+core::TrainConfig
+RunRecord::toConfig() const
+{
+    core::TrainConfig cfg;
+    cfg.model = model;
+    cfg.numGpus = gpus;
+    cfg.batchPerGpu = batch;
+    cfg.method = comm::parseCommMethod(method);
+    cfg.datasetImages = images;
+    return cfg;
+}
+
+RunRecord
+recordFromReport(const core::TrainReport &report)
+{
+    RunRecord r;
+    r.model = report.config.model;
+    r.gpus = report.config.numGpus;
+    r.batch = report.config.batchPerGpu;
+    r.method = comm::commMethodName(report.config.method);
+    r.images = report.config.datasetImages;
+    r.oom = report.oom;
+    r.iterations = report.iterations;
+    r.epochSeconds = report.epochSeconds;
+    r.iterationSeconds = report.iterationSeconds;
+    r.setupSeconds = report.setupSeconds;
+    r.fpBpSeconds = report.fpBpSeconds;
+    r.wuSeconds = report.wuSeconds;
+    r.syncApiFraction = report.syncApiFraction;
+    r.interGpuBytesPerIter = report.interGpuBytesPerIter;
+    r.gpu0TrainingBytes = report.gpu0.training;
+    r.gpuxTrainingBytes = report.gpux.training;
+    r.preTrainingBytes = report.gpu0.preTraining;
+    r.digest = report.digest;
+    return r;
+}
+
+std::string
+recordsToJson(const std::vector<RunRecord> &records)
+{
+    std::string out = "{\n  \"version\": 1,\n  \"records\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const RunRecord &r = records[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {";
+        out += "\"model\": \"" + jsonEscape(r.model) + "\", ";
+        out += "\"gpus\": " + std::to_string(r.gpus) + ", ";
+        out += "\"batch\": " + std::to_string(r.batch) + ", ";
+        out += "\"method\": \"" + jsonEscape(r.method) + "\", ";
+        out += "\"images\": " + fmtU64(r.images) + ",\n     ";
+        out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
+               ", ";
+        out += "\"iterations\": " + fmtU64(r.iterations) + ", ";
+        out += "\"epoch_s\": " + fmtDouble(r.epochSeconds) + ", ";
+        out += "\"iteration_s\": " + fmtDouble(r.iterationSeconds) +
+               ",\n     ";
+        out += "\"setup_s\": " + fmtDouble(r.setupSeconds) + ", ";
+        out += "\"fpbp_s\": " + fmtDouble(r.fpBpSeconds) + ", ";
+        out += "\"wu_s\": " + fmtDouble(r.wuSeconds) + ",\n     ";
+        out += "\"sync_api_fraction\": " +
+               fmtDouble(r.syncApiFraction) + ", ";
+        out += "\"inter_gpu_bytes_per_iter\": " +
+               fmtDouble(r.interGpuBytesPerIter) + ",\n     ";
+        out += "\"mem_pre_bytes\": " + fmtU64(r.preTrainingBytes) +
+               ", ";
+        out += "\"mem_gpu0_bytes\": " + fmtU64(r.gpu0TrainingBytes) +
+               ", ";
+        out += "\"mem_gpux_bytes\": " + fmtU64(r.gpuxTrainingBytes) +
+               ",\n     ";
+        out += "\"digest\": \"" + fmtHex64(r.digest) + "\"}";
+    }
+    out += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+std::vector<RunRecord>
+recordsFromJson(const std::string &text)
+{
+    const JsonValue doc = JsonValue::parse(text);
+    const double version = doc.numberAt("version");
+    if (version != 1)
+        sim::fatal("unsupported results version ", version,
+                   " (this build reads version 1)");
+    std::vector<RunRecord> records;
+    for (const JsonValue &v : doc.at("records").asArray()) {
+        RunRecord r;
+        r.model = v.stringAt("model");
+        r.gpus = static_cast<int>(v.numberAt("gpus"));
+        r.batch = static_cast<int>(v.numberAt("batch"));
+        r.method = v.stringAt("method");
+        r.images = u64At(v, "images");
+        r.oom = v.boolAt("oom");
+        r.iterations = u64At(v, "iterations");
+        r.epochSeconds = v.numberAt("epoch_s");
+        r.iterationSeconds = v.numberAt("iteration_s");
+        r.setupSeconds = v.numberAt("setup_s");
+        r.fpBpSeconds = v.numberAt("fpbp_s");
+        r.wuSeconds = v.numberAt("wu_s");
+        r.syncApiFraction = v.numberAt("sync_api_fraction");
+        r.interGpuBytesPerIter =
+            v.numberAt("inter_gpu_bytes_per_iter");
+        r.preTrainingBytes = u64At(v, "mem_pre_bytes");
+        r.gpu0TrainingBytes = u64At(v, "mem_gpu0_bytes");
+        r.gpuxTrainingBytes = u64At(v, "mem_gpux_bytes");
+        r.digest = parseHex64(v.stringAt("digest"));
+        records.push_back(std::move(r));
+    }
+    return records;
+}
+
+std::string
+recordsToCsv(const std::vector<RunRecord> &records)
+{
+    std::string out =
+        "model,gpus,batch,method,images,oom,iterations,epoch_s,"
+        "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
+        "inter_gpu_bytes_per_iter,mem_pre_bytes,mem_gpu0_bytes,"
+        "mem_gpux_bytes,digest\n";
+    for (const RunRecord &r : records) {
+        out += csvEscape(r.model) + ",";
+        out += std::to_string(r.gpus) + ",";
+        out += std::to_string(r.batch) + ",";
+        out += csvEscape(r.method) + ",";
+        out += fmtU64(r.images) + ",";
+        out += std::string(r.oom ? "1" : "0") + ",";
+        out += fmtU64(r.iterations) + ",";
+        out += fmtDouble(r.epochSeconds) + ",";
+        out += fmtDouble(r.iterationSeconds) + ",";
+        out += fmtDouble(r.setupSeconds) + ",";
+        out += fmtDouble(r.fpBpSeconds) + ",";
+        out += fmtDouble(r.wuSeconds) + ",";
+        out += fmtDouble(r.syncApiFraction) + ",";
+        out += fmtDouble(r.interGpuBytesPerIter) + ",";
+        out += fmtU64(r.preTrainingBytes) + ",";
+        out += fmtU64(r.gpu0TrainingBytes) + ",";
+        out += fmtU64(r.gpuxTrainingBytes) + ",";
+        out += fmtHex64(r.digest) + "\n";
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        sim::fatal("cannot open ", path, " for writing");
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    const int rc = std::fclose(f);
+    if (written != text.size() || rc != 0)
+        sim::fatal("short write to ", path);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        sim::fatal("cannot open ", path);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        sim::fatal("read error on ", path);
+    return out;
+}
+
+} // namespace dgxsim::campaign

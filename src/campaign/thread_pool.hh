@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The host-side fan-out primitive for the campaign runner.
+ *
+ * Each simulation stays single-threaded (the event queue is not
+ * thread-safe and does not need to be); parallelism comes from
+ * running many independent simulations at once. parallelFor hands
+ * indices [0, count) to a worker pool; because every index writes
+ * only its own result slot, output order is a function of the index
+ * space alone — never of thread scheduling — which is what makes
+ * campaign output byte-identical at any --jobs value.
+ */
+
+#ifndef DGXSIM_CAMPAIGN_THREAD_POOL_HH
+#define DGXSIM_CAMPAIGN_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgxsim::campaign {
+
+/**
+ * Run body(i) for every i in [0, count) on up to @p jobs threads.
+ * jobs <= 1 runs inline on the caller's thread. The first exception
+ * thrown by any body is rethrown on the caller's thread after all
+ * workers finish (remaining indices are abandoned).
+ */
+inline void
+parallelFor(std::size_t count, int jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), count);
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                next.store(count, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+/** @return a sensible default for --jobs: the hardware thread count. */
+inline int
+defaultJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+} // namespace dgxsim::campaign
+
+#endif // DGXSIM_CAMPAIGN_THREAD_POOL_HH

@@ -106,14 +106,34 @@ Args::getIntList(const std::string &name,
     return out;
 }
 
+std::vector<std::string>
+Args::getList(const std::string &name,
+              const std::vector<std::string> &fallback) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        return fallback;
+    std::vector<std::string> out;
+    std::string item;
+    for (char c : it->second + ",") {
+        if (c == ',') {
+            if (!item.empty()) {
+                out.push_back(item);
+                item.clear();
+            }
+        } else {
+            item.push_back(c);
+        }
+    }
+    if (out.empty())
+        sim::fatal("--", name, " expects at least one value");
+    return out;
+}
+
 TrainConfig
-configFromArgs(const Args &args)
+baseConfigFromArgs(const Args &args)
 {
     TrainConfig cfg;
-    cfg.model = args.get("model", "resnet-50");
-    cfg.numGpus = args.getInt("gpus", 4);
-    cfg.batchPerGpu = args.getInt("batch", 16);
-    cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
     cfg.datasetImages = static_cast<std::uint64_t>(
         args.getInt("images", 256000));
     cfg.useTensorCores = args.has("tensor-cores");
@@ -125,6 +145,17 @@ configFromArgs(const Args &args)
         cfg.commConfig.ncclRings = args.getInt("rings", 1);
     if (args.has("p100"))
         cfg.gpuSpec = hw::GpuSpec::pascalP100();
+    return cfg;
+}
+
+TrainConfig
+configFromArgs(const Args &args)
+{
+    TrainConfig cfg = baseConfigFromArgs(args);
+    cfg.model = args.get("model", "resnet-50");
+    cfg.numGpus = args.getInt("gpus", 4);
+    cfg.batchPerGpu = args.getInt("batch", 16);
+    cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
     return cfg;
 }
 

@@ -50,10 +50,27 @@ class Args
     std::vector<int> getIntList(const std::string &name,
                                 const std::vector<int> &fallback) const;
 
+    /**
+     * @return a comma-separated option as a string list, e.g.
+     * "--model lenet,alexnet" -> {"lenet", "alexnet"}.
+     */
+    std::vector<std::string>
+    getList(const std::string &name,
+            const std::vector<std::string> &fallback) const;
+
   private:
     std::vector<std::string> pos_;
     std::map<std::string, std::string> opts_;
 };
+
+/**
+ * Build a TrainConfig from the non-grid options only: --images
+ * --tensor-cores --overlap --allreduce --fusion-mb --audit --rings
+ * --p100. Model, gpus, batch and method keep their defaults; grid
+ * commands (campaign, sweep) fill them per cell, so list-valued
+ * --gpus/--batches/--method never hit the scalar parsers.
+ */
+TrainConfig baseConfigFromArgs(const Args &args);
 
 /**
  * Build a TrainConfig from common options: --model --gpus --batch

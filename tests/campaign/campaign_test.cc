@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Campaign runner tests: grid expansion order, thread-pool result
+ * determinism regardless of --jobs, the memo cache, and the
+ * parallelFor primitive itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "campaign/campaign.hh"
+#include "campaign/thread_pool.hh"
+#include "core/trainer.hh"
+
+namespace dgxsim::campaign {
+namespace {
+
+CampaignSpec
+smallSpec()
+{
+    CampaignSpec spec;
+    spec.models = {"lenet", "alexnet"};
+    spec.gpus = {1, 2};
+    spec.batches = {16};
+    spec.methods = {comm::CommMethod::P2P, comm::CommMethod::NCCL};
+    return spec;
+}
+
+TEST(CampaignSpec, ExpandsModelMajorWithMethodInnermost)
+{
+    const auto configs = smallSpec().expand();
+    ASSERT_EQ(configs.size(), 8u);
+    EXPECT_EQ(configs[0].model, "lenet");
+    EXPECT_EQ(configs[0].numGpus, 1);
+    EXPECT_EQ(configs[0].method, comm::CommMethod::P2P);
+    EXPECT_EQ(configs[1].method, comm::CommMethod::NCCL);
+    EXPECT_EQ(configs[2].numGpus, 2);
+    EXPECT_EQ(configs[4].model, "alexnet");
+    EXPECT_EQ(configs[7].model, "alexnet");
+    EXPECT_EQ(configs[7].numGpus, 2);
+    EXPECT_EQ(configs[7].method, comm::CommMethod::NCCL);
+}
+
+TEST(CampaignSpec, BaseKnobsPropagateToEveryCell)
+{
+    CampaignSpec spec = smallSpec();
+    spec.base.datasetImages = 64000;
+    spec.base.overlapBpWu = true;
+    for (const auto &cfg : spec.expand()) {
+        EXPECT_EQ(cfg.datasetImages, 64000u);
+        EXPECT_TRUE(cfg.overlapBpWu);
+    }
+}
+
+TEST(Campaign, RecordOrderIsIndependentOfJobs)
+{
+    const auto configs = smallSpec().expand();
+    const auto serial = runCampaign(configs, 1);
+    const auto parallel4 = runCampaign(configs, 4);
+    const auto parallel13 = runCampaign(configs, 13);
+    ASSERT_EQ(serial.size(), configs.size());
+    EXPECT_EQ(serial, parallel4);
+    EXPECT_EQ(serial, parallel13);
+    // And the serialized forms are byte-identical (the CI baseline
+    // contract).
+    EXPECT_EQ(recordsToJson(serial), recordsToJson(parallel4));
+    EXPECT_EQ(recordsToCsv(serial), recordsToCsv(parallel13));
+}
+
+TEST(Campaign, RecordsMatchDirectSimulation)
+{
+    CampaignSpec spec = smallSpec();
+    spec.models = {"lenet"};
+    spec.gpus = {2};
+    const auto records = runCampaign(spec.expand(), 2);
+    ASSERT_EQ(records.size(), 2u);
+    const core::TrainReport direct =
+        core::Trainer::simulate(spec.expand()[0]);
+    EXPECT_EQ(records[0].model, "lenet");
+    EXPECT_EQ(records[0].method, "p2p");
+    EXPECT_DOUBLE_EQ(records[0].epochSeconds, direct.epochSeconds);
+    EXPECT_EQ(records[0].digest, direct.digest);
+    EXPECT_EQ(records[0].gpu0TrainingBytes, direct.gpu0.training);
+}
+
+TEST(Campaign, ProgressReportsEveryRunExactlyOnce)
+{
+    const auto configs = smallSpec().expand();
+    std::set<std::string> seen;
+    std::size_t calls = 0;
+    runCampaign(configs, 3,
+                [&](std::size_t done, std::size_t total,
+                    const RunRecord &r) {
+                    EXPECT_EQ(total, configs.size());
+                    EXPECT_EQ(done, calls + 1);
+                    seen.insert(r.key());
+                    ++calls;
+                });
+    EXPECT_EQ(calls, configs.size());
+    EXPECT_EQ(seen.size(), configs.size());
+}
+
+TEST(Campaign, CachedSimulateReturnsStableReference)
+{
+    core::TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 2;
+    cfg.batchPerGpu = 16;
+    const core::TrainReport &a = cachedSimulate(cfg);
+    const core::TrainReport &b = cachedSimulate(cfg);
+    EXPECT_EQ(&a, &b) << "second lookup must hit the cache";
+    cfg.batchPerGpu = 32;
+    const core::TrainReport &c = cachedSimulate(cfg);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Campaign, ConfigKeySeparatesEveryCliAxis)
+{
+    core::TrainConfig cfg;
+    const std::string base = configKey(cfg);
+    auto differs = [&](auto mutate) {
+        core::TrainConfig copy;
+        mutate(copy);
+        return configKey(copy) != base;
+    };
+    EXPECT_TRUE(differs([](auto &c) { c.model = "lenet"; }));
+    EXPECT_TRUE(differs([](auto &c) { c.numGpus = 8; }));
+    EXPECT_TRUE(differs([](auto &c) { c.batchPerGpu = 64; }));
+    EXPECT_TRUE(
+        differs([](auto &c) { c.method = comm::CommMethod::P2P; }));
+    EXPECT_TRUE(differs([](auto &c) { c.datasetImages = 1; }));
+    EXPECT_TRUE(differs([](auto &c) { c.overlapBpWu = true; }));
+    EXPECT_TRUE(differs([](auto &c) { c.useTensorCores = true; }));
+    EXPECT_TRUE(differs([](auto &c) { c.useAllReduce = true; }));
+    EXPECT_TRUE(differs([](auto &c) { c.bucketFusionMB = 4; }));
+    EXPECT_TRUE(differs([](auto &c) { c.commConfig.ncclRings = 2; }));
+    EXPECT_TRUE(
+        differs([](auto &c) { c.gpuSpec = hw::GpuSpec::pascalP100(); }));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallelFor(kCount, 7,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    EXPECT_THROW(
+        parallelFor(100, 4,
+                    [](std::size_t i) {
+                        if (i == 42)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // Inline path too.
+    EXPECT_THROW(parallelFor(3, 1,
+                             [](std::size_t) {
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroCountAndInlineFallbackWork)
+{
+    int calls = 0;
+    parallelFor(0, 8, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(5, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 5);
+}
+
+} // namespace
+} // namespace dgxsim::campaign

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * RunRecord serialization tests: JSON round-trips exactly (including
+ * doubles and 64-bit digests), CSV shape, the JSON parser's error
+ * handling, and record/config conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "campaign/json.hh"
+#include "campaign/record.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::campaign {
+namespace {
+
+RunRecord
+sampleRecord()
+{
+    RunRecord r;
+    r.model = "alexnet";
+    r.gpus = 4;
+    r.batch = 32;
+    r.method = "nccl";
+    r.images = 256000;
+    r.oom = false;
+    r.iterations = 2000;
+    r.epochSeconds = 172.64712345678901;
+    r.iterationSeconds = 0.086073561728394501;
+    r.setupSeconds = 0.5;
+    r.fpBpSeconds = 151.1234567890123;
+    r.wuSeconds = 21.023456789012345;
+    r.syncApiFraction = 0.63402754338922462;
+    r.interGpuBytesPerIter = 614034816.25;
+    r.gpu0TrainingBytes = 4583211008;
+    r.gpuxTrainingBytes = 4371021312;
+    r.preTrainingBytes = 651165696;
+    r.digest = 0xdeadbeefcafe1234ull;
+    return r;
+}
+
+TEST(RunRecord, JsonRoundTripsExactly)
+{
+    RunRecord oom;
+    oom.model = "inception-v3";
+    oom.gpus = 8;
+    oom.batch = 512;
+    oom.method = "p2p";
+    oom.oom = true;
+    const std::vector<RunRecord> records{sampleRecord(), oom};
+    const auto parsed = recordsFromJson(recordsToJson(records));
+    ASSERT_EQ(parsed.size(), records.size());
+    EXPECT_EQ(parsed[0], records[0]);
+    EXPECT_EQ(parsed[1], records[1]);
+}
+
+TEST(RunRecord, JsonSerializationIsDeterministic)
+{
+    const std::vector<RunRecord> records{sampleRecord()};
+    EXPECT_EQ(recordsToJson(records), recordsToJson(records));
+    const auto reparsed = recordsFromJson(recordsToJson(records));
+    EXPECT_EQ(recordsToJson(reparsed), recordsToJson(records));
+}
+
+TEST(RunRecord, EmptyListRoundTrips)
+{
+    const auto parsed = recordsFromJson(recordsToJson({}));
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(RunRecord, CsvHasHeaderAndOneLinePerRecord)
+{
+    const std::vector<RunRecord> records{sampleRecord(),
+                                         sampleRecord()};
+    const std::string csv = recordsToCsv(records);
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(csv.rfind("model,gpus,batch,method", 0), 0u);
+    EXPECT_NE(csv.find("deadbeefcafe1234"), std::string::npos);
+}
+
+TEST(RunRecord, KeyIdentifiesTheConfiguration)
+{
+    EXPECT_EQ(sampleRecord().key(), "alexnet x4 b32 nccl i256000");
+    RunRecord other = sampleRecord();
+    other.batch = 64;
+    EXPECT_NE(other.key(), sampleRecord().key());
+}
+
+TEST(RunRecord, ToConfigReproducesTheAxes)
+{
+    const core::TrainConfig cfg = sampleRecord().toConfig();
+    EXPECT_EQ(cfg.model, "alexnet");
+    EXPECT_EQ(cfg.numGpus, 4);
+    EXPECT_EQ(cfg.batchPerGpu, 32);
+    EXPECT_EQ(cfg.method, comm::CommMethod::NCCL);
+    EXPECT_EQ(cfg.datasetImages, 256000u);
+}
+
+TEST(RunRecord, MalformedJsonIsFatal)
+{
+    EXPECT_THROW(recordsFromJson("{"), sim::FatalError);
+    EXPECT_THROW(recordsFromJson("[]"), sim::FatalError);
+    EXPECT_THROW(recordsFromJson("{\"version\": 1}"),
+                 sim::FatalError);
+    EXPECT_THROW(
+        recordsFromJson("{\"version\": 99, \"records\": []}"),
+        sim::FatalError);
+    EXPECT_THROW(
+        recordsFromJson(
+            "{\"version\": 1, \"records\": [{\"model\": \"x\"}]}"),
+        sim::FatalError);
+}
+
+TEST(Json, ParsesTheEmittedSubset)
+{
+    const JsonValue v = JsonValue::parse(
+        "{\"a\": [1, 2.5, -3e2], \"b\": \"q\\\"uote\\n\", "
+        "\"c\": true, \"d\": null}");
+    EXPECT_EQ(v.at("a").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("a").asArray()[2].asNumber(), -300.0);
+    EXPECT_EQ(v.stringAt("b"), "q\"uote\n");
+    EXPECT_TRUE(v.boolAt("c"));
+    EXPECT_TRUE(v.at("d").isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsTrailingGarbageAndBadEscapes)
+{
+    EXPECT_THROW(JsonValue::parse("{} x"), sim::FatalError);
+    EXPECT_THROW(JsonValue::parse("\"\\q\""), sim::FatalError);
+    EXPECT_THROW(JsonValue::parse("01a"), sim::FatalError);
+    EXPECT_THROW(JsonValue::parse(""), sim::FatalError);
+}
+
+} // namespace
+} // namespace dgxsim::campaign

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Lint every tracked C++ source against the repository .clang-format
+# (clang-format --dry-run -Werror exits non-zero on any diff). CI
+# runs this on every push; run it locally before committing, or with
+# --fix to rewrite files in place.
+#
+# Usage: tools/check_format.sh [--fix] [clang-format binary]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo"
+
+mode=check
+if [ "${1:-}" = "--fix" ]; then
+    mode=fix
+    shift
+fi
+fmt=${1:-clang-format}
+
+if ! command -v "$fmt" >/dev/null 2>&1; then
+    echo "error: $fmt not found (pass the binary as an argument)" >&2
+    exit 2
+fi
+
+files=$(git ls-files '*.cc' '*.hh')
+if [ "$mode" = "fix" ]; then
+    # shellcheck disable=SC2086
+    "$fmt" -style=file -i $files
+    echo "formatted $(echo "$files" | wc -l) files"
+else
+    # shellcheck disable=SC2086
+    "$fmt" -style=file --dry-run -Werror $files
+    echo "format check passed ($(echo "$files" | wc -l) files)"
+fi

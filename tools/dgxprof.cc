@@ -5,6 +5,8 @@
  * Subcommands:
  *   train    simulate one training configuration, print the report
  *   sweep    grid over GPUs x batch x method, print a table
+ *   campaign parallel grid runner with JSON/CSV results
+ *   check    re-run a campaign, diff against a golden baseline
  *   topo     show the DGX-1 topology, routes and bandwidths
  *   advise   pick max batch size and best method for a model
  *   async    asynchronous-SGD simulation with staleness metrics
@@ -15,10 +17,14 @@
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/check.hh"
+#include "campaign/thread_pool.hh"
 #include "core/async_trainer.hh"
 #include "core/cli.hh"
 #include "core/determinism.hh"
@@ -56,7 +62,22 @@ usage()
         "                                   [--trace FILE] [--csv "
         "FILE] [--report] [--audit])\n"
         "  sweep     grid of runs          (--model [--gpus 1,2,4,8] "
-        "[--batches 16,32,64])\n"
+        "[--batches 16,32,64]\n"
+        "                                   [--jobs N])\n"
+        "  campaign  parallel grid runner  (--model M1,M2 [--gpus "
+        "1,2,4,8]\n"
+        "                                   [--batches 16,32,64] "
+        "[--method p2p,nccl]\n"
+        "                                   [--jobs N] [--json FILE] "
+        "[--csv FILE] [--quiet])\n"
+        "  check     regression gate       (--baseline "
+        "results/baseline.json\n"
+        "                                   [--tolerance PCT] [--jobs "
+        "N] [--no-digest]\n"
+        "                                   [--model ...] [--gpus ...] "
+        "[--batches ...]\n"
+        "                                   [--method ...] to filter "
+        "the baseline grid)\n"
         "  topo      DGX-1 topology, routes, bandwidth matrix\n"
         "  advise    batch-size + method advice (--model [--gpus N])\n"
         "  async     asynchronous SGD      (--model --gpus --batch)\n"
@@ -130,36 +151,158 @@ cmdTrain(const Args &args)
     return 0;
 }
 
+/** Build the campaign grid from --model/--gpus/--batches/--method
+ * (every non-grid knob comes from the usual train options). */
+campaign::CampaignSpec
+campaignSpecFromArgs(const Args &args)
+{
+    campaign::CampaignSpec spec;
+    spec.base = core::cli::baseConfigFromArgs(args);
+    spec.models = args.getList("model", {spec.base.model});
+    spec.gpus = args.getIntList("gpus", {1, 2, 4, 8});
+    spec.batches =
+        args.getIntList("batches", args.getIntList("batch", {16, 32, 64}));
+    spec.methods.clear();
+    for (const std::string &m : args.getList("method", {"p2p", "nccl"}))
+        spec.methods.push_back(comm::parseCommMethod(m));
+    return spec;
+}
+
+/** Run @p configs with a stderr progress line unless --quiet. */
+std::vector<campaign::RunRecord>
+runWithProgress(const std::vector<core::TrainConfig> &configs,
+                const Args &args)
+{
+    const int jobs =
+        args.getInt("jobs", campaign::defaultJobs());
+    campaign::ProgressFn progress;
+    if (!args.has("quiet")) {
+        progress = [](std::size_t done, std::size_t total,
+                      const campaign::RunRecord &r) {
+            std::fprintf(stderr, "[%zu/%zu] %s%s\n", done, total,
+                         r.key().c_str(), r.oom ? " (OOM)" : "");
+        };
+    }
+    return campaign::runCampaign(configs, jobs, progress);
+}
+
+int
+cmdCampaign(const Args &args)
+{
+    campaign::CampaignSpec spec = campaignSpecFromArgs(args);
+    // Unlike sweep, an unqualified campaign covers the whole zoo
+    // grid the paper measures.
+    spec.models = args.getList("model", dnn::modelNames());
+    const auto configs = spec.expand();
+    const auto records = runWithProgress(configs, args);
+    TextTable table({"model", "gpus", "batch", "method", "epoch (s)",
+                     "fp+bp (s)", "wu (s)", "sync %", "GPU0 GB",
+                     "digest"});
+    for (const auto &r : records) {
+        if (r.oom) {
+            table.addRow({r.model, std::to_string(r.gpus),
+                          std::to_string(r.batch), r.method, "OOM",
+                          "-", "-", "-", "-", "-"});
+            continue;
+        }
+        char digest[20];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(r.digest));
+        table.addRow({r.model, std::to_string(r.gpus),
+                      std::to_string(r.batch), r.method,
+                      TextTable::num(r.epochSeconds, 2),
+                      TextTable::num(r.fpBpSeconds, 2),
+                      TextTable::num(r.wuSeconds, 2),
+                      TextTable::num(100 * r.syncApiFraction, 1),
+                      TextTable::num(r.gpu0TrainingBytes / 1e9, 2),
+                      digest});
+    }
+    std::printf("%s", table.str().c_str());
+    if (args.has("json")) {
+        const std::string path = args.get("json", "campaign.json");
+        campaign::writeFile(path, campaign::recordsToJson(records));
+        std::printf("results JSON written to %s\n", path.c_str());
+    }
+    if (args.has("csv")) {
+        const std::string path = args.get("csv", "campaign.csv");
+        campaign::writeFile(path, campaign::recordsToCsv(records));
+        std::printf("results CSV written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCheck(const Args &args)
+{
+    const std::string path =
+        args.get("baseline", "results/baseline.json");
+    std::vector<campaign::RunRecord> baseline =
+        campaign::recordsFromJson(campaign::readFile(path));
+    // Optional grid filters restrict the gate to a subset of the
+    // committed baseline (the CI repro-smoke job uses this).
+    const auto contains = [](const auto &list, const auto &v) {
+        return std::find(list.begin(), list.end(), v) != list.end();
+    };
+    if (args.has("model") || args.has("gpus") ||
+        args.has("batches") || args.has("batch") ||
+        args.has("method")) {
+        const auto models = args.getList("model", {});
+        const auto gpus = args.getIntList("gpus", {});
+        const auto batches =
+            args.getIntList("batches", args.getIntList("batch", {}));
+        const auto methods = args.getList("method", {});
+        std::erase_if(baseline, [&](const campaign::RunRecord &r) {
+            return (!models.empty() && !contains(models, r.model)) ||
+                   (!gpus.empty() && !contains(gpus, r.gpus)) ||
+                   (!batches.empty() && !contains(batches, r.batch)) ||
+                   (!methods.empty() && !contains(methods, r.method));
+        });
+    }
+    if (baseline.empty()) {
+        std::fprintf(stderr,
+                     "check: no baseline records match the filter\n");
+        return 1;
+    }
+    campaign::CheckOptions options;
+    options.tolerancePct = args.getDouble("tolerance", 0.0);
+    options.jobs = args.getInt("jobs", campaign::defaultJobs());
+    options.skipDigest = args.has("no-digest");
+    const campaign::CheckReport report =
+        campaign::checkAgainstBaseline(baseline, options);
+    std::printf("%s", report.summary(options.tolerancePct).c_str());
+    return report.pass ? 0 : 1;
+}
+
 int
 cmdSweep(const Args &args)
 {
-    core::TrainConfig base = core::cli::configFromArgs(args);
-    const auto gpus = args.getIntList("gpus", {1, 2, 4, 8});
-    const auto batches = args.getIntList("batches", {16, 32, 64});
-    std::printf("sweep of %s (256K images):\n", base.model.c_str());
+    // The sweep is a campaign over one model and both methods,
+    // rendered as the classic p2p-vs-nccl table.
+    campaign::CampaignSpec spec = campaignSpecFromArgs(args);
+    spec.methods = {comm::CommMethod::P2P, comm::CommMethod::NCCL};
+    const auto configs = spec.expand();
+    const auto records = campaign::runCampaign(
+        configs, args.getInt("jobs", campaign::defaultJobs()));
+    std::printf("sweep of %s (256K images):\n",
+                spec.models.front().c_str());
     TextTable table({"gpus", "batch", "p2p epoch (s)", "nccl epoch (s)",
                      "best"});
-    for (int g : gpus) {
-        for (int b : batches) {
-            core::TrainConfig cfg = base;
-            cfg.numGpus = g;
-            cfg.batchPerGpu = b;
-            cfg.method = comm::CommMethod::P2P;
-            const auto p2p = core::Trainer::simulate(cfg);
-            cfg.method = comm::CommMethod::NCCL;
-            const auto nccl = core::Trainer::simulate(cfg);
-            if (p2p.oom || nccl.oom) {
-                table.addRow({std::to_string(g), std::to_string(b),
-                              "OOM", "OOM", "-"});
-                continue;
-            }
-            table.addRow(
-                {std::to_string(g), std::to_string(b),
-                 TextTable::num(p2p.epochSeconds, 2),
-                 TextTable::num(nccl.epochSeconds, 2),
-                 p2p.epochSeconds <= nccl.epochSeconds ? "p2p"
-                                                       : "nccl"});
+    // expand() orders method innermost: records come in (p2p, nccl)
+    // pairs per (gpus, batch) cell.
+    for (std::size_t i = 0; i + 1 < records.size(); i += 2) {
+        const campaign::RunRecord &p2p = records[i];
+        const campaign::RunRecord &nccl = records[i + 1];
+        if (p2p.oom || nccl.oom) {
+            table.addRow({std::to_string(p2p.gpus),
+                          std::to_string(p2p.batch), "OOM", "OOM",
+                          "-"});
+            continue;
         }
+        table.addRow(
+            {std::to_string(p2p.gpus), std::to_string(p2p.batch),
+             TextTable::num(p2p.epochSeconds, 2),
+             TextTable::num(nccl.epochSeconds, 2),
+             p2p.epochSeconds <= nccl.epochSeconds ? "p2p" : "nccl"});
     }
     std::printf("%s", table.str().c_str());
     return 0;
@@ -305,6 +448,10 @@ main(int argc, char **argv)
             return cmdTrain(args);
         if (command == "sweep")
             return cmdSweep(args);
+        if (command == "campaign")
+            return cmdCampaign(args);
+        if (command == "check")
+            return cmdCheck(args);
         if (command == "topo")
             return cmdTopo();
         if (command == "advise")

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the committed golden baseline (results/baseline.json)
+# from the current simulator: the full paper grid — 5 networks x
+# {1,2,4,8} GPUs x {16,32,64} batch x {p2p,nccl} — serialized with
+# deterministic formatting so the diff against the old baseline is
+# reviewable like code.
+#
+# Run this ONLY when a PR intentionally changes simulated numbers
+# (model recalibration, cost-model fixes); commit the refreshed file
+# together with the change so `dgxprof check` gates the next PR on
+# the new truth.
+#
+# Usage: tools/refresh_baseline.sh [build-dir]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+builddir=${1:-"$repo/build"}
+
+if [ ! -x "$builddir/tools/dgxprof" ]; then
+    echo "error: $builddir/tools/dgxprof not built" >&2
+    exit 1
+fi
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet,googlenet,inception-v3,resnet-50 \
+    --gpus 1,2,4,8 --batches 16,32,64 --method p2p,nccl \
+    --json "$repo/results/baseline.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline.json")
+echo "results/baseline.json refreshed ($count records)"

@@ -5,8 +5,19 @@
 # conservation, capacity, ordering or quiescence violation anywhere
 # in the suite aborts the offending test).
 #
+# Every audited run's exit code is propagated: the build and ctest
+# phases abort the script immediately (set -e), and the determinism
+# spot checks all run to completion but any failure among them makes
+# the script exit non-zero — so CI can call this script directly and
+# gate on its status.
+#
 # Usage: tools/run_audit.sh [extra ctest args...]
 set -eu
+# pipefail is not POSIX; enable it where the shell has it so a
+# failing producer in any future pipeline cannot be masked.
+if (set -o pipefail) 2>/dev/null; then
+    set -o pipefail
+fi
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo"
@@ -30,9 +41,23 @@ cd "$builddir"
 DGXSIM_AUDIT=1 ctest --output-on-failure -j"$(nproc)" "$@"
 
 echo "== determinism spot checks (audited) =="
-DGXSIM_AUDIT=1 ./tools/dgxprof verify --model lenet --gpus 4 \
-    --batch 16 --method p2p
-DGXSIM_AUDIT=1 ./tools/dgxprof verify --model alexnet --gpus 8 \
-    --batch 32 --method nccl
+# Run every spot check even after a failure so one broken
+# configuration does not hide another; fail at the end if any did.
+failures=0
+for spec in \
+    "lenet 4 16 p2p" \
+    "alexnet 8 32 nccl"; do
+    set -- $spec
+    if ! DGXSIM_AUDIT=1 ./tools/dgxprof verify --model "$1" \
+        --gpus "$2" --batch "$3" --method "$4"; then
+        echo "FAILED: dgxprof verify --model $1 --gpus $2" \
+             "--batch $3 --method $4" >&2
+        failures=$((failures + 1))
+    fi
+done
 
+if [ "$failures" -ne 0 ]; then
+    echo "audit sweep FAILED ($failures determinism check(s))" >&2
+    exit 1
+fi
 echo "audit sweep passed"
