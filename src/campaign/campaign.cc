@@ -7,7 +7,7 @@
 
 #include "campaign/thread_pool.hh"
 #include "comm/factory.hh"
-#include "core/trainer.hh"
+#include "core/trainer_base.hh"
 
 namespace dgxsim::campaign {
 
@@ -15,18 +15,29 @@ std::vector<core::TrainConfig>
 CampaignSpec::expand() const
 {
     std::vector<core::TrainConfig> configs;
-    configs.reserve(models.size() * gpus.size() * batches.size() *
-                    methods.size());
-    for (const std::string &model : models) {
-        for (int g : gpus) {
-            for (int b : batches) {
-                for (comm::CommMethod m : methods) {
-                    core::TrainConfig cfg = base;
-                    cfg.model = model;
-                    cfg.numGpus = g;
-                    cfg.batchPerGpu = b;
-                    cfg.method = m;
-                    configs.push_back(std::move(cfg));
+    configs.reserve(modes.size() * models.size() * gpus.size() *
+                    batches.size() * methods.size());
+    for (core::ParallelismMode mode : modes) {
+        // Collectives are inherently synchronous: the non-sync
+        // strategies always use the P2P fabric path, so the method
+        // axis collapses to a single column for them.
+        const bool sync = mode == core::ParallelismMode::SyncDp;
+        const std::vector<comm::CommMethod> cellMethods =
+            sync ? methods
+                 : std::vector<comm::CommMethod>{
+                       comm::CommMethod::P2P};
+        for (const std::string &model : models) {
+            for (int g : gpus) {
+                for (int b : batches) {
+                    for (comm::CommMethod m : cellMethods) {
+                        core::TrainConfig cfg = base;
+                        cfg.mode = mode;
+                        cfg.model = model;
+                        cfg.numGpus = g;
+                        cfg.batchPerGpu = b;
+                        cfg.method = m;
+                        configs.push_back(std::move(cfg));
+                    }
                 }
             }
         }
@@ -40,16 +51,17 @@ configKey(const core::TrainConfig &cfg)
     // Every field that can steer the simulation from the CLI or a
     // campaign spec participates; two configs with equal keys must
     // produce equal reports. %.17g keeps doubles exact.
-    char buf[512];
+    char buf[576];
     std::snprintf(
         buf, sizeof(buf),
-        "%s|g%d|b%d|m%d|i%" PRIu64
+        "%s|g%d|b%d|m%d|pm%d|ub%d|ai%d|i%" PRIu64
         "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
         "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
         "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
         "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g",
         cfg.model.c_str(), cfg.numGpus, cfg.batchPerGpu,
-        static_cast<int>(cfg.method), cfg.datasetImages,
+        static_cast<int>(cfg.method), static_cast<int>(cfg.mode),
+        cfg.microbatches, cfg.asyncItersPerWorker, cfg.datasetImages,
         cfg.measuredIterations, cfg.overlapBpWu ? 1 : 0,
         cfg.useTensorCores ? 1 : 0, cfg.useAllReduce ? 1 : 0,
         cfg.bucketFusionMB, cfg.audit ? 1 : 0, cfg.engineDispatchUs,
@@ -83,7 +95,7 @@ cachedSimulate(const core::TrainConfig &cfg)
     // Simulate outside the lock so independent configurations run
     // concurrently. Two threads racing on the same key compute the
     // same (deterministic) report; the second insert is a no-op.
-    core::TrainReport report = core::Trainer::simulate(cfg);
+    core::TrainReport report = core::TrainerBase::simulate(cfg);
     std::lock_guard<std::mutex> lock(mutex);
     return cache.emplace(key, std::move(report)).first->second;
 }

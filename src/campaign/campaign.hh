@@ -39,12 +39,21 @@ struct CampaignSpec
     std::vector<int> batches = {16, 32, 64};
     std::vector<comm::CommMethod> methods = {comm::CommMethod::P2P,
                                              comm::CommMethod::NCCL};
+    /**
+     * Parallelization strategies to sweep. Non-sync modes ignore the
+     * methods axis (async_ps and model_parallel use the P2P fabric
+     * path exclusively), so each contributes one configuration per
+     * (model, gpus, batch) cell instead of one per method.
+     */
+    std::vector<core::ParallelismMode> modes = {
+        core::ParallelismMode::SyncDp};
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
     /**
      * @return the grid expanded to configurations in deterministic
-     * model-major order: model, then gpus, then batch, then method.
+     * mode-major order: mode, then model, then gpus, then batch,
+     * then method.
      */
     std::vector<core::TrainConfig> expand() const;
 };

@@ -72,6 +72,10 @@ compareRecords(const std::vector<RunRecord> &baseline,
             foldMetric(delta, "mem_gpu0_bytes",
                        static_cast<double>(b.gpu0TrainingBytes),
                        static_cast<double>(f.gpu0TrainingBytes));
+            foldMetric(delta, "avg_staleness", b.avgStaleness,
+                       f.avgStaleness);
+            foldMetric(delta, "bubble_fraction", b.bubbleFraction,
+                       f.bubbleFraction);
             delta.digestMatch = b.digest == f.digest;
         }
         delta.pass = delta.oomMatch &&

@@ -117,10 +117,15 @@ u64At(const JsonValue &obj, const std::string &key)
 std::string
 RunRecord::key() const
 {
-    char buf[128];
+    char buf[160];
     std::snprintf(buf, sizeof(buf), "%s x%d b%d %s i%" PRIu64,
                   model.c_str(), gpus, batch, method.c_str(), images);
-    return buf;
+    std::string out = buf;
+    // Pre-mode baselines never carried the mode, so sync_dp keys stay
+    // as they were.
+    if (mode != "sync_dp")
+        out += " " + mode;
+    return out;
 }
 
 core::TrainConfig
@@ -131,6 +136,8 @@ RunRecord::toConfig() const
     cfg.numGpus = gpus;
     cfg.batchPerGpu = batch;
     cfg.method = comm::parseCommMethod(method);
+    cfg.mode = core::parseParallelismMode(mode);
+    cfg.microbatches = microbatches;
     cfg.datasetImages = images;
     return cfg;
 }
@@ -143,6 +150,7 @@ recordFromReport(const core::TrainReport &report)
     r.gpus = report.config.numGpus;
     r.batch = report.config.batchPerGpu;
     r.method = comm::commMethodName(report.config.method);
+    r.mode = core::parallelismModeName(report.config.mode);
     r.images = report.config.datasetImages;
     r.oom = report.oom;
     r.iterations = report.iterations;
@@ -157,6 +165,11 @@ recordFromReport(const core::TrainReport &report)
     r.gpuxTrainingBytes = report.gpux.training;
     r.preTrainingBytes = report.gpu0.preTraining;
     r.digest = report.digest;
+    r.throughputImagesPerSec = report.throughputImagesPerSec;
+    r.avgStaleness = report.avgStaleness;
+    r.maxStaleness = report.maxStaleness;
+    r.microbatches = report.microbatches;
+    r.bubbleFraction = report.bubbleFraction;
     return r;
 }
 
@@ -172,6 +185,10 @@ recordsToJson(const std::vector<RunRecord> &records)
         out += "\"gpus\": " + std::to_string(r.gpus) + ", ";
         out += "\"batch\": " + std::to_string(r.batch) + ", ";
         out += "\"method\": \"" + jsonEscape(r.method) + "\", ";
+        // sync_dp omits the mode so pre-mode baselines stay
+        // byte-identical.
+        if (r.mode != "sync_dp")
+            out += "\"mode\": \"" + jsonEscape(r.mode) + "\", ";
         out += "\"images\": " + fmtU64(r.images) + ",\n     ";
         out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
                ", ";
@@ -186,6 +203,19 @@ recordsToJson(const std::vector<RunRecord> &records)
                fmtDouble(r.syncApiFraction) + ", ";
         out += "\"inter_gpu_bytes_per_iter\": " +
                fmtDouble(r.interGpuBytesPerIter) + ",\n     ";
+        if (r.mode == "async_ps") {
+            out += "\"throughput_img_s\": " +
+                   fmtDouble(r.throughputImagesPerSec) + ", ";
+            out += "\"avg_staleness\": " +
+                   fmtDouble(r.avgStaleness) + ", ";
+            out += "\"max_staleness\": " +
+                   std::to_string(r.maxStaleness) + ",\n     ";
+        } else if (r.mode == "model_parallel") {
+            out += "\"microbatches\": " +
+                   std::to_string(r.microbatches) + ", ";
+            out += "\"bubble_fraction\": " +
+                   fmtDouble(r.bubbleFraction) + ",\n     ";
+        }
         out += "\"mem_pre_bytes\": " + fmtU64(r.preTrainingBytes) +
                ", ";
         out += "\"mem_gpu0_bytes\": " + fmtU64(r.gpu0TrainingBytes) +
@@ -213,6 +243,8 @@ recordsFromJson(const std::string &text)
         r.gpus = static_cast<int>(v.numberAt("gpus"));
         r.batch = static_cast<int>(v.numberAt("batch"));
         r.method = v.stringAt("method");
+        if (const JsonValue *m = v.find("mode"))
+            r.mode = m->asString();
         r.images = u64At(v, "images");
         r.oom = v.boolAt("oom");
         r.iterations = u64At(v, "iterations");
@@ -228,6 +260,16 @@ recordsFromJson(const std::string &text)
         r.gpu0TrainingBytes = u64At(v, "mem_gpu0_bytes");
         r.gpuxTrainingBytes = u64At(v, "mem_gpux_bytes");
         r.digest = parseHex64(v.stringAt("digest"));
+        if (const JsonValue *t = v.find("throughput_img_s"))
+            r.throughputImagesPerSec = t->asNumber();
+        if (const JsonValue *s = v.find("avg_staleness"))
+            r.avgStaleness = s->asNumber();
+        if (const JsonValue *s = v.find("max_staleness"))
+            r.maxStaleness = static_cast<int>(s->asNumber());
+        if (const JsonValue *u = v.find("microbatches"))
+            r.microbatches = static_cast<int>(u->asNumber());
+        if (const JsonValue *bf = v.find("bubble_fraction"))
+            r.bubbleFraction = bf->asNumber();
         records.push_back(std::move(r));
     }
     return records;
@@ -237,7 +279,7 @@ std::string
 recordsToCsv(const std::vector<RunRecord> &records)
 {
     std::string out =
-        "model,gpus,batch,method,images,oom,iterations,epoch_s,"
+        "model,gpus,batch,method,mode,images,oom,iterations,epoch_s,"
         "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
         "inter_gpu_bytes_per_iter,mem_pre_bytes,mem_gpu0_bytes,"
         "mem_gpux_bytes,digest\n";
@@ -246,6 +288,7 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += std::to_string(r.gpus) + ",";
         out += std::to_string(r.batch) + ",";
         out += csvEscape(r.method) + ",";
+        out += csvEscape(r.mode) + ",";
         out += fmtU64(r.images) + ",";
         out += std::string(r.oom ? "1" : "0") + ",";
         out += fmtU64(r.iterations) + ",";

@@ -37,6 +37,12 @@ struct RunRecord
     int batch = 16;
     /** "p2p" or "nccl" (comm::commMethodName). */
     std::string method = "nccl";
+    /**
+     * Parallelization strategy (core::parallelismModeName). JSON and
+     * key() omit it for "sync_dp" so pre-mode baselines stay
+     * byte-identical.
+     */
+    std::string mode = "sync_dp";
     std::uint64_t images = 256000;
 
     // --- outcome ---
@@ -57,6 +63,15 @@ struct RunRecord
     std::uint64_t preTrainingBytes = 0;
     /** Order-sensitive event-stream digest (determinism contract). */
     std::uint64_t digest = 0;
+
+    // --- async_ps-only metrics (serialized only for that mode) ---
+    double throughputImagesPerSec = 0;
+    double avgStaleness = 0;
+    int maxStaleness = 0;
+
+    // --- model_parallel-only metrics (serialized only for that mode) ---
+    int microbatches = 0;
+    double bubbleFraction = 0;
 
     /**
      * @return "model x gpus b batch method" — the identity of the

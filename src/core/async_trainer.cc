@@ -1,10 +1,10 @@
 #include "core/async_trainer.hh"
 
-#include <cstdio>
+#include <algorithm>
 
 #include "core/fp_bp_schedule.hh"
 #include "cuda/kernel_model.hh"
-#include "dnn/models.hh"
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core {
@@ -15,25 +15,17 @@ AsyncTrainer::AsyncTrainer(TrainConfig cfg)
 }
 
 AsyncTrainer::AsyncTrainer(TrainConfig cfg, hw::Topology topo)
-    : cfg_(std::move(cfg)),
-      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo))),
-      net_(dnn::buildByName(cfg_.model))
+    : TrainerBase(std::move(cfg), std::nullopt, std::move(topo))
 {
-    if (cfg_.numGpus < 1 ||
-        cfg_.numGpus > fabric_->topology().numGpus())
-        sim::fatal("numGpus out of range: ", cfg_.numGpus);
-    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
-    for (std::size_t g = 0; g < gpus_.size(); ++g) {
-        computeStreams_.push_back(std::make_unique<cuda::Stream>(
-            queue_, &profiler_, gpus_[g],
-            "compute" + std::to_string(g)));
-        workers_.push_back(std::make_unique<cuda::HostThread>(
-            queue_, &profiler_, "worker" + std::to_string(g)));
+    cfg_.mode = ParallelismMode::AsyncPs; // reports describe what ran
+    for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {
+        computeStreams_.push_back(
+            &machine_.addStream(g, "compute" + std::to_string(g)));
+        workers_.push_back(
+            &machine_.addHostThread("worker" + std::to_string(g)));
     }
-    serverStream_ = std::make_unique<cuda::Stream>(queue_, &profiler_,
-                                                   gpus_[0], "server");
-    if (cfg_.audit || fabric_->auditor())
-        profiler_.setAuditor(fabric_->enableAudit());
+    serverStream_ = &machine_.addStream(0, "server");
+    machine_.wireAuditor();
 }
 
 AsyncTrainer::~AsyncTrainer() = default;
@@ -60,11 +52,13 @@ AsyncTrainer::workerIteration(std::size_t g)
         sim::usToTicks(cfg_.commConfig.memcpyIssueUs),
         [this, g]() {
             const sim::Bytes bytes = net_.paramBytes();
-            const sim::Tick start = queue_.now();
-            fabric_->transfer(
-                gpus_[g], gpus_[0], bytes, [this, g, bytes, start]() {
-                    profiler_.recordCopy("PtoP", gpus_[g], gpus_[0],
-                                         bytes, start, queue_.now());
+            const sim::Tick start = machine_.queue().now();
+            machine_.fabric().transfer(
+                machine_.gpus()[g], machine_.gpus()[0], bytes,
+                [this, g, bytes, start]() {
+                    machine_.profiler().recordCopy(
+                        "PtoP", machine_.gpus()[g], machine_.gpus()[0],
+                        bytes, start, machine_.queue().now());
                     applyPush(g);
                 });
         });
@@ -92,68 +86,100 @@ AsyncTrainer::applyPush(std::size_t g)
 
         // Pull fresh weights and go again.
         const sim::Bytes bytes = net_.paramBytes();
-        const sim::Tick start = queue_.now();
-        fabric_->transfer(gpus_[0], gpus_[g], bytes,
-                          [this, g, bytes, start]() {
-                              profiler_.recordCopy("PtoP", gpus_[0],
-                                                   gpus_[g], bytes,
-                                                   start, queue_.now());
-                              workerIteration(g);
-                          });
+        const sim::Tick start = machine_.queue().now();
+        machine_.fabric().transfer(
+            machine_.gpus()[0], machine_.gpus()[g], bytes,
+            [this, g, bytes, start]() {
+                machine_.profiler().recordCopy(
+                    "PtoP", machine_.gpus()[0], machine_.gpus()[g],
+                    bytes, start, machine_.queue().now());
+                workerIteration(g);
+            });
     });
 }
 
-AsyncReport
+TrainReport
+AsyncTrainer::run()
+{
+    return run(cfg_.asyncItersPerWorker);
+}
+
+TrainReport
 AsyncTrainer::run(int iterations_per_worker)
 {
+    TrainReport report;
+    report.config = cfg_;
+    report.iterations = cfg_.iterationsPerEpoch();
+
+    // The workers replicate the full model exactly like the
+    // synchronous trainer (the server GPU doubles as worker 0), so
+    // the data-parallel layout applies unchanged.
+    try {
+        machine_.setupDataParallelMemory(net_);
+    } catch (const sim::FatalError &err) {
+        report.oom = true;
+        report.oomDetail = err.what();
+        return report;
+    }
+
+    machine_.fillMemoryReport(report);
+
+    if (cfg_.measuredIterations <= 0)
+        return report; // memory-only probe
+
     if (iterations_per_worker < 1)
         sim::fatal("need at least one iteration per worker");
-    itersLeft_.assign(gpus_.size(), iterations_per_worker);
-    pulledVersion_.assign(gpus_.size(), 0);
+    itersLeft_.assign(machine_.gpus().size(), iterations_per_worker);
+    pulledVersion_.assign(machine_.gpus().size(), 0);
 
-    for (std::size_t g = 0; g < gpus_.size(); ++g)
+    for (std::size_t g = 0; g < machine_.gpus().size(); ++g)
         workerIteration(g);
-    const sim::Tick end = queue_.run();
+    const sim::Tick end = machine_.queue().run();
 
-    AsyncReport report;
-    report.config = cfg_;
+    machine_.finishAudit(report);
+    report.digest = machine_.digest();
+
     report.pushes = pushes_;
     const double secs = sim::ticksToSec(end);
     report.throughputImagesPerSec =
         secs > 0 ? static_cast<double>(imagesDone_) / secs : 0;
+    report.setupSeconds = cfg_.setupOnceSeconds;
     report.epochSeconds =
         report.throughputImagesPerSec > 0
             ? static_cast<double>(cfg_.datasetImages) /
                       report.throughputImagesPerSec +
-                  cfg_.setupOnceSeconds
+                  report.setupSeconds
+            : 0;
+    report.iterationSeconds =
+        report.iterations > 0
+            ? (report.epochSeconds - report.setupSeconds) /
+                  static_cast<double>(report.iterations)
             : 0;
     report.avgStaleness =
         pushes_ > 0 ? static_cast<double>(stalenessSum_) /
                           static_cast<double>(pushes_)
                     : 0;
     report.maxStaleness = maxStaleness_;
+
+    const profiling::Profiler &prof = machine_.profiler();
+    report.syncApiFraction =
+        prof.apiTimeFraction("cudaStreamSynchronize");
+    // Push + pull traffic per steady-state round of worker
+    // iterations.
+    report.interGpuBytesPerIter =
+        static_cast<double>(prof.copiedBytes("PtoP")) /
+        static_cast<double>(iterations_per_worker);
     return report;
 }
 
-AsyncReport
+TrainReport
 AsyncTrainer::simulate(const TrainConfig &cfg,
                        int iterations_per_worker)
 {
     AsyncTrainer trainer(cfg);
-    return trainer.run(iterations_per_worker);
-}
-
-std::string
-AsyncReport::oneLine() const
-{
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s x%d gpus, b%d, async: epoch %.3fs, %.0f img/s, "
-                  "staleness avg %.2f max %d",
-                  config.model.c_str(), config.numGpus,
-                  config.batchPerGpu, epochSeconds,
-                  throughputImagesPerSec, avgStaleness, maxStaleness);
-    return std::string(buf);
+    return iterations_per_worker > 0
+               ? trainer.run(iterations_per_worker)
+               : trainer.run();
 }
 
 } // namespace dgxsim::core

@@ -13,70 +13,47 @@
  *
  * Communication uses the P2P parameter-server path (collectives are
  * inherently synchronous, so the NCCL method does not apply).
+ *
+ * The trainer is the ParallelismMode::AsyncPs strategy over the
+ * shared core::Machine substrate (see core/trainer_base.hh); memory
+ * follows the same data-parallel replica layout as the synchronous
+ * trainer, so impossible configurations report oom instead of
+ * silently "fitting".
  */
 
 #ifndef DGXSIM_CORE_ASYNC_TRAINER_HH
 #define DGXSIM_CORE_ASYNC_TRAINER_HH
 
-#include <memory>
 #include <vector>
 
-#include "core/train_config.hh"
-#include "cuda/device.hh"
-#include "cuda/host_thread.hh"
-#include "cuda/stream.hh"
-#include "dnn/network.hh"
-#include "hw/fabric.hh"
-#include "profiling/profiler.hh"
-#include "sim/event_queue.hh"
+#include "core/trainer_base.hh"
 
 namespace dgxsim::core {
 
-/** Results of one asynchronous training simulation. */
-struct AsyncReport
-{
-    TrainConfig config;
-    /** Images per second across all workers (steady state). */
-    double throughputImagesPerSec = 0;
-    /** Extrapolated epoch time for config.datasetImages. */
-    double epochSeconds = 0;
-    /**
-     * Mean number of *other* workers' updates applied between a
-     * worker's weight pull and the application of its own push — the
-     * delayed-gradient staleness (0 for one GPU).
-     */
-    double avgStaleness = 0;
-    /** Largest staleness observed. */
-    int maxStaleness = 0;
-    /** Total pushes simulated. */
-    std::uint64_t pushes = 0;
-
-    /** @return a compact one-line summary. */
-    std::string oneLine() const;
-};
-
 /** Simulates asynchronous parameter-server training. */
-class AsyncTrainer
+class AsyncTrainer : public TrainerBase
 {
   public:
     explicit AsyncTrainer(TrainConfig cfg);
     AsyncTrainer(TrainConfig cfg, hw::Topology topo);
-    AsyncTrainer(const AsyncTrainer &) = delete;
-    AsyncTrainer &operator=(const AsyncTrainer &) = delete;
-    ~AsyncTrainer();
+    ~AsyncTrainer() override;
 
     /**
-     * Simulate @p iterations_per_worker steady-state iterations per
-     * worker and extrapolate to the configured dataset.
+     * Simulate cfg.asyncItersPerWorker steady-state iterations per
+     * worker and extrapolate to the configured dataset; report.oom is
+     * set when the replicas do not fit in GPU memory.
      */
-    AsyncReport run(int iterations_per_worker = 30);
+    TrainReport run() override;
 
-    /** @return the profiler for the measured window. */
-    const profiling::Profiler &profiler() const { return profiler_; }
+    /**
+     * Same, with an explicit per-worker iteration count overriding
+     * cfg.asyncItersPerWorker.
+     */
+    TrainReport run(int iterations_per_worker);
 
     /** Convenience one-shot run on a stock DGX-1. */
-    static AsyncReport simulate(const TrainConfig &cfg,
-                                int iterations_per_worker = 30);
+    static TrainReport simulate(const TrainConfig &cfg,
+                                int iterations_per_worker = 0);
 
   private:
     /** Start (or continue) one worker's push-pull loop. */
@@ -85,15 +62,9 @@ class AsyncTrainer
     /** Gradients from worker @p g landed on the server. */
     void applyPush(std::size_t g);
 
-    TrainConfig cfg_;
-    sim::EventQueue queue_;
-    profiling::Profiler profiler_;
-    std::unique_ptr<hw::Fabric> fabric_;
-    dnn::Network net_;
-    std::vector<hw::NodeId> gpus_;
-    std::vector<std::unique_ptr<cuda::Stream>> computeStreams_;
-    std::vector<std::unique_ptr<cuda::HostThread>> workers_;
-    std::unique_ptr<cuda::Stream> serverStream_; ///< on GPU0
+    std::vector<cuda::Stream *> computeStreams_;
+    std::vector<cuda::HostThread *> workers_;
+    cuda::Stream *serverStream_ = nullptr; ///< on GPU0
 
     std::vector<int> itersLeft_;
     std::vector<std::uint64_t> pulledVersion_;

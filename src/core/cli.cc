@@ -141,6 +141,10 @@ baseConfigFromArgs(const Args &args)
     cfg.useAllReduce = args.has("allreduce");
     cfg.bucketFusionMB = args.getDouble("fusion-mb", 0.0);
     cfg.audit = args.has("audit");
+    // --mode is parsed by configFromArgs (scalar commands) or by the
+    // grid commands themselves (campaign sweeps a mode list).
+    cfg.microbatches = args.getInt("microbatches", 0);
+    cfg.asyncItersPerWorker = args.getInt("async-iters", 30);
     if (args.has("rings"))
         cfg.commConfig.ncclRings = args.getInt("rings", 1);
     if (args.has("p100"))
@@ -156,6 +160,8 @@ configFromArgs(const Args &args)
     cfg.numGpus = args.getInt("gpus", 4);
     cfg.batchPerGpu = args.getInt("batch", 16);
     cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
+    if (args.has("mode"))
+        cfg.mode = parseParallelismMode(args.get("mode"));
     return cfg;
 }
 

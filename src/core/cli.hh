@@ -65,17 +65,18 @@ class Args
 
 /**
  * Build a TrainConfig from the non-grid options only: --images
- * --tensor-cores --overlap --allreduce --fusion-mb --audit --rings
- * --p100. Model, gpus, batch and method keep their defaults; grid
- * commands (campaign, sweep) fill them per cell, so list-valued
- * --gpus/--batches/--method never hit the scalar parsers.
+ * --tensor-cores --overlap --allreduce --fusion-mb --audit
+ * --microbatches --async-iters --rings --p100. Model, gpus, batch,
+ * method and mode keep their defaults; grid commands (campaign,
+ * sweep) fill them per cell, so list-valued
+ * --gpus/--batches/--method/--mode never hit the scalar parsers.
  */
 TrainConfig baseConfigFromArgs(const Args &args);
 
 /**
  * Build a TrainConfig from common options: --model --gpus --batch
- * --method --images --tensor-cores --overlap --allreduce
- * --fusion-mb.
+ * --method --mode --images --tensor-cores --overlap --allreduce
+ * --fusion-mb --microbatches --async-iters.
  */
 TrainConfig configFromArgs(const Args &args);
 

@@ -2,22 +2,22 @@
 
 #include <cstdio>
 
-#include "core/trainer.hh"
+#include "core/trainer_base.hh"
 
 namespace dgxsim::core {
 
 std::uint64_t
 runDigest(const TrainConfig &cfg)
 {
-    return Trainer::simulate(cfg).digest;
+    return TrainerBase::simulate(cfg).digest;
 }
 
 DeterminismCheck
 checkDeterminism(TrainConfig cfg)
 {
     DeterminismCheck check;
-    const TrainReport first = Trainer::simulate(cfg);
-    const TrainReport second = Trainer::simulate(cfg);
+    const TrainReport first = TrainerBase::simulate(cfg);
+    const TrainReport second = TrainerBase::simulate(cfg);
     check.firstDigest = first.digest;
     check.secondDigest = second.digest;
     check.oom = first.oom || second.oom;

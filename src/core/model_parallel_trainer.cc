@@ -1,24 +1,19 @@
 #include "core/model_parallel_trainer.hh"
 
-#include <cstdio>
-
 #include "cuda/kernel_model.hh"
-#include "dnn/models.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core {
 
 ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
                                            int microbatches)
-    : cfg_(std::move(cfg)),
-      microbatches_(microbatches > 0 ? microbatches : cfg_.numGpus),
-      fabric_(std::make_unique<hw::Fabric>(queue_,
-                                           hw::Topology::dgx1Volta())),
-      net_(dnn::buildByName(cfg_.model))
+    : TrainerBase(std::move(cfg), std::nullopt,
+                  hw::Topology::dgx1Volta()),
+      microbatches_(microbatches > 0     ? microbatches
+                    : cfg_.microbatches > 0 ? cfg_.microbatches
+                                            : cfg_.numGpus)
 {
-    if (cfg_.numGpus < 1 ||
-        cfg_.numGpus > fabric_->topology().numGpus())
-        sim::fatal("numGpus out of range: ", cfg_.numGpus);
+    cfg_.mode = ParallelismMode::ModelParallel;
     const int global_batch = cfg_.globalBatch();
     if (global_batch % microbatches_ != 0) {
         sim::fatal("global batch ", global_batch,
@@ -26,14 +21,11 @@ ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
                    " microbatches");
     }
     microbatchSize_ = global_batch / microbatches_;
-    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
-    for (std::size_t g = 0; g < gpus_.size(); ++g) {
-        streams_.push_back(std::make_unique<cuda::Stream>(
-            queue_, &profiler_, gpus_[g],
-            "stage" + std::to_string(g)));
+    for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {
+        streams_.push_back(
+            &machine_.addStream(g, "stage" + std::to_string(g)));
     }
-    if (cfg_.audit || fabric_->auditor())
-        profiler_.setAuditor(fabric_->enableAudit());
+    machine_.wireAuditor();
     partition();
 }
 
@@ -44,7 +36,7 @@ ModelParallelTrainer::partition()
 {
     const double total = net_.forwardFlops(1);
     const std::size_t layers = net_.layers().size();
-    const std::size_t n = gpus_.size();
+    const std::size_t n = machine_.gpus().size();
     std::size_t first = 0;
     double used = 0;
     for (std::size_t s = 0; s < n; ++s) {
@@ -112,14 +104,16 @@ ModelParallelTrainer::forwardStage(int m, std::size_t s)
     stream.enqueueHostFn([this, m, s]() {
         if (s + 1 < stages_.size()) {
             const sim::Bytes bytes = boundaryBytes(s);
-            const sim::Tick start = queue_.now();
-            fabric_->transfer(gpus_[s], gpus_[s + 1], bytes,
-                              [this, m, s, bytes, start]() {
-                                  profiler_.recordCopy(
-                                      "PtoP", gpus_[s], gpus_[s + 1],
-                                      bytes, start, queue_.now());
-                                  forwardStage(m, s + 1);
-                              });
+            const sim::Tick start = machine_.queue().now();
+            machine_.fabric().transfer(
+                machine_.gpus()[s], machine_.gpus()[s + 1], bytes,
+                [this, m, s, bytes, start]() {
+                    machine_.profiler().recordCopy(
+                        "PtoP", machine_.gpus()[s],
+                        machine_.gpus()[s + 1], bytes, start,
+                        machine_.queue().now());
+                    forwardStage(m, s + 1);
+                });
         } else {
             // Head of the pipeline: turn around into backward.
             backwardStage(m, s);
@@ -136,14 +130,16 @@ ModelParallelTrainer::backwardStage(int m, std::size_t s)
     stream.enqueueHostFn([this, m, s]() {
         if (s > 0) {
             const sim::Bytes bytes = boundaryBytes(s - 1);
-            const sim::Tick start = queue_.now();
-            fabric_->transfer(gpus_[s], gpus_[s - 1], bytes,
-                              [this, m, s, bytes, start]() {
-                                  profiler_.recordCopy(
-                                      "PtoP", gpus_[s], gpus_[s - 1],
-                                      bytes, start, queue_.now());
-                                  backwardStage(m, s - 1);
-                              });
+            const sim::Tick start = machine_.queue().now();
+            machine_.fabric().transfer(
+                machine_.gpus()[s], machine_.gpus()[s - 1], bytes,
+                [this, m, s, bytes, start]() {
+                    machine_.profiler().recordCopy(
+                        "PtoP", machine_.gpus()[s],
+                        machine_.gpus()[s - 1], bytes, start,
+                        machine_.queue().now());
+                    backwardStage(m, s - 1);
+                });
         } else {
             ++microbatchesDone_;
             if (microbatchesDone_ == microbatches_) {
@@ -166,24 +162,43 @@ ModelParallelTrainer::backwardStage(int m, std::size_t s)
     });
 }
 
-ModelParallelReport
+TrainReport
 ModelParallelTrainer::run()
 {
+    TrainReport report;
+    report.config = cfg_;
+    report.microbatches = microbatches_;
+    report.iterations = cfg_.iterationsPerEpoch();
+
+    try {
+        machine_.setupModelParallelMemory(net_, stages_,
+                                          microbatchSize_,
+                                          microbatches_);
+    } catch (const sim::FatalError &err) {
+        report.oom = true;
+        report.oomDetail = err.what();
+        return report;
+    }
+
+    machine_.fillMemoryReport(report);
+
+    if (cfg_.measuredIterations <= 0)
+        return report; // memory-only probe
+
     microbatchesDone_ = 0;
     for (int m = 0; m < microbatches_; ++m)
         forwardStage(m, 0);
-    const sim::Tick end = queue_.run();
+    const sim::Tick end = machine_.queue().run();
 
-    ModelParallelReport report;
-    report.config = cfg_;
-    report.microbatches = microbatches_;
+    machine_.finishAudit(report);
+    report.digest = machine_.digest();
+
     report.iterationSeconds = sim::ticksToSec(end);
-    const std::uint64_t iters =
-        (cfg_.datasetImages + cfg_.globalBatch() - 1) /
-        cfg_.globalBatch();
+    report.setupSeconds = cfg_.setupOnceSeconds;
     report.epochSeconds =
-        report.iterationSeconds * static_cast<double>(iters) +
-        cfg_.setupOnceSeconds;
+        report.iterationSeconds *
+            static_cast<double>(report.iterations) +
+        report.setupSeconds;
 
     sim::Tick busy = 0;
     for (const auto &stream : streams_)
@@ -191,8 +206,13 @@ ModelParallelTrainer::run()
     report.bubbleFraction =
         1.0 - static_cast<double>(busy) /
                   (static_cast<double>(end) * streams_.size());
+
+    const profiling::Profiler &prof = machine_.profiler();
     report.activationBytesPerIter =
-        static_cast<double>(profiler_.copiedBytes("PtoP"));
+        static_cast<double>(prof.copiedBytes("PtoP"));
+    report.interGpuBytesPerIter = report.activationBytesPerIter;
+    report.syncApiFraction =
+        prof.apiTimeFraction("cudaStreamSynchronize");
 
     const double total_flops = net_.forwardFlops(1);
     for (const auto &[first, last] : stages_) {
@@ -208,24 +228,12 @@ ModelParallelTrainer::run()
     return report;
 }
 
-ModelParallelReport
-ModelParallelTrainer::simulate(const TrainConfig &cfg, int microbatches)
+TrainReport
+ModelParallelTrainer::simulate(const TrainConfig &cfg,
+                               int microbatches)
 {
     ModelParallelTrainer trainer(cfg, microbatches);
     return trainer.run();
-}
-
-std::string
-ModelParallelReport::oneLine() const
-{
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s x%d stages, global batch %d, %d ubatches: epoch "
-                  "%.3fs, bubble %.1f%%",
-                  config.model.c_str(), config.numGpus,
-                  config.globalBatch(), microbatches, epochSeconds,
-                  100.0 * bubbleFraction);
-    return std::string(buf);
 }
 
 } // namespace dgxsim::core

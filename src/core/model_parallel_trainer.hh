@@ -16,61 +16,45 @@
  * batch splits into microbatches that stream through the stages;
  * per-stage streams serialize work so the pipeline fill/drain bubble
  * emerges naturally and is reported.
+ *
+ * The trainer is the ParallelismMode::ModelParallel strategy over the
+ * shared core::Machine substrate (see core/trainer_base.hh); memory
+ * uses the pipeline layout (per-stage weights plus all in-flight
+ * microbatch activations), so oversized stages report oom instead of
+ * silently "fitting".
  */
 
 #ifndef DGXSIM_CORE_MODEL_PARALLEL_TRAINER_HH
 #define DGXSIM_CORE_MODEL_PARALLEL_TRAINER_HH
 
-#include <memory>
-#include <string>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
-#include "core/train_config.hh"
-#include "cuda/stream.hh"
-#include "dnn/network.hh"
-#include "hw/fabric.hh"
-#include "profiling/profiler.hh"
-#include "sim/event_queue.hh"
+#include "core/trainer_base.hh"
 
 namespace dgxsim::core {
 
-/** Results of a model-parallel simulation. */
-struct ModelParallelReport
-{
-    TrainConfig config;
-    int microbatches = 0;
-    double iterationSeconds = 0;
-    double epochSeconds = 0;
-    /** Fraction of stage-time lost to pipeline fill/drain + skew. */
-    double bubbleFraction = 0;
-    /** Boundary activation traffic per iteration (bytes). */
-    double activationBytesPerIter = 0;
-    /** Per-stage parameter bytes (weight placement balance). */
-    std::vector<sim::Bytes> stageParamBytes;
-    /** Per-stage forward FLOPs share (compute balance). */
-    std::vector<double> stageFlopsShare;
-
-    std::string oneLine() const;
-};
-
 /** Pipelined model-parallel trainer. */
-class ModelParallelTrainer
+class ModelParallelTrainer : public TrainerBase
 {
   public:
     /**
      * @param cfg cfg.batchPerGpu x cfg.numGpus forms the global
      *        batch (matching the data-parallel trainer's totals so
      *        the two parallelism modes compare at equal work).
-     * @param microbatches Pipeline depth; 0 selects numGpus.
+     * @param microbatches Pipeline depth; overrides cfg.microbatches
+     *        when positive, else cfg.microbatches applies (0 selects
+     *        numGpus).
      */
     explicit ModelParallelTrainer(TrainConfig cfg, int microbatches = 0);
-    ModelParallelTrainer(const ModelParallelTrainer &) = delete;
-    ModelParallelTrainer &operator=(const ModelParallelTrainer &) =
-        delete;
-    ~ModelParallelTrainer();
+    ~ModelParallelTrainer() override;
 
-    /** Simulate one steady-state iteration; extrapolate the epoch. */
-    ModelParallelReport run();
+    /**
+     * Simulate one steady-state iteration and extrapolate the epoch;
+     * report.oom is set when a stage does not fit in GPU memory.
+     */
+    TrainReport run() override;
 
     /** @return the per-stage layer partition (layer index ranges). */
     const std::vector<std::pair<std::size_t, std::size_t>> &
@@ -79,8 +63,8 @@ class ModelParallelTrainer
         return stages_;
     }
 
-    static ModelParallelReport simulate(const TrainConfig &cfg,
-                                        int microbatches = 0);
+    static TrainReport simulate(const TrainConfig &cfg,
+                                int microbatches = 0);
 
   private:
     void partition();
@@ -92,15 +76,9 @@ class ModelParallelTrainer
     sim::Tick stageKernelTicks(std::size_t s, bool backward) const;
     sim::Bytes boundaryBytes(std::size_t s) const;
 
-    TrainConfig cfg_;
     int microbatches_;
     int microbatchSize_ = 0;
-    sim::EventQueue queue_;
-    profiling::Profiler profiler_;
-    std::unique_ptr<hw::Fabric> fabric_;
-    dnn::Network net_;
-    std::vector<hw::NodeId> gpus_;
-    std::vector<std::unique_ptr<cuda::Stream>> streams_;
+    std::vector<cuda::Stream *> streams_;
     /** [first, last] layer index per stage. */
     std::vector<std::pair<std::size_t, std::size_t>> stages_;
     int microbatchesDone_ = 0;

@@ -1,0 +1,43 @@
+#include "core/parallelism.hh"
+
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+const char *
+parallelismModeName(ParallelismMode mode)
+{
+    switch (mode) {
+    case ParallelismMode::SyncDp:
+        return "sync_dp";
+    case ParallelismMode::AsyncPs:
+        return "async_ps";
+    case ParallelismMode::ModelParallel:
+        return "model_parallel";
+    }
+    return "?";
+}
+
+ParallelismMode
+parseParallelismMode(const std::string &name)
+{
+    if (name == "sync_dp" || name == "sync")
+        return ParallelismMode::SyncDp;
+    if (name == "async_ps" || name == "async")
+        return ParallelismMode::AsyncPs;
+    if (name == "model_parallel" || name == "mp")
+        return ParallelismMode::ModelParallel;
+    sim::fatal("unknown parallelism mode '", name,
+               "' (expected sync_dp, async_ps or model_parallel)");
+}
+
+const std::vector<ParallelismMode> &
+allParallelismModes()
+{
+    static const std::vector<ParallelismMode> modes = {
+        ParallelismMode::SyncDp, ParallelismMode::AsyncPs,
+        ParallelismMode::ModelParallel};
+    return modes;
+}
+
+} // namespace dgxsim::core

@@ -1,0 +1,45 @@
+#include "core/report.hh"
+
+#include <cstdio>
+
+namespace dgxsim::core {
+
+std::string
+TrainReport::oneLine() const
+{
+    char buf[256];
+    switch (config.mode) {
+    case ParallelismMode::AsyncPs:
+        std::snprintf(buf, sizeof(buf),
+                      "%s x%d gpus, b%d, async: epoch %.3fs, %.0f "
+                      "img/s, staleness avg %.2f max %d%s",
+                      config.model.c_str(), config.numGpus,
+                      config.batchPerGpu, epochSeconds,
+                      throughputImagesPerSec, avgStaleness,
+                      maxStaleness, oom ? " [OOM]" : "");
+        break;
+    case ParallelismMode::ModelParallel:
+        std::snprintf(buf, sizeof(buf),
+                      "%s x%d stages, global batch %d, %d ubatches: "
+                      "epoch %.3fs, bubble %.1f%%%s",
+                      config.model.c_str(), config.numGpus,
+                      config.globalBatch(), microbatches,
+                      epochSeconds, 100.0 * bubbleFraction,
+                      oom ? " [OOM]" : "");
+        break;
+    case ParallelismMode::SyncDp:
+    default:
+        std::snprintf(buf, sizeof(buf),
+                      "%s x%d gpus, b%d, %s: epoch %.3fs (fp+bp "
+                      "%.3fs, wu %.3fs)%s",
+                      config.model.c_str(), config.numGpus,
+                      config.batchPerGpu,
+                      comm::commMethodName(config.method),
+                      epochSeconds, fpBpSeconds, wuSeconds,
+                      oom ? " [OOM]" : "");
+        break;
+    }
+    return std::string(buf);
+}
+
+} // namespace dgxsim::core

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/train_config.hh"
 #include "sim/types.hh"
@@ -81,6 +82,32 @@ struct TrainReport
     /** Memory usage: the root/server GPU and a worker GPU. */
     GpuMemory gpu0;
     GpuMemory gpux;
+
+    // --- async_ps-only metrics (zero elsewhere) ---
+    /** Images per second across all workers (steady state). */
+    double throughputImagesPerSec = 0;
+    /**
+     * Mean number of *other* workers' updates applied between a
+     * worker's weight pull and the application of its own push — the
+     * delayed-gradient staleness (0 for one GPU).
+     */
+    double avgStaleness = 0;
+    /** Largest staleness observed. */
+    int maxStaleness = 0;
+    /** Total pushes simulated in the measured window. */
+    std::uint64_t pushes = 0;
+
+    // --- model_parallel-only metrics (zero elsewhere) ---
+    /** Pipeline depth actually used. */
+    int microbatches = 0;
+    /** Fraction of stage-time lost to pipeline fill/drain + skew. */
+    double bubbleFraction = 0;
+    /** Boundary activation traffic per iteration (bytes). */
+    double activationBytesPerIter = 0;
+    /** Per-stage parameter bytes (weight placement balance). */
+    std::vector<sim::Bytes> stageParamBytes;
+    /** Per-stage forward FLOPs share (compute balance). */
+    std::vector<double> stageFlopsShare;
 
     /** @return epoch speedup of this run relative to @p base. */
     double

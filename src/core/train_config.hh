@@ -12,6 +12,7 @@
 #include <string>
 
 #include "comm/factory.hh"
+#include "core/parallelism.hh"
 #include "hw/gpu_spec.hh"
 
 namespace dgxsim::core {
@@ -55,6 +56,24 @@ struct TrainConfig
     int batchPerGpu = 16;
     /** Inter-GPU communication method. */
     comm::CommMethod method = comm::CommMethod::NCCL;
+    /**
+     * Parallelization strategy (core/parallelism.hh). Every mode
+     * runs on the same Machine substrate; sync_dp is the paper's
+     * measured schedule, async_ps and model_parallel the extensions
+     * it discusses. Selects the trainer via TrainerBase::make().
+     */
+    ParallelismMode mode = ParallelismMode::SyncDp;
+    /**
+     * async_ps only: steady-state iterations each worker simulates
+     * before extrapolating to the epoch (the async analogue of
+     * measuredIterations).
+     */
+    int asyncItersPerWorker = 30;
+    /**
+     * model_parallel only: pipeline depth (microbatches per global
+     * batch). 0 selects numGpus.
+     */
+    int microbatches = 0;
     /** Images per epoch (256K in the paper's strong-scaling runs). */
     std::uint64_t datasetImages = 256000;
     /** Steady-state iterations to simulate before extrapolating. */

@@ -4,21 +4,10 @@
 
 #include "core/fp_bp_schedule.hh"
 #include "cuda/kernel_model.hh"
-#include "dnn/models.hh"
 #include "sim/auditor.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core {
-
-namespace {
-
-sim::Bytes
-gb(double v)
-{
-    return static_cast<sim::Bytes>(v * 1e9);
-}
-
-} // namespace
 
 Trainer::Trainer(TrainConfig cfg)
     : Trainer(std::move(cfg), hw::Topology::dgx1Volta())
@@ -38,57 +27,31 @@ Trainer::Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo)
 
 Trainer::Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
                  hw::Topology topo)
-    : cfg_(std::move(cfg)),
-      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo))),
-      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+    : TrainerBase(std::move(cfg), std::move(net), std::move(topo))
 {
-    if (cfg_.numGpus < 1 ||
-        cfg_.numGpus > fabric_->topology().numGpus()) {
-        sim::fatal("numGpus must be in [1, ",
-                   fabric_->topology().numGpus(), "], got ",
-                   cfg_.numGpus);
+    cfg_.mode = ParallelismMode::SyncDp; // reports describe what ran
+    for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {
+        computeStreams_.push_back(
+            &machine_.addStream(g, "compute" + std::to_string(g)));
+        workers_.push_back(
+            &machine_.addHostThread("worker" + std::to_string(g)));
     }
-    if (cfg_.batchPerGpu < 1)
-        sim::fatal("batchPerGpu must be positive");
-    if (cfg_.datasetImages == 0)
-        sim::fatal("datasetImages must be positive");
-
-    gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
-    for (std::size_t g = 0; g < gpus_.size(); ++g) {
-        devices_.push_back(
-            std::make_unique<cuda::Device>(gpus_[g], cfg_.gpuSpec));
-        computeStreams_.push_back(std::make_unique<cuda::Stream>(
-            queue_, &profiler_, gpus_[g],
-            "compute" + std::to_string(g)));
-        workers_.push_back(std::make_unique<cuda::HostThread>(
-            queue_, &profiler_, "worker" + std::to_string(g)));
-    }
-    updateStream_ = std::make_unique<cuda::Stream>(queue_, &profiler_,
-                                                   gpus_[0], "update");
-    commThread_ = std::make_unique<cuda::HostThread>(queue_, &profiler_,
-                                                     "kvstore");
-    engineThread_ = std::make_unique<cuda::HostThread>(
-        queue_, &profiler_, "engine");
+    updateStream_ = &machine_.addStream(0, "update");
+    commThread_ = &machine_.addHostThread("kvstore");
+    engineThread_ = &machine_.addHostThread("engine");
 
     comm::CommContext cctx;
-    cctx.queue = &queue_;
-    cctx.fabric = fabric_.get();
-    cctx.gpus = gpus_;
+    cctx.queue = &machine_.queue();
+    cctx.fabric = &machine_.fabric();
+    cctx.gpus = machine_.gpus();
     cctx.gpuSpec = cfg_.gpuSpec;
-    cctx.profiler = &profiler_;
+    cctx.profiler = &machine_.profiler();
     comm_ = comm::makeCommunicator(cfg_.method, std::move(cctx),
                                    cfg_.commConfig);
 
-    // The fabric may already carry an auditor (commConfig.audit or
-    // the DGXSIM_AUDIT environment override); cfg_.audit attaches
-    // one too. Either way, wire it into the profiler and the memory
-    // trackers so every record stream is validated.
-    if (cfg_.audit || fabric_->auditor()) {
-        sim::Auditor *auditor = fabric_->enableAudit();
-        profiler_.setAuditor(auditor);
-        for (auto &dev : devices_)
-            dev->mem().setAuditor(auditor);
-    }
+    // After communicator construction so a commConfig.audit-enabled
+    // auditor is seen and wired into the profiler and trackers.
+    machine_.wireAuditor();
 
     // Gradient buckets: one per weighted layer (MXNet), optionally
     // fused into larger messages (Horovod/DDP-style extension).
@@ -111,56 +74,6 @@ Trainer::Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
 
 Trainer::~Trainer() = default;
 
-sim::Tick
-Trainer::launchOverhead() const
-{
-    return sim::usToTicks(cfg_.gpuSpec.launchOverheadUs);
-}
-
-void
-Trainer::setupMemory()
-{
-    const MemoryModel &mm = cfg_.memoryModel;
-    const sim::Bytes weights = net_.paramBytes();
-    const sim::Bytes activations = static_cast<sim::Bytes>(
-        mm.activationFactor *
-        static_cast<double>(net_.activationBytes(cfg_.batchPerGpu)));
-    int conv_layers = 0;
-    for (const auto &layer : net_.layers()) {
-        if (layer->kind() == dnn::LayerKind::Conv)
-            ++conv_layers;
-    }
-    const sim::Bytes workspace =
-        static_cast<sim::Bytes>(
-            mm.workspaceFactor *
-            static_cast<double>(
-                net_.maxWorkspaceBytes(cfg_.batchPerGpu))) +
-        static_cast<sim::Bytes>(mm.cudnnPoolMBPerConv * 1e6 *
-                                conv_layers);
-    const sim::Bytes dataset = static_cast<sim::Bytes>(
-        mm.datasetBuffers *
-        static_cast<double>(cfg_.batchPerGpu) *
-        static_cast<double>(net_.inputShape().bytes()));
-
-    for (std::size_t g = 0; g < devices_.size(); ++g) {
-        cuda::MemoryTracker &mem = devices_[g]->mem();
-        // Pre-training: context plus the broadcast model.
-        mem.alloc(cuda::MemCategory::Context, gb(mm.contextGB));
-        mem.alloc(cuda::MemCategory::Weights, weights);
-        // Training-time state.
-        mem.alloc(cuda::MemCategory::Gradients, weights);
-        mem.alloc(cuda::MemCategory::Activations, activations);
-        mem.alloc(cuda::MemCategory::Workspace, workspace);
-        mem.alloc(cuda::MemCategory::Dataset, dataset);
-        if (g == 0 && cfg_.numGpus > 1) {
-            mem.alloc(cuda::MemCategory::CommBuffers,
-                      static_cast<sim::Bytes>(
-                          mm.rootCommFactor *
-                          static_cast<double>(weights)));
-        }
-    }
-}
-
 void
 Trainer::issueWorker(std::size_t g)
 {
@@ -172,13 +85,13 @@ Trainer::issueWorker(std::size_t g)
     // MXNet's data iterator stays ahead of the GPUs).
     const sim::Bytes batch_bytes =
         static_cast<sim::Bytes>(batch) * net_.inputShape().bytes();
-    const hw::NodeId gpu = gpus_[g];
+    const hw::NodeId gpu = machine_.gpus()[g];
     worker.call("cudaMemcpyAsync",
                 sim::usToTicks(cfg_.commConfig.memcpyIssueUs),
                 [this, gpu, batch_bytes]() {
-                    const sim::Tick start = queue_.now();
+                    const sim::Tick start = machine_.queue().now();
                     hw::NodeId host = -1;
-                    const hw::Topology &topo = fabric_->topology();
+                    const hw::Topology &topo = machine_.topology();
                     for (std::size_t l :
                          topo.linksOf(gpu, hw::LinkType::PCIe)) {
                         const hw::NodeId peer =
@@ -188,12 +101,12 @@ Trainer::issueWorker(std::size_t g)
                     }
                     if (host < 0)
                         return; // no host path modeled
-                    fabric_->transfer(
+                    machine_.fabric().transfer(
                         host, gpu, batch_bytes,
                         [this, gpu, batch_bytes, start]() {
-                            profiler_.recordCopy("HtoD", -1, gpu,
-                                                 batch_bytes, start,
-                                                 queue_.now());
+                            machine_.profiler().recordCopy(
+                                "HtoD", -1, gpu, batch_bytes, start,
+                                machine_.queue().now());
                         });
                 });
 
@@ -223,7 +136,7 @@ void
 Trainer::startIteration(int index)
 {
     iteration_ = index;
-    iterStart_ = queue_.now();
+    iterStart_ = machine_.queue().now();
     bpDoneMax_ = iterStart_;
     bpDoneCount_ = 0;
     broadcastsDone_ = 0;
@@ -242,7 +155,7 @@ Trainer::startIteration(int index)
     // The framework engine prepares and dispatches each GPU's work
     // serially; with many GPUs and short iterations this host-side
     // cost stops amortizing (paper Sec. V-C).
-    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {
         engineThread_->call("mxnetEngineDispatch",
                             sim::usToTicks(cfg_.engineDispatchUs),
                             [this, g]() { issueWorker(g); });
@@ -294,7 +207,7 @@ Trainer::onBucketReduced(std::size_t bucket_idx)
         cfg_.gpuSpec,
         cuda::KernelCost{bytes / 2.0, 3.0 * bytes, false});
     commThread_->call(
-        "cudaLaunchKernel", launchOverhead(),
+        "cudaLaunchKernel", machine_.launchOverhead(),
         [this, bucket_idx, dur]() {
             updateStream_->enqueueKernel("sgdUpdate", dur);
             if (cfg_.useAllReduce) {
@@ -334,7 +247,7 @@ Trainer::onBucketBroadcast(std::size_t /*bucket_idx*/)
 void
 Trainer::onWorkerBpDone(std::size_t /*g*/)
 {
-    bpDoneMax_ = std::max(bpDoneMax_, queue_.now());
+    bpDoneMax_ = std::max(bpDoneMax_, machine_.queue().now());
     if (++bpDoneCount_ == cfg_.numGpus && !cfg_.overlapBpWu) {
         // Non-overlapped path: push every bucket only now, in BP
         // (reverse) order.
@@ -353,7 +266,7 @@ Trainer::onWorkerIterationDone(std::size_t /*g*/)
 void
 Trainer::finishIteration()
 {
-    const sim::Tick end = queue_.now();
+    const sim::Tick end = machine_.queue().now();
     sumIterTicks_ += static_cast<double>(end - iterStart_);
     sumFpBpTicks_ += static_cast<double>(bpDoneMax_ - iterStart_);
     sumWuTicks_ += static_cast<double>(end - bpDoneMax_);
@@ -369,64 +282,27 @@ Trainer::run()
     report.iterations = cfg_.iterationsPerEpoch();
 
     try {
-        setupMemory();
+        machine_.setupDataParallelMemory(net_);
     } catch (const sim::FatalError &err) {
         report.oom = true;
         report.oomDetail = err.what();
         return report;
     }
 
-    report.gpu0.preTraining =
-        devices_[0]->mem().usedBy(cuda::MemCategory::Context) +
-        devices_[0]->mem().usedBy(cuda::MemCategory::Weights);
-    report.gpu0.training = devices_[0]->mem().used();
-    const auto &worker_dev = devices_.size() > 1 ? devices_[1]
-                                                 : devices_[0];
-    report.gpux.preTraining = report.gpu0.preTraining;
-    report.gpux.training = worker_dev->mem().used();
+    machine_.fillMemoryReport(report);
 
     if (cfg_.measuredIterations <= 0)
         return report; // memory-only probe
 
     startIteration(0);
-    queue_.run();
+    machine_.queue().run();
 
-    if (sim::Auditor *auditor = fabric_->auditor()) {
-        // End-of-run quiescence: nothing pending, nothing in flight.
-        auditor->checkQuiescent(queue_, fabric_->flows());
-        auditor->expect(comm_->idle(), queue_.now(),
-                        "communicator busy after the queue drained");
-        for (std::size_t g = 0; g < computeStreams_.size(); ++g) {
-            auditor->expect(computeStreams_[g]->drained(), queue_.now(),
-                            "compute stream ", g,
-                            " not drained after the queue drained");
-        }
-        auditor->expect(updateStream_->drained(), queue_.now(),
-                        "update stream not drained after the queue "
-                        "drained");
-        report.audited = true;
-        report.auditChecks = auditor->checksPerformed();
-        report.auditViolations = auditor->violationCount();
-    }
+    machine_.finishAudit(report, [this](sim::Auditor &auditor) {
+        auditor.expect(comm_->idle(), machine_.queue().now(),
+                       "communicator busy after the queue drained");
+    });
 
-    // Fold the record stream with the final simulation state: equal
-    // digests across runs means equal event histories, which is the
-    // determinism contract (core/determinism.hh).
-    {
-        std::uint64_t d = profiler_.digest();
-        auto fold = [&d](std::uint64_t v) {
-            d ^= v;
-            d *= 0x100000001b3ull; // FNV prime
-        };
-        fold(static_cast<std::uint64_t>(queue_.now()));
-        fold(queue_.executedEvents());
-        for (std::size_t l = 0; l < fabric_->topology().links().size();
-             ++l) {
-            fold(static_cast<std::uint64_t>(
-                fabric_->linkBytesMoved(l)));
-        }
-        report.digest = d;
-    }
+    report.digest = machine_.digest();
 
     const double measured = cfg_.measuredIterations;
     const double iters = static_cast<double>(report.iterations);
@@ -443,15 +319,16 @@ Trainer::run()
         sim::ticksToSec(static_cast<sim::Tick>(sumWuTicks_)) /
         measured * iters;
 
+    const profiling::Profiler &prof = machine_.profiler();
     report.syncApiFraction =
-        profiler_.apiTimeFraction("cudaStreamSynchronize");
-    for (const auto &row : profiler_.apiSummary()) {
+        prof.apiTimeFraction("cudaStreamSynchronize");
+    for (const auto &row : prof.apiSummary()) {
         report.apiSeconds[row.name] =
             sim::ticksToSec(row.totalTime) / measured * iters;
     }
     report.interGpuBytesPerIter =
-        (static_cast<double>(profiler_.copiedBytes("PtoP")) +
-         static_cast<double>(profiler_.copiedBytes("NCCL"))) /
+        (static_cast<double>(prof.copiedBytes("PtoP")) +
+         static_cast<double>(prof.copiedBytes("NCCL"))) /
         measured;
     return report;
 }
@@ -476,20 +353,6 @@ Trainer::maxBatchPerGpu(TrainConfig cfg,
             best = batch;
     }
     return best;
-}
-
-std::string
-TrainReport::oneLine() const
-{
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s x%d gpus, b%d, %s: epoch %.3fs (fp+bp %.3fs, wu "
-                  "%.3fs)%s",
-                  config.model.c_str(), config.numGpus,
-                  config.batchPerGpu,
-                  comm::commMethodName(config.method), epochSeconds,
-                  fpBpSeconds, wuSeconds, oom ? " [OOM]" : "");
-    return std::string(buf);
 }
 
 } // namespace dgxsim::core

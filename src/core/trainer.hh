@@ -18,6 +18,9 @@
  *
  * The run simulates a few steady-state iterations and extrapolates to
  * the epoch, exactly like per-iteration nvprof profiling does.
+ *
+ * The trainer is the ParallelismMode::SyncDp strategy over the
+ * shared core::Machine substrate (see core/trainer_base.hh).
  */
 
 #ifndef DGXSIM_CORE_TRAINER_HH
@@ -28,21 +31,13 @@
 #include <vector>
 
 #include "comm/factory.hh"
-#include "core/report.hh"
-#include "core/train_config.hh"
-#include "cuda/device.hh"
-#include "cuda/host_thread.hh"
-#include "cuda/stream.hh"
-#include "dnn/network.hh"
-#include "hw/fabric.hh"
-#include "profiling/profiler.hh"
-#include "sim/event_queue.hh"
+#include "core/trainer_base.hh"
 
 namespace dgxsim::core {
 
 /** Simulates one training configuration on a DGX-1 (or a custom
  * topology). */
-class Trainer
+class Trainer : public TrainerBase
 {
   public:
     /** Train on the stock Volta DGX-1. */
@@ -57,25 +52,19 @@ class Trainer
      */
     Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo);
 
-    Trainer(const Trainer &) = delete;
-    Trainer &operator=(const Trainer &) = delete;
-    ~Trainer();
+    ~Trainer() override;
 
     /**
      * Run the simulation.
      * @return the report; report.oom is set instead of throwing when
      * the configuration does not fit in GPU memory.
      */
-    TrainReport run();
-
-    /** @return the profiler with all records of the measured run. */
-    const profiling::Profiler &profiler() const { return profiler_; }
-
-    /** @return the fabric (for link statistics). */
-    const hw::Fabric &fabric() const { return *fabric_; }
+    TrainReport run() override;
 
     /**
-     * Convenience: simulate @p cfg on a stock DGX-1.
+     * Convenience: simulate @p cfg on a stock DGX-1 with the
+     * synchronous schedule (cfg.mode is ignored). Use
+     * TrainerBase::simulate for mode dispatch.
      */
     static TrainReport simulate(const TrainConfig &cfg);
 
@@ -98,9 +87,6 @@ class Trainer
         int arrivals = 0;  ///< per-GPU per-layer gradients landed
         int expected = 0;  ///< arrivals needed before communicating
     };
-
-    /** Allocate all device memory; throws sim::FatalError on OOM. */
-    void setupMemory();
 
     /** Kick off iteration @p index. */
     void startIteration(int index);
@@ -125,23 +111,11 @@ class Trainer
     /** All GPUs done: record times, advance or stop. */
     void finishIteration();
 
-    /** Assemble the final report after the measured iterations. */
-    TrainReport buildReport();
-
-    sim::Tick launchOverhead() const;
-
-    TrainConfig cfg_;
-    sim::EventQueue queue_;
-    profiling::Profiler profiler_;
-    std::unique_ptr<hw::Fabric> fabric_;
-    dnn::Network net_;
-    std::vector<hw::NodeId> gpus_;
-    std::vector<std::unique_ptr<cuda::Device>> devices_;
-    std::vector<std::unique_ptr<cuda::Stream>> computeStreams_;
-    std::vector<std::unique_ptr<cuda::HostThread>> workers_;
-    std::unique_ptr<cuda::Stream> updateStream_; ///< on GPU0
-    std::unique_ptr<cuda::HostThread> commThread_;
-    std::unique_ptr<cuda::HostThread> engineThread_;
+    std::vector<cuda::Stream *> computeStreams_;
+    std::vector<cuda::HostThread *> workers_;
+    cuda::Stream *updateStream_ = nullptr; ///< on GPU0
+    cuda::HostThread *commThread_ = nullptr;
+    cuda::HostThread *engineThread_ = nullptr;
     std::unique_ptr<comm::Communicator> comm_;
 
     std::vector<Bucket> buckets_;
@@ -159,9 +133,6 @@ class Trainer
     double sumIterTicks_ = 0;
     double sumFpBpTicks_ = 0;
     double sumWuTicks_ = 0;
-
-    bool oom_ = false;
-    std::string oomDetail_;
 };
 
 } // namespace dgxsim::core

@@ -1,0 +1,87 @@
+#include "core/trainer_base.hh"
+
+#include <map>
+
+#include "core/async_trainer.hh"
+#include "core/model_parallel_trainer.hh"
+#include "core/trainer.hh"
+#include "dnn/models.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::core {
+
+namespace {
+
+std::map<ParallelismMode, TrainerFactory> &
+registry()
+{
+    // Explicit registration (not per-TU static initializers): the
+    // library is linked statically, so self-registering object files
+    // could be dropped by the linker when nothing references them.
+    static std::map<ParallelismMode, TrainerFactory> factories = {
+        {ParallelismMode::SyncDp,
+         [](const TrainConfig &cfg) -> std::unique_ptr<TrainerBase> {
+             return std::make_unique<Trainer>(cfg);
+         }},
+        {ParallelismMode::AsyncPs,
+         [](const TrainConfig &cfg) -> std::unique_ptr<TrainerBase> {
+             return std::make_unique<AsyncTrainer>(cfg);
+         }},
+        {ParallelismMode::ModelParallel,
+         [](const TrainConfig &cfg) -> std::unique_ptr<TrainerBase> {
+             return std::make_unique<ModelParallelTrainer>(cfg);
+         }},
+    };
+    return factories;
+}
+
+} // namespace
+
+TrainerBase::TrainerBase(TrainConfig cfg,
+                         std::optional<dnn::Network> net,
+                         hw::Topology topo)
+    : cfg_(std::move(cfg)),
+      machine_(cfg_, std::move(topo)),
+      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+{
+}
+
+TrainerBase::~TrainerBase() = default;
+
+void
+registerTrainer(ParallelismMode mode, TrainerFactory factory)
+{
+    registry()[mode] = factory;
+}
+
+std::unique_ptr<TrainerBase>
+TrainerBase::make(const TrainConfig &cfg)
+{
+    auto it = registry().find(cfg.mode);
+    if (it == registry().end())
+        sim::fatal("no trainer registered for mode '",
+                   parallelismModeName(cfg.mode), "'");
+    return it->second(cfg);
+}
+
+TrainReport
+TrainerBase::simulate(const TrainConfig &cfg)
+{
+    return make(cfg)->run();
+}
+
+std::optional<int>
+TrainerBase::maxBatchPerGpu(TrainConfig cfg,
+                            const std::vector<int> &candidates)
+{
+    std::optional<int> best;
+    for (int batch : candidates) {
+        cfg.batchPerGpu = batch;
+        cfg.measuredIterations = 0; // memory probe only
+        if (!simulate(cfg).oom)
+            best = batch;
+    }
+    return best;
+}
+
+} // namespace dgxsim::core

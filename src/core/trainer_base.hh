@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The common interface of every training strategy.
+ *
+ * A trainer is a parallelization strategy (core/parallelism.hh) over
+ * the shared core::Machine substrate: it owns the iteration schedule
+ * and nothing else. All strategies produce the same TrainReport —
+ * epoch and iteration time, determinism digest, peak memory, OOM
+ * verdict — so the campaign runner, baseline gating, determinism
+ * harness and CLI treat every mode uniformly.
+ *
+ * Strategies register a factory per ParallelismMode; make() and
+ * simulate() dispatch on TrainConfig::mode. The three built-in modes
+ * are pre-registered; a new strategy (e.g. hybrid DP+MP) only needs a
+ * TrainerBase subclass and one registerTrainer() call.
+ */
+
+#ifndef DGXSIM_CORE_TRAINER_BASE_HH
+#define DGXSIM_CORE_TRAINER_BASE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/machine.hh"
+#include "core/parallelism.hh"
+#include "core/report.hh"
+#include "core/train_config.hh"
+#include "dnn/network.hh"
+#include "hw/topology.hh"
+
+namespace dgxsim::core {
+
+/** Base class of all training strategies. */
+class TrainerBase
+{
+  public:
+    TrainerBase(const TrainerBase &) = delete;
+    TrainerBase &operator=(const TrainerBase &) = delete;
+    virtual ~TrainerBase();
+
+    /**
+     * Run the simulation.
+     * @return the report; report.oom is set instead of throwing when
+     * the configuration does not fit in GPU memory.
+     */
+    virtual TrainReport run() = 0;
+
+    /** @return the configuration the strategy runs. */
+    const TrainConfig &config() const { return cfg_; }
+
+    /** @return the profiler with all records of the measured run. */
+    const profiling::Profiler &profiler() const
+    {
+        return machine_.profiler();
+    }
+
+    /** @return the fabric (for link statistics). */
+    const hw::Fabric &fabric() const { return machine_.fabric(); }
+
+    /**
+     * Construct the strategy registered for cfg.mode on a stock
+     * DGX-1 (fatal when no strategy is registered for the mode).
+     */
+    static std::unique_ptr<TrainerBase> make(const TrainConfig &cfg);
+
+    /** Convenience: make(cfg)->run(). */
+    static TrainReport simulate(const TrainConfig &cfg);
+
+    /**
+     * @return the largest per-GPU batch size (from @p candidates in
+     * increasing order) that fits in memory under cfg.mode, or
+     * nullopt if none do.
+     */
+    static std::optional<int> maxBatchPerGpu(
+        TrainConfig cfg, const std::vector<int> &candidates);
+
+  protected:
+    /** Build cfg.model when @p net is empty. */
+    TrainerBase(TrainConfig cfg, std::optional<dnn::Network> net,
+                hw::Topology topo);
+
+    TrainConfig cfg_;
+    Machine machine_;
+    dnn::Network net_;
+};
+
+/** Factory signature of one registered strategy. */
+using TrainerFactory =
+    std::unique_ptr<TrainerBase> (*)(const TrainConfig &cfg);
+
+/**
+ * Register (or replace) the strategy for @p mode. The built-in
+ * strategies are registered automatically; call this to plug in an
+ * experimental mode without touching the dispatcher.
+ */
+void registerTrainer(ParallelismMode mode, TrainerFactory factory);
+
+} // namespace dgxsim::core
+
+#endif // DGXSIM_CORE_TRAINER_BASE_HH

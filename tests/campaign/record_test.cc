@@ -101,6 +101,42 @@ TEST(RunRecord, ToConfigReproducesTheAxes)
     EXPECT_EQ(cfg.datasetImages, 256000u);
 }
 
+TEST(RunRecord, ModeRoundTripsThroughJsonAndConfig)
+{
+    RunRecord async = sampleRecord();
+    async.mode = "async_ps";
+    async.throughputImagesPerSec = 27194.584091159639;
+    async.avgStaleness = 0.94999999999999996;
+    async.maxStaleness = 3;
+    RunRecord mp = sampleRecord();
+    mp.mode = "model_parallel";
+    mp.microbatches = 8;
+    mp.bubbleFraction = 0.43755544628203258;
+    const auto parsed =
+        recordsFromJson(recordsToJson({async, mp}));
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0], async);
+    EXPECT_EQ(parsed[1], mp);
+    EXPECT_EQ(async.toConfig().mode, core::ParallelismMode::AsyncPs);
+    EXPECT_EQ(mp.toConfig().mode,
+              core::ParallelismMode::ModelParallel);
+    EXPECT_EQ(mp.toConfig().microbatches, 8);
+}
+
+TEST(RunRecord, ModeExtendsKeyOnlyWhenNotSync)
+{
+    // Sync keys (and JSON) are frozen: the baseline written before
+    // the mode axis existed must keep matching.
+    EXPECT_EQ(sampleRecord().key(), "alexnet x4 b32 nccl i256000");
+    EXPECT_EQ(recordsToJson({sampleRecord()}).find("\"mode\""),
+              std::string::npos);
+    RunRecord async = sampleRecord();
+    async.mode = "async_ps";
+    EXPECT_EQ(async.key(), "alexnet x4 b32 nccl i256000 async_ps");
+    EXPECT_NE(recordsToJson({async}).find("\"mode\": \"async_ps\""),
+              std::string::npos);
+}
+
 TEST(RunRecord, MalformedJsonIsFatal)
 {
     EXPECT_THROW(recordsFromJson("{"), sim::FatalError);

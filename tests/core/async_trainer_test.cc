@@ -28,7 +28,7 @@ makeConfig(const std::string &model, int gpus)
 
 TEST(AsyncTrainerTest, SingleGpuHasZeroStaleness)
 {
-    const AsyncReport r =
+    const TrainReport r =
         AsyncTrainer::simulate(makeConfig("lenet", 1));
     EXPECT_DOUBLE_EQ(r.avgStaleness, 0.0);
     EXPECT_EQ(r.maxStaleness, 0);
@@ -38,7 +38,7 @@ TEST(AsyncTrainerTest, SingleGpuHasZeroStaleness)
 TEST(AsyncTrainerTest, AllPushesAccounted)
 {
     AsyncTrainer trainer(makeConfig("lenet", 4));
-    const AsyncReport r = trainer.run(25);
+    const TrainReport r = trainer.run(25);
     EXPECT_EQ(r.pushes, 4u * 25u);
 }
 
@@ -46,7 +46,7 @@ TEST(AsyncTrainerTest, StalenessGrowsWithWorkers)
 {
     double prev = -1;
     for (int gpus : {2, 4, 8}) {
-        const AsyncReport r =
+        const TrainReport r =
             AsyncTrainer::simulate(makeConfig("resnet-50", gpus));
         EXPECT_GT(r.avgStaleness, prev) << gpus;
         // Mean staleness cannot exceed a full round of other workers
@@ -60,7 +60,7 @@ TEST(AsyncTrainerTest, StalenessApproachesWorkerCountForShortIterations)
 {
     // With homogeneous workers, each pull-to-push window sees about
     // one update from every other worker.
-    const AsyncReport r =
+    const TrainReport r =
         AsyncTrainer::simulate(makeConfig("lenet", 8));
     EXPECT_NEAR(r.avgStaleness, 7.0, 2.0);
 }
@@ -82,7 +82,7 @@ TEST(AsyncTrainerTest, ThroughputScalesWithWorkers)
 {
     double prev = 0;
     for (int gpus : {1, 2, 4, 8}) {
-        const AsyncReport r =
+        const TrainReport r =
             AsyncTrainer::simulate(makeConfig("resnet-50", gpus));
         EXPECT_GT(r.throughputImagesPerSec, prev) << gpus;
         prev = r.throughputImagesPerSec;
@@ -92,15 +92,15 @@ TEST(AsyncTrainerTest, ThroughputScalesWithWorkers)
 TEST(AsyncTrainerTest, DeterministicAcrossRuns)
 {
     const TrainConfig cfg = makeConfig("alexnet", 4);
-    const AsyncReport a = AsyncTrainer::simulate(cfg);
-    const AsyncReport b = AsyncTrainer::simulate(cfg);
+    const TrainReport a = AsyncTrainer::simulate(cfg);
+    const TrainReport b = AsyncTrainer::simulate(cfg);
     EXPECT_DOUBLE_EQ(a.epochSeconds, b.epochSeconds);
     EXPECT_DOUBLE_EQ(a.avgStaleness, b.avgStaleness);
 }
 
 TEST(AsyncTrainerTest, OneLineMentionsStaleness)
 {
-    const AsyncReport r =
+    const TrainReport r =
         AsyncTrainer::simulate(makeConfig("lenet", 2));
     const std::string line = r.oneLine();
     EXPECT_NE(line.find("async"), std::string::npos);

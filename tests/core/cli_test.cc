@@ -95,4 +95,45 @@ TEST(CliConfigTest, BadMethodIsFatal)
     EXPECT_THROW(core::cli::configFromArgs(args), sim::FatalError);
 }
 
+TEST(CliConfigTest, MapsParallelismMode)
+{
+    const Args args = Args::parse(
+        {"--mode", "async_ps", "--async-iters", "12",
+         "--microbatches", "6"});
+    const core::TrainConfig cfg = core::cli::configFromArgs(args);
+    EXPECT_EQ(cfg.mode, core::ParallelismMode::AsyncPs);
+    EXPECT_EQ(cfg.asyncItersPerWorker, 12);
+    EXPECT_EQ(cfg.microbatches, 6);
+}
+
+TEST(CliConfigTest, ModeDefaultsToSyncAndAcceptsAliases)
+{
+    EXPECT_EQ(core::cli::configFromArgs(Args::parse({})).mode,
+              core::ParallelismMode::SyncDp);
+    EXPECT_EQ(core::cli::configFromArgs(
+                  Args::parse({"--mode", "mp"}))
+                  .mode,
+              core::ParallelismMode::ModelParallel);
+    EXPECT_EQ(core::cli::configFromArgs(
+                  Args::parse({"--mode", "sync"}))
+                  .mode,
+              core::ParallelismMode::SyncDp);
+}
+
+TEST(CliConfigTest, BadModeIsFatal)
+{
+    const Args args = Args::parse({"--mode", "hybrid"});
+    EXPECT_THROW(core::cli::configFromArgs(args), sim::FatalError);
+}
+
+TEST(CliConfigTest, BaseConfigIgnoresModeForGridCommands)
+{
+    // Campaign passes list-valued --mode; the scalar parser must not
+    // touch it (it would fatal on "async_ps,model_parallel").
+    const Args args =
+        Args::parse({"--mode", "async_ps,model_parallel"});
+    const core::TrainConfig cfg = core::cli::baseConfigFromArgs(args);
+    EXPECT_EQ(cfg.mode, core::ParallelismMode::SyncDp);
+}
+
 } // namespace

@@ -63,6 +63,43 @@ TEST(DeterminismTest, DifferentConfigsDiffer)
     EXPECT_NE(core::runDigest(lenetP2p4()), core::runDigest(nccl));
 }
 
+TEST(DeterminismTest, AsyncModeDigestsMatch)
+{
+    TrainConfig cfg = lenetP2p4();
+    cfg.mode = core::ParallelismMode::AsyncPs;
+    const auto check = core::checkDeterminism(cfg);
+    EXPECT_FALSE(check.oom);
+    EXPECT_TRUE(check.deterministic) << check.summary();
+    EXPECT_NE(check.firstDigest, 0u);
+}
+
+TEST(DeterminismTest, ModelParallelModeDigestsMatch)
+{
+    TrainConfig cfg = alexnetNccl8();
+    cfg.mode = core::ParallelismMode::ModelParallel;
+    cfg.method = comm::CommMethod::P2P;
+    const auto check = core::checkDeterminism(cfg);
+    EXPECT_FALSE(check.oom);
+    EXPECT_TRUE(check.deterministic) << check.summary();
+}
+
+TEST(DeterminismTest, ModesReplayDistinctHistories)
+{
+    // The three strategies schedule different events over the same
+    // machine, so their digests must all differ.
+    TrainConfig sync = lenetP2p4();
+    TrainConfig async = sync;
+    async.mode = core::ParallelismMode::AsyncPs;
+    TrainConfig mp = sync;
+    mp.mode = core::ParallelismMode::ModelParallel;
+    const std::uint64_t ds = core::runDigest(sync);
+    const std::uint64_t da = core::runDigest(async);
+    const std::uint64_t dm = core::runDigest(mp);
+    EXPECT_NE(ds, da);
+    EXPECT_NE(ds, dm);
+    EXPECT_NE(da, dm);
+}
+
 TEST(DeterminismTest, AuditDoesNotPerturbTheSimulation)
 {
     // The auditor is a pure observer: digests with and without it

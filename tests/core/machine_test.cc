@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Machine substrate tests: configuration validation, stream / host
+ * thread factories, the shared memory planners (data-parallel and
+ * model-parallel layouts), and the determinism digest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "dnn/models.hh"
+#include "hw/topology.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using core::Machine;
+using core::TrainConfig;
+
+TrainConfig
+lenet2()
+{
+    TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 2;
+    cfg.batchPerGpu = 16;
+    return cfg;
+}
+
+TEST(MachineTest, ValidatesConfig)
+{
+    const hw::Topology topo = hw::Topology::dgx1Volta();
+    TrainConfig bad = lenet2();
+    bad.numGpus = 0;
+    EXPECT_THROW(Machine(bad, topo), sim::FatalError);
+    bad = lenet2();
+    bad.numGpus = 9;
+    EXPECT_THROW(Machine(bad, topo), sim::FatalError);
+    bad = lenet2();
+    bad.batchPerGpu = 0;
+    EXPECT_THROW(Machine(bad, topo), sim::FatalError);
+    bad = lenet2();
+    bad.datasetImages = 0;
+    EXPECT_THROW(Machine(bad, topo), sim::FatalError);
+}
+
+TEST(MachineTest, OwnsDevicesStreamsAndThreads)
+{
+    const TrainConfig cfg = lenet2();
+    Machine machine(cfg, hw::Topology::dgx1Volta());
+    EXPECT_EQ(machine.gpus().size(), 2u);
+    cuda::Stream &s0 = machine.addStream(0, "compute0");
+    cuda::Stream &s1 = machine.addStream(1, "compute1");
+    EXPECT_NE(&s0, &s1);
+    cuda::HostThread &worker = machine.addHostThread("worker");
+    (void)worker;
+    EXPECT_GT(machine.launchOverhead(), 0);
+}
+
+TEST(MachineTest, DataParallelPlannerAllocatesReplicas)
+{
+    const TrainConfig cfg = lenet2();
+    Machine machine(cfg, hw::Topology::dgx1Volta());
+    machine.setupDataParallelMemory(dnn::buildByName(cfg.model));
+    core::TrainReport report;
+    machine.fillMemoryReport(report);
+    // Every replica holds the model; the root additionally holds the
+    // aggregation buffers.
+    EXPECT_GT(report.gpux.training, 0u);
+    EXPECT_GT(report.gpu0.training, report.gpux.training);
+}
+
+TEST(MachineTest, DataParallelPlannerThrowsOnOom)
+{
+    TrainConfig cfg = lenet2();
+    cfg.model = "resnet-50";
+    cfg.batchPerGpu = 4096;
+    Machine machine(cfg, hw::Topology::dgx1Volta());
+    EXPECT_THROW(
+        machine.setupDataParallelMemory(dnn::buildByName(cfg.model)),
+        sim::FatalError);
+}
+
+TEST(MachineTest, ModelParallelPlannerSplitsWeights)
+{
+    TrainConfig cfg = lenet2();
+    Machine machine(cfg, hw::Topology::dgx1Volta());
+    const dnn::Network net = dnn::buildByName(cfg.model);
+    // Two stages: [0, mid) and [mid, n). Each stage holds only its
+    // own layers, so neither side should see the full replica cost.
+    const std::size_t mid = net.layers().size() / 2;
+    const std::vector<std::pair<std::size_t, std::size_t>> stages = {
+        {0, mid - 1}, {mid, net.layers().size() - 1}};
+    machine.setupModelParallelMemory(net, stages, cfg.batchPerGpu, 2);
+    core::TrainReport report;
+    machine.fillMemoryReport(report);
+    EXPECT_GT(report.gpu0.training, 0u);
+    EXPECT_GT(report.gpux.training, 0u);
+}
+
+TEST(MachineTest, DigestIsDeterministic)
+{
+    const TrainConfig cfg = lenet2();
+    const auto digestOnce = [&cfg] {
+        Machine machine(cfg, hw::Topology::dgx1Volta());
+        machine.addStream(0, "s");
+        machine.queue().run();
+        return machine.digest();
+    };
+    const std::uint64_t a = digestOnce();
+    const std::uint64_t b = digestOnce();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace

@@ -9,10 +9,15 @@
  *   check    re-run a campaign, diff against a golden baseline
  *   topo     show the DGX-1 topology, routes and bandwidths
  *   advise   pick max batch size and best method for a model
- *   async    asynchronous-SGD simulation with staleness metrics
- *   modelpar pipelined model-parallel simulation
  *   models   list the model zoo
  *   verify   determinism check: run a config twice, compare digests
+ *
+ * train/sweep/campaign/check/verify take --mode
+ * sync_dp|async_ps|model_parallel to select the parallelization
+ * strategy (campaign and check accept a comma-separated list). The
+ * old `async` and `modelpar`/`mp` subcommands remain as deprecated
+ * aliases for `train --mode async_ps` / `train --mode
+ * model_parallel`.
  *
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
@@ -25,14 +30,13 @@
 #include "campaign/campaign.hh"
 #include "campaign/check.hh"
 #include "campaign/thread_pool.hh"
-#include "core/async_trainer.hh"
 #include "core/cli.hh"
 #include "core/determinism.hh"
 #include "core/layer_profile.hh"
-#include "core/model_parallel_trainer.hh"
 #include "core/scaling.hh"
 #include "core/text_table.hh"
 #include "core/trainer.hh"
+#include "core/trainer_base.hh"
 #include "dnn/models.hh"
 #include "dnn/serialize.hh"
 #include "hw/fabric.hh"
@@ -55,6 +59,10 @@ usage()
         "commands:\n"
         "  train     simulate one run      (--model | --model-file F; --gpus --batch "
         "--method p2p|nccl\n"
+        "                                   [--mode "
+        "sync_dp|async_ps|model_parallel]\n"
+        "                                   [--microbatches N] "
+        "[--async-iters N]\n"
         "                                   [--allreduce] [--fusion-mb "
         "N] [--tensor-cores]\n"
         "                                   [--overlap] [--rings 2] "
@@ -63,33 +71,37 @@ usage()
         "FILE] [--report] [--audit])\n"
         "  sweep     grid of runs          (--model [--gpus 1,2,4,8] "
         "[--batches 16,32,64]\n"
-        "                                   [--jobs N])\n"
+        "                                   [--mode M] [--jobs N])\n"
         "  campaign  parallel grid runner  (--model M1,M2 [--gpus "
         "1,2,4,8]\n"
         "                                   [--batches 16,32,64] "
         "[--method p2p,nccl]\n"
-        "                                   [--jobs N] [--json FILE] "
-        "[--csv FILE] [--quiet])\n"
+        "                                   [--mode M1,M2] [--jobs N] "
+        "[--json FILE]\n"
+        "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
         "results/baseline.json\n"
         "                                   [--tolerance PCT] [--jobs "
         "N] [--no-digest]\n"
         "                                   [--model ...] [--gpus ...] "
         "[--batches ...]\n"
-        "                                   [--method ...] to filter "
-        "the baseline grid)\n"
+        "                                   [--method ...] [--mode "
+        "...] to filter\n"
+        "                                   the baseline grid)\n"
         "  topo      DGX-1 topology, routes, bandwidth matrix\n"
-        "  advise    batch-size + method advice (--model [--gpus N])\n"
-        "  async     asynchronous SGD      (--model --gpus --batch)\n"
-        "  modelpar  model parallelism     (--model --gpus --batch "
-        "[--microbatches N])\n"
+        "  advise    batch-size + method advice (--model [--gpus N] "
+        "[--mode M])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
         "[--top N])\n"
         "  models    list the model zoo\n"
         "  verify    determinism check    (same options as train; "
         "runs twice,\n"
         "                                   compares digests, exits "
-        "non-zero on mismatch)\n");
+        "non-zero on mismatch)\n"
+        "\n"
+        "deprecated aliases (use train --mode instead):\n"
+        "  async     = train --mode async_ps\n"
+        "  modelpar | mp = train --mode model_parallel\n");
     return 2;
 }
 
@@ -98,18 +110,21 @@ cmdTrain(const Args &args)
 {
     core::TrainConfig cfg = core::cli::configFromArgs(args);
     // --model-file loads a serialized network description instead of
-    // a zoo model (see dnn/serialize.hh for the format).
-    std::unique_ptr<core::Trainer> owned;
+    // a zoo model (see dnn/serialize.hh for the format). Custom
+    // networks run only on the synchronous strategy.
+    std::unique_ptr<core::TrainerBase> owned;
     if (args.has("model-file")) {
+        if (cfg.mode != core::ParallelismMode::SyncDp)
+            sim::fatal("--model-file supports --mode sync_dp only");
         dnn::Network net =
             dnn::loadNetworkFile(args.get("model-file"));
         cfg.model = net.name();
         owned = std::make_unique<core::Trainer>(
             cfg, std::move(net), hw::Topology::dgx1Volta());
     } else {
-        owned = std::make_unique<core::Trainer>(cfg);
+        owned = core::TrainerBase::make(cfg);
     }
-    core::Trainer &trainer = *owned;
+    core::TrainerBase &trainer = *owned;
     const core::TrainReport r = trainer.run();
     if (r.oom) {
         std::printf("OOM: %s\n", r.oomDetail.c_str());
@@ -121,6 +136,13 @@ cmdTrain(const Args &args)
                 static_cast<unsigned long long>(r.iterations),
                 r.iterationSeconds * 1e3, 100 * r.syncApiFraction,
                 r.interGpuBytesPerIter / 1e6);
+    if (r.config.mode == core::ParallelismMode::ModelParallel &&
+        !r.stageParamBytes.empty()) {
+        std::printf("  stage weights (MB):");
+        for (sim::Bytes b : r.stageParamBytes)
+            std::printf(" %.1f", b / 1e6);
+        std::printf("\n");
+    }
     std::printf("  memory: pre %.2f GB, GPU0 %.2f GB, workers %.2f "
                 "GB\n",
                 r.gpu0.preTrainingGB(), r.gpu0.trainingGB(),
@@ -165,6 +187,9 @@ campaignSpecFromArgs(const Args &args)
     spec.methods.clear();
     for (const std::string &m : args.getList("method", {"p2p", "nccl"}))
         spec.methods.push_back(comm::parseCommMethod(m));
+    spec.modes.clear();
+    for (const std::string &m : args.getList("mode", {"sync_dp"}))
+        spec.modes.push_back(core::parseParallelismMode(m));
     return spec;
 }
 
@@ -245,17 +270,25 @@ cmdCheck(const Args &args)
     };
     if (args.has("model") || args.has("gpus") ||
         args.has("batches") || args.has("batch") ||
-        args.has("method")) {
+        args.has("method") || args.has("mode")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
             args.getIntList("batches", args.getIntList("batch", {}));
         const auto methods = args.getList("method", {});
+        std::vector<std::string> modes;
+        for (const std::string &m : args.getList("mode", {})) {
+            // Canonicalize aliases ("async" -> "async_ps") so the
+            // filter matches the serialized names.
+            modes.push_back(core::parallelismModeName(
+                core::parseParallelismMode(m)));
+        }
         std::erase_if(baseline, [&](const campaign::RunRecord &r) {
             return (!models.empty() && !contains(models, r.model)) ||
                    (!gpus.empty() && !contains(gpus, r.gpus)) ||
                    (!batches.empty() && !contains(batches, r.batch)) ||
-                   (!methods.empty() && !contains(methods, r.method));
+                   (!methods.empty() && !contains(methods, r.method)) ||
+                   (!modes.empty() && !contains(modes, r.mode));
         });
     }
     if (baseline.empty()) {
@@ -280,9 +313,36 @@ cmdSweep(const Args &args)
     // rendered as the classic p2p-vs-nccl table.
     campaign::CampaignSpec spec = campaignSpecFromArgs(args);
     spec.methods = {comm::CommMethod::P2P, comm::CommMethod::NCCL};
+    spec.modes = {core::parseParallelismMode(
+        args.get("mode", "sync_dp"))};
     const auto configs = spec.expand();
     const auto records = campaign::runCampaign(
         configs, args.getInt("jobs", campaign::defaultJobs()));
+    if (spec.modes.front() != core::ParallelismMode::SyncDp) {
+        // Non-sync strategies have no method axis: one record per
+        // (gpus, batch) cell, with the strategy's own headline metric.
+        const bool async =
+            spec.modes.front() == core::ParallelismMode::AsyncPs;
+        std::printf("sweep of %s (%s, 256K images):\n",
+                    spec.models.front().c_str(),
+                    core::parallelismModeName(spec.modes.front()));
+        TextTable table({"gpus", "batch", "epoch (s)",
+                         async ? "avg staleness" : "bubble %"});
+        for (const campaign::RunRecord &r : records) {
+            if (r.oom) {
+                table.addRow({std::to_string(r.gpus),
+                              std::to_string(r.batch), "OOM", "-"});
+                continue;
+            }
+            table.addRow(
+                {std::to_string(r.gpus), std::to_string(r.batch),
+                 TextTable::num(r.epochSeconds, 2),
+                 async ? TextTable::num(r.avgStaleness, 2)
+                       : TextTable::num(100 * r.bubbleFraction, 1)});
+        }
+        std::printf("%s", table.str().c_str());
+        return 0;
+    }
     std::printf("sweep of %s (256K images):\n",
                 spec.models.front().c_str());
     TextTable table({"gpus", "batch", "p2p epoch (s)", "nccl epoch (s)",
@@ -330,7 +390,7 @@ int
 cmdAdvise(const Args &args)
 {
     core::TrainConfig cfg = core::cli::configFromArgs(args);
-    const auto best = core::Trainer::maxBatchPerGpu(
+    const auto best = core::TrainerBase::maxBatchPerGpu(
         cfg, {16, 32, 64, 128, 256, 512});
     if (!best) {
         std::printf("%s does not fit on a 16 GB V100 at any batch "
@@ -339,6 +399,17 @@ cmdAdvise(const Args &args)
         return 1;
     }
     cfg.batchPerGpu = *best;
+    if (cfg.mode != core::ParallelismMode::SyncDp) {
+        // Non-sync strategies have no kvstore method to pick; the
+        // advice is the largest fitting batch.
+        const auto r = core::TrainerBase::simulate(cfg);
+        std::printf("%s on %d GPUs (%s): use batch %d per GPU "
+                    "(%.2fs/epoch)\n",
+                    cfg.model.c_str(), cfg.numGpus,
+                    core::parallelismModeName(cfg.mode), *best,
+                    r.epochSeconds);
+        return 0;
+    }
     cfg.method = comm::CommMethod::P2P;
     const auto p2p = core::Trainer::simulate(cfg);
     cfg.method = comm::CommMethod::NCCL;
@@ -353,26 +424,34 @@ cmdAdvise(const Args &args)
     return 0;
 }
 
+/**
+ * Deprecated `async` / `modelpar` subcommands: warn once and run the
+ * unified train path with the mode forced.
+ */
 int
-cmdAsync(const Args &args)
+cmdDeprecatedModeAlias(const std::string &command, const Args &args,
+                       core::ParallelismMode mode)
 {
-    const auto r = core::AsyncTrainer::simulate(
-        core::cli::configFromArgs(args));
+    const char *name = core::parallelismModeName(mode);
+    std::fprintf(stderr,
+                 "warning: 'dgxprof %s' is deprecated and will be "
+                 "removed in the next release; use 'dgxprof train "
+                 "--mode %s'\n",
+                 command.c_str(), name);
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    cfg.mode = mode;
+    const auto r = core::TrainerBase::make(cfg)->run();
+    if (r.oom) {
+        std::printf("OOM: %s\n", r.oomDetail.c_str());
+        return 1;
+    }
     std::printf("%s\n", r.oneLine().c_str());
-    return 0;
-}
-
-int
-cmdModelPar(const Args &args)
-{
-    const auto r = core::ModelParallelTrainer::simulate(
-        core::cli::configFromArgs(args),
-        args.getInt("microbatches", 0));
-    std::printf("%s\n", r.oneLine().c_str());
-    std::printf("  stage weights (MB):");
-    for (sim::Bytes b : r.stageParamBytes)
-        std::printf(" %.1f", b / 1e6);
-    std::printf("\n");
+    if (mode == core::ParallelismMode::ModelParallel) {
+        std::printf("  stage weights (MB):");
+        for (sim::Bytes b : r.stageParamBytes)
+            std::printf(" %.1f", b / 1e6);
+        std::printf("\n");
+    }
     return 0;
 }
 
@@ -456,10 +535,14 @@ main(int argc, char **argv)
             return cmdTopo();
         if (command == "advise")
             return cmdAdvise(args);
-        if (command == "async")
-            return cmdAsync(args);
-        if (command == "modelpar")
-            return cmdModelPar(args);
+        if (command == "async") {
+            return cmdDeprecatedModeAlias(
+                command, args, core::ParallelismMode::AsyncPs);
+        }
+        if (command == "modelpar" || command == "mp") {
+            return cmdDeprecatedModeAlias(
+                command, args, core::ParallelismMode::ModelParallel);
+        }
         if (command == "layers")
             return cmdLayers(args);
         if (command == "models")

@@ -1,9 +1,13 @@
 #!/bin/sh
-# Regenerate the committed golden baseline (results/baseline.json)
-# from the current simulator: the full paper grid — 5 networks x
-# {1,2,4,8} GPUs x {16,32,64} batch x {p2p,nccl} — serialized with
-# deterministic formatting so the diff against the old baseline is
-# reviewable like code.
+# Regenerate the committed golden baselines from the current
+# simulator:
+#   results/baseline.json       — the full sync paper grid: 5
+#       networks x {1,2,4,8} GPUs x {16,32,64} batch x {p2p,nccl}
+#   results/baseline_modes.json — a small async_ps + model_parallel
+#       grid (lenet,alexnet x {2,4} GPUs x b16 x p2p) gating the
+#       non-sync strategies
+# Both are serialized with deterministic formatting so the diff
+# against the old baseline is reviewable like code.
 #
 # Run this ONLY when a PR intentionally changes simulated numbers
 # (model recalibration, cost-model fixes); commit the refreshed file
@@ -28,3 +32,11 @@ fi
 
 count=$(grep -c '"model"' "$repo/results/baseline.json")
 echo "results/baseline.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet --gpus 2,4 --batches 16 --method p2p \
+    --mode async_ps,model_parallel \
+    --json "$repo/results/baseline_modes.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_modes.json")
+echo "results/baseline_modes.json refreshed ($count records)"
