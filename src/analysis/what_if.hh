@@ -1,0 +1,157 @@
+/**
+ * @file
+ * What-if projection engine: replay the causal DAG of a finished run
+ * under perturbed hardware/software parameters and project the new
+ * makespan — then *validate* the projection by re-running the full
+ * simulation with equivalently modified knobs and reporting the
+ * projection error.
+ *
+ * Three perturbation axes, matching ground-truth knobs that thread
+ * through the simulator:
+ *
+ *  - nvlink_bw (x):      NVLink-routed copies shrink by the factor;
+ *                        ground truth is TrainConfig::nvlinkBwScale
+ *                        (hw::Fabric::scaleNvlinkBandwidth).
+ *  - kernel_speedup (x): roofline-modeled kernels shrink by the
+ *                        factor; ground truth is
+ *                        hw::GpuSpec::speedupFactor.
+ *  - api_overhead (x):   host API busy portions scale by the factor
+ *                        (0 = free APIs); ground truth scales every
+ *                        modeled host cost (launch, dispatch, memcpy
+ *                        issue, NCCL setup/fixed, sync entry).
+ *
+ * The replay is slack-preserving: each node keeps its original gap
+ * over its latest-ending predecessor, so an all-ones perturbation
+ * reproduces the recorded schedule tick-exactly. Deviations from the
+ * re-simulated ground truth come from second-order effects the DAG
+ * cannot see (link contention shifts, different binding chains) and
+ * are what the reported error quantifies.
+ */
+
+#ifndef DGXSIM_ANALYSIS_WHAT_IF_HH
+#define DGXSIM_ANALYSIS_WHAT_IF_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hh"
+#include "core/report.hh"
+#include "core/train_config.hh"
+
+namespace dgxsim::analysis {
+
+/** Multiplicative perturbation of one what-if scenario. */
+struct WhatIfParams
+{
+    /** NVLink bandwidth multiplier (2.0 = twice the bandwidth). */
+    double nvlinkBw = 1.0;
+    /** Host-API overhead multiplier (0.0 = free API calls). */
+    double apiOverhead = 1.0;
+    /** Compute-kernel speedup divisor (1.5 = kernels 1.5x faster). */
+    double kernelSpeedup = 1.0;
+
+    /** @return true when the perturbation changes nothing. */
+    bool
+    identity() const
+    {
+        return nvlinkBw == 1.0 && apiOverhead == 1.0 &&
+               kernelSpeedup == 1.0;
+    }
+};
+
+/** One labeled scenario. */
+struct WhatIfCase
+{
+    std::string label;
+    WhatIfParams params;
+};
+
+/**
+ * Parse a comma-separated scenario list. Each element is `key=value`
+ * with key one of nvlink_bw / api_overhead / kernel_speedup, or the
+ * word `standard` which expands to the three canonical scenarios
+ * (nvlink_bw=2, api_overhead=0, kernel_speedup=1.5). Fatal on
+ * malformed input.
+ */
+std::vector<WhatIfCase> parseWhatIfSpecs(const std::string &spec);
+
+/** @return the three canonical validation scenarios. */
+std::vector<WhatIfCase> standardWhatIfs();
+
+/** Outcome of one scenario: projection, and optionally validation. */
+struct WhatIfResult
+{
+    std::string label;
+    WhatIfParams params;
+    /** Recorded makespan of the base run. */
+    sim::Tick baseMakespan = 0;
+    /** DAG-replay projection of the perturbed makespan. */
+    sim::Tick projectedMakespan = 0;
+    /** Epoch-seconds projection (scales the non-setup portion). */
+    double projectedEpochSeconds = 0;
+    /** True when the ground-truth re-simulation ran. */
+    bool validated = false;
+    /** Makespan of the ground-truth re-simulation. */
+    sim::Tick actualMakespan = 0;
+    /** Epoch seconds reported by the ground-truth re-simulation. */
+    double actualEpochSeconds = 0;
+    /** |projected - actual| / actual (0 when not validated). */
+    double errorFraction = 0;
+};
+
+/** Replays a Dag under perturbed parameters. */
+class WhatIf
+{
+  public:
+    /**
+     * @param dag  the causal DAG of the finished base run (must
+     *             outlive this object),
+     * @param cfg  the configuration that produced it (copied; used
+     *             to derive validation configs),
+     * @param base the base run's report (for epoch projection).
+     */
+    WhatIf(const Dag &dag, const core::TrainConfig &cfg,
+           const core::TrainReport &base);
+
+    /**
+     * Slack-preserving forward replay: project the makespan under
+     * @p params. Identity parameters reproduce the base makespan
+     * exactly.
+     */
+    sim::Tick project(const WhatIfParams &params) const;
+
+    /**
+     * Project one scenario; when @p validate, also re-simulate with
+     * the equivalent ground-truth knobs and fill the error fields.
+     */
+    WhatIfResult evaluate(const WhatIfCase &c, bool validate) const;
+
+    /**
+     * @return @p cfg with the ground-truth knobs of @p params
+     * applied (speedupFactor, nvlinkBwScale, and every modeled host
+     * API cost for apiOverhead).
+     */
+    static core::TrainConfig modifiedConfig(core::TrainConfig cfg,
+                                            const WhatIfParams &params);
+
+    /** Render results as an aligned text table. */
+    static std::string report(const std::vector<WhatIfResult> &results);
+
+  private:
+    const Dag &dag_;
+    core::TrainConfig cfg_;
+    core::TrainReport base_;
+};
+
+/**
+ * Deterministic JSON rendering of a full analysis: attribution,
+ * per-device and top-k breakdowns, and what-if results. Doubles are
+ * printed with %.17g, so two identical runs render byte-identically.
+ */
+std::string analysisJson(const Dag &dag, const Attribution &attr,
+                         const std::vector<WhatIfResult> &results,
+                         std::size_t top_k = 10);
+
+} // namespace dgxsim::analysis
+
+#endif // DGXSIM_ANALYSIS_WHAT_IF_HH

@@ -51,14 +51,15 @@ configKey(const core::TrainConfig &cfg)
     // Every field that can steer the simulation from the CLI or a
     // campaign spec participates; two configs with equal keys must
     // produce equal reports. %.17g keeps doubles exact.
-    char buf[576];
+    char buf[704];
     std::snprintf(
         buf, sizeof(buf),
         "%s|g%d|b%d|m%d|pm%d|ub%d|ai%d|i%" PRIu64
         "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
         "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
         "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
-        "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g",
+        "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
+        "|wi:%.17g,%.17g,%.17g",
         cfg.model.c_str(), cfg.numGpus, cfg.batchPerGpu,
         static_cast<int>(cfg.method), static_cast<int>(cfg.mode),
         cfg.microbatches, cfg.asyncItersPerWorker, cfg.datasetImages,
@@ -76,7 +77,10 @@ configKey(const core::TrainConfig &cfg)
         cfg.memoryModel.workspaceFactor,
         cfg.memoryModel.cudnnPoolMBPerConv,
         cfg.memoryModel.rootCommFactor,
-        cfg.memoryModel.datasetBuffers);
+        cfg.memoryModel.datasetBuffers,
+        // What-if ablation knobs (analysis::WhatIf ground truth).
+        cfg.gpuSpec.speedupFactor, cfg.nvlinkBwScale,
+        cfg.syncEntryUs);
     return buf;
 }
 

@@ -216,6 +216,16 @@ recordsToJson(const std::vector<RunRecord> &records)
             out += "\"bubble_fraction\": " +
                    fmtDouble(r.bubbleFraction) + ",\n     ";
         }
+        if (r.hasAnalysis) {
+            out += "\"cp_compute_s\": " +
+                   fmtDouble(r.cpComputeSeconds) + ", ";
+            out += "\"cp_comm_s\": " + fmtDouble(r.cpCommSeconds) +
+                   ", ";
+            out += "\"cp_api_s\": " + fmtDouble(r.cpApiSeconds) +
+                   ", ";
+            out += "\"cp_idle_s\": " + fmtDouble(r.cpIdleSeconds) +
+                   ",\n     ";
+        }
         out += "\"mem_pre_bytes\": " + fmtU64(r.preTrainingBytes) +
                ", ";
         out += "\"mem_gpu0_bytes\": " + fmtU64(r.gpu0TrainingBytes) +
@@ -270,6 +280,13 @@ recordsFromJson(const std::string &text)
             r.microbatches = static_cast<int>(u->asNumber());
         if (const JsonValue *bf = v.find("bubble_fraction"))
             r.bubbleFraction = bf->asNumber();
+        if (const JsonValue *cp = v.find("cp_compute_s")) {
+            r.hasAnalysis = true;
+            r.cpComputeSeconds = cp->asNumber();
+            r.cpCommSeconds = v.numberAt("cp_comm_s");
+            r.cpApiSeconds = v.numberAt("cp_api_s");
+            r.cpIdleSeconds = v.numberAt("cp_idle_s");
+        }
         records.push_back(std::move(r));
     }
     return records;

@@ -73,6 +73,17 @@ struct RunRecord
     int microbatches = 0;
     double bubbleFraction = 0;
 
+    // --- critical-path analysis (analysis::Dag), attached only when
+    // analysis was requested so plain campaign baselines stay
+    // byte-identical ---
+    bool hasAnalysis = false;
+    /** Critical-path attribution of the measured window (seconds);
+     * the four categories sum to the window makespan. */
+    double cpComputeSeconds = 0;
+    double cpCommSeconds = 0;
+    double cpApiSeconds = 0;
+    double cpIdleSeconds = 0;
+
     /**
      * @return "model x gpus b batch method" — the identity of the
      * configuration, used to match baseline and fresh records.

@@ -26,7 +26,9 @@ Communicator::Communicator(CommContext ctx, CommConfig cfg)
 void
 Communicator::enqueue(OpKind kind, sim::Bytes bytes, Callback done)
 {
-    ops_.push_back(Op{kind, bytes, std::move(done)});
+    profiling::CauseToken cause =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+    ops_.push_back(Op{kind, bytes, std::move(done), std::move(cause)});
     pump();
 }
 
@@ -100,6 +102,8 @@ Communicator::pump()
                     done();
                 notifyIfIdle();
             };
+            profiling::CauseScope scope(ctx_.profiler,
+                                        std::move(op.cause));
             dispatch(op.kind, op.bytes, std::move(finish));
         }
         return;
@@ -112,6 +116,7 @@ Communicator::pump()
     auto finish = [this, done = std::move(op.done)]() mutable {
         opDone(std::move(done));
     };
+    profiling::CauseScope scope(ctx_.profiler, std::move(op.cause));
     dispatch(op.kind, op.bytes, std::move(finish));
 }
 
@@ -143,16 +148,34 @@ Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
     const sim::Tick dur = cuda::kernelDuration(
         ctx_.gpuSpec, cuda::KernelCost{flops, bytes, false});
     const sim::Tick start = ctx_.queue->now();
+    // The ambient cause at issue time (the collective's dispatch
+    // cause, or the copy that delivered this kernel's input) is the
+    // kernel's causal parent.
+    profiling::CauseToken issue =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
     ctx_.queue->scheduleAfter(
         dur, [this, kernel_name, gpu, start, dur,
-              done = std::move(done)]() {
+              issue = std::move(issue), done = std::move(done)]() {
             if (ctx_.profiler) {
+                std::vector<profiling::RecordId> deps;
+                const profiling::RecordId cause =
+                    profiling::resolveCause(issue);
+                if (cause != profiling::kNoRecord)
+                    deps.push_back(cause);
                 // All runKernel call sites serialize per device (the
                 // op queue for the parameter server, the local/all-
                 // reduce gates for NCCL), so one lane per device
                 // suffices for the audit.
-                ctx_.profiler->recordKernel(kernel_name, gpu, start,
-                                            start + dur, "comm");
+                const profiling::RecordId id =
+                    ctx_.profiler->recordKernel(kernel_name, gpu,
+                                                start, start + dur,
+                                                "comm",
+                                                std::move(deps));
+                profiling::CauseScope scope(ctx_.profiler,
+                                            profiling::makeCause(id));
+                if (done)
+                    done();
+                return;
             }
             if (done)
                 done();

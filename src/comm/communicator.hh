@@ -177,6 +177,12 @@ class Communicator
         OpKind kind;
         sim::Bytes bytes;
         Callback done;
+        /**
+         * Ambient cause at enqueue time — the kvstore API call that
+         * issued the collective. The op is dispatched under this
+         * cause so the implementation's first hops inherit it.
+         */
+        profiling::CauseToken cause;
     };
 
     void enqueue(OpKind kind, sim::Bytes bytes, Callback done);

@@ -58,6 +58,8 @@ struct RingPassState
     bool accumulate = false;
     int remaining = 0;
     std::function<void()> done;
+    /** Cause of the collective (the issuing kvstore API). */
+    profiling::CauseToken opCause;
 };
 
 } // namespace
@@ -79,6 +81,8 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
     state->accumulate = accumulate;
     state->remaining = nchunks;
     state->done = std::move(done);
+    state->opCause =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
     const sim::Bytes base = bytes / nchunks;
     for (int c = 0; c < nchunks; ++c) {
         state->chunkBytes.push_back(
@@ -103,14 +107,19 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
     // live in the in-flight callbacks — so the recursion frees
     // itself once the last chunk lands instead of leaking a
     // shared_ptr cycle.
-    using AdvanceFn = std::function<void(int, std::size_t)>;
+    // Each (chunk, hop) chains copy -> hop kernel -> next hop; @p prev
+    // is the previous hop's kernel record, the copy's causal parent
+    // (hop 0 descends from the issuing collective instead).
+    using AdvanceFn =
+        std::function<void(int, std::size_t, profiling::RecordId)>;
     auto advance = std::make_shared<AdvanceFn>();
     *advance = [this, state, gates, hop_kernel_ticks,
                 weak = std::weak_ptr<AdvanceFn>(advance)](
-                   int chunk, std::size_t hop) {
+                   int chunk, std::size_t hop,
+                   profiling::RecordId prev) {
         auto self = weak.lock();
         (*gates)[hop].acquire([this, state, gates, self,
-                               hop_kernel_ticks, chunk, hop]() {
+                               hop_kernel_ticks, chunk, hop, prev]() {
             const hw::NodeId src = state->path[hop];
             const hw::NodeId dst = state->path[hop + 1];
             const sim::Bytes cbytes = state->chunkBytes[chunk];
@@ -123,14 +132,24 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
             ctx_.fabric->transfer(
                 src, dst, wire_bytes,
                 [this, state, gates, self, hop_kernel_ticks, chunk,
-                 hop, src, dst, cbytes, wire_bytes, start]() {
+                 hop, src, dst, cbytes, wire_bytes, start, prev]() {
+                    profiling::RecordId copy_id = profiling::kNoRecord;
                     if (ctx_.profiler) {
+                        std::vector<profiling::RecordId> deps;
+                        if (prev != profiling::kNoRecord) {
+                            deps.push_back(prev);
+                        } else {
+                            const profiling::RecordId cause =
+                                profiling::resolveCause(state->opCause);
+                            if (cause != profiling::kNoRecord)
+                                deps.push_back(cause);
+                        }
                         // Payload bytes plus the wire bytes that set
                         // the duration, so rate math stays honest.
-                        ctx_.profiler->recordCopy("NCCL", src, dst,
-                                                  cbytes, start,
-                                                  ctx_.queue->now(),
-                                                  wire_bytes);
+                        copy_id = ctx_.profiler->recordCopy(
+                            "NCCL", src, dst, cbytes, start,
+                            ctx_.queue->now(), wire_bytes,
+                            std::move(deps));
                     }
                     const sim::Tick kdur =
                         hop_kernel_ticks(state->accumulate, cbytes);
@@ -138,20 +157,33 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
                     ctx_.queue->scheduleAfter(
                         kdur,
                         [this, state, gates, self, chunk, hop, dst,
-                         kstart, kdur]() {
+                         kstart, kdur, copy_id]() {
+                            profiling::RecordId kid =
+                                profiling::kNoRecord;
                             if (ctx_.profiler) {
+                                std::vector<profiling::RecordId> deps;
+                                if (copy_id != profiling::kNoRecord)
+                                    deps.push_back(copy_id);
                                 // Kernels behind one hop gate
                                 // serialize; lane+hop names that
                                 // ordering domain for the audit.
-                                ctx_.profiler->recordKernel(
+                                kid = ctx_.profiler->recordKernel(
                                     state->kernelName, dst, kstart,
                                     kstart + kdur,
                                     state->lane + ".h" +
-                                        std::to_string(hop));
+                                        std::to_string(hop),
+                                    std::move(deps));
                             }
+                            // Continue (and finish) under this hop's
+                            // kernel as ambient cause.
+                            profiling::CauseScope scope(
+                                kid == profiling::kNoRecord
+                                    ? nullptr
+                                    : ctx_.profiler,
+                                profiling::makeCause(kid));
                             (*gates)[hop].release();
                             if (hop + 1 < state->path.size() - 1) {
-                                (*self)(chunk, hop + 1);
+                                (*self)(chunk, hop + 1, kid);
                             } else if (--state->remaining == 0) {
                                 state->done();
                             }
@@ -161,7 +193,7 @@ NcclCommunicator::ringPass(const std::vector<hw::NodeId> &path,
     };
 
     for (int c = 0; c < nchunks; ++c)
-        (*advance)(c, 0);
+        (*advance)(c, 0, profiling::kNoRecord);
 }
 
 void
@@ -172,8 +204,14 @@ NcclCommunicator::doReduce(sim::Bytes bytes, Callback done)
         // stream: the code path differs from P2P even on one GPU
         // (Table II).
         auto gate = localGate_;
-        (*gate)[0].acquire([this, gate, bytes,
+        profiling::CauseToken cause =
+            ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+        (*gate)[0].acquire([this, gate, bytes, cause = std::move(cause),
                             done = std::move(done)]() mutable {
+            // Re-establish the issuing collective's cause: the gate
+            // may run this after an unrelated op's completion.
+            profiling::CauseScope scope(ctx_.profiler,
+                                        std::move(cause));
             runKernel("ncclReduceKernel", ring_[0], bytes / 4.0,
                       2.0 * bytes,
                       [gate, done = std::move(done)]() mutable {
@@ -216,8 +254,12 @@ NcclCommunicator::doBroadcast(sim::Bytes bytes, Callback done)
 {
     if (ring_.size() == 1) {
         auto gate = localGate_;
-        (*gate)[0].acquire([this, gate, bytes,
+        profiling::CauseToken cause =
+            ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+        (*gate)[0].acquire([this, gate, bytes, cause = std::move(cause),
                             done = std::move(done)]() mutable {
+            profiling::CauseScope scope(ctx_.profiler,
+                                        std::move(cause));
             runKernel("ncclBroadcastKernel", ring_[0], 0.0, 2.0 * bytes,
                       [gate, done = std::move(done)]() mutable {
                           (*gate)[0].release();
@@ -249,8 +291,12 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
 {
     if (ring_.size() == 1) {
         auto gate = localGate_;
-        (*gate)[0].acquire([this, gate, bytes,
+        profiling::CauseToken cause =
+            ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+        (*gate)[0].acquire([this, gate, bytes, cause = std::move(cause),
                             done = std::move(done)]() mutable {
+            profiling::CauseScope scope(ctx_.profiler,
+                                        std::move(cause));
             runKernel("ncclAllReduceKernel", ring_[0], bytes / 4.0,
                       2.0 * bytes,
                       [gate, done = std::move(done)]() mutable {
@@ -272,12 +318,18 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
         int pendingHops = 0;
         sim::Bytes shard = 0;
         Callback done;
+        /** Cause of the collective (the issuing kvstore API). */
+        profiling::CauseToken opCause;
+        /** Last-landing kernel of the previous lock step. */
+        profiling::RecordId prevStep = profiling::kNoRecord;
     };
     const int n = static_cast<int>(ring_.size());
     auto state = std::make_shared<ArState>();
     state->totalSteps = 2 * (n - 1);
     state->shard = (bytes + n - 1) / n;
     state->done = std::move(done);
+    state->opCause =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
 
     auto gate = allReduceGate_;
     // Weak self-reference for the same reason as ringPass's advance:
@@ -307,10 +359,23 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
                 src, dst, wire,
                 [this, state, self, reduce_phase, src, dst, wire,
                  start]() {
+                    profiling::RecordId copy_id = profiling::kNoRecord;
                     if (ctx_.profiler) {
-                        ctx_.profiler->recordCopy(
+                        // Each lock step waits for the whole previous
+                        // step; its last kernel (or the issuing API
+                        // for step 1) is the binding causal parent.
+                        std::vector<profiling::RecordId> deps;
+                        if (state->prevStep != profiling::kNoRecord) {
+                            deps.push_back(state->prevStep);
+                        } else {
+                            const profiling::RecordId cause =
+                                profiling::resolveCause(state->opCause);
+                            if (cause != profiling::kNoRecord)
+                                deps.push_back(cause);
+                        }
+                        copy_id = ctx_.profiler->recordCopy(
                             "NCCL", src, dst, state->shard, start,
-                            ctx_.queue->now(), wire);
+                            ctx_.queue->now(), wire, std::move(deps));
                     }
                     const double membytes =
                         (reduce_phase ? 3.0 : 2.0) *
@@ -322,20 +387,34 @@ NcclCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
                         sim::usToTicks(cfg_.ringHopLatencyUs);
                     const sim::Tick kstart = ctx_.queue->now();
                     ctx_.queue->scheduleAfter(
-                        kdur, [this, state, self, dst, kstart,
-                               kdur]() {
+                        kdur, [this, state, self, dst, kstart, kdur,
+                               copy_id]() {
+                            profiling::RecordId kid =
+                                profiling::kNoRecord;
                             if (ctx_.profiler) {
+                                std::vector<profiling::RecordId> deps;
+                                if (copy_id != profiling::kNoRecord)
+                                    deps.push_back(copy_id);
                                 // All-reduce steps serialize on the
                                 // collective-wide gate; each GPU sees
                                 // one kernel per step, so a per-GPU
                                 // lane is ordered.
-                                ctx_.profiler->recordKernel(
+                                kid = ctx_.profiler->recordKernel(
                                     "ncclAllReduceKernel", dst,
-                                    kstart, kstart + kdur,
-                                    "nccl.ar");
+                                    kstart, kstart + kdur, "nccl.ar",
+                                    std::move(deps));
                             }
-                            if (--state->pendingHops == 0)
+                            if (--state->pendingHops == 0) {
+                                // This kernel gates the next step
+                                // (and the collective's completion).
+                                state->prevStep = kid;
+                                profiling::CauseScope scope(
+                                    kid == profiling::kNoRecord
+                                        ? nullptr
+                                        : ctx_.profiler,
+                                    profiling::makeCause(kid));
                                 (*self)();
+                            }
                         });
                 });
         }

@@ -39,19 +39,36 @@ P2pParameterServer::reduceLevel(sim::Bytes bytes, std::size_t stride,
         return;
     }
 
+    // Ambient at this point: the issuing kvstore API for level 1, or
+    // the previous level's last gradAccumulate kernel — either way
+    // the causal parent of this level's copies.
+    profiling::CauseToken cause =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
     for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
         const hw::NodeId dst = ctx_.gpus[i];
         const hw::NodeId src = ctx_.gpus[i + stride];
         const sim::Tick start = ctx_.queue->now();
         ctx_.fabric->transfer(
             src, dst, bytes,
-            [this, src, dst, bytes, start, level_done]() {
+            [this, src, dst, bytes, start, cause, level_done]() {
+                profiling::RecordId copy_id = profiling::kNoRecord;
                 if (ctx_.profiler) {
-                    ctx_.profiler->recordCopy("PtoP", src, dst, bytes,
-                                              start, ctx_.queue->now());
+                    std::vector<profiling::RecordId> deps;
+                    const profiling::RecordId c =
+                        profiling::resolveCause(cause);
+                    if (c != profiling::kNoRecord)
+                        deps.push_back(c);
+                    copy_id = ctx_.profiler->recordCopy(
+                        "PtoP", src, dst, bytes, start,
+                        ctx_.queue->now(), 0, std::move(deps));
                 }
                 // Accumulate the received gradients into dst's buffer:
-                // read two arrays, write one (memory bound).
+                // read two arrays, write one (memory bound); the copy
+                // that delivered the operand is its causal parent.
+                profiling::CauseScope scope(
+                    copy_id == profiling::kNoRecord ? nullptr
+                                                    : ctx_.profiler,
+                    profiling::makeCause(copy_id));
                 runKernel("gradAccumulate", dst, bytes / 4.0,
                           3.0 * bytes, level_done);
             });
@@ -63,8 +80,17 @@ P2pParameterServer::doReduce(sim::Bytes bytes, Callback done)
 {
     if (ctx_.gpus.size() == 1) {
         // Single GPU: gradients are already in place; no copies and
-        // no extra kernels (the P2P baseline of Table II).
-        ctx_.queue->scheduleAfter(0, std::move(done));
+        // no extra kernels (the P2P baseline of Table II). Preserve
+        // the issuing cause across the deferred completion.
+        profiling::CauseToken cause =
+            ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+        ctx_.queue->scheduleAfter(
+            0, [this, cause = std::move(cause),
+                done = std::move(done)]() mutable {
+                profiling::CauseScope scope(ctx_.profiler,
+                                            std::move(cause));
+                done();
+            });
         return;
     }
     reduceLevel(bytes, 1, std::move(done));
@@ -75,7 +101,15 @@ P2pParameterServer::doBroadcast(sim::Bytes bytes, Callback done)
 {
     const std::size_t n = ctx_.gpus.size();
     if (n == 1) {
-        ctx_.queue->scheduleAfter(0, std::move(done));
+        profiling::CauseToken cause =
+            ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
+        ctx_.queue->scheduleAfter(
+            0, [this, cause = std::move(cause),
+                done = std::move(done)]() mutable {
+                profiling::CauseScope scope(ctx_.profiler,
+                                            std::move(cause));
+                done();
+            });
         return;
     }
     // Flat fan-out: the server pushes the updated weights to every
@@ -88,17 +122,33 @@ P2pParameterServer::doBroadcast(sim::Bytes bytes, Callback done)
         if (--*pending == 0)
             done();
     };
+    profiling::CauseToken cause =
+        ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
     for (std::size_t i = 1; i < n; ++i) {
         const hw::NodeId src = ctx_.gpus[0];
         const hw::NodeId dst = ctx_.gpus[i];
         const sim::Tick start = ctx_.queue->now();
         ctx_.fabric->transfer(
             src, dst, bytes,
-            [this, src, dst, bytes, start, fanout_done]() mutable {
+            [this, src, dst, bytes, start, cause,
+             fanout_done]() mutable {
+                profiling::RecordId copy_id = profiling::kNoRecord;
                 if (ctx_.profiler) {
-                    ctx_.profiler->recordCopy("PtoP", src, dst, bytes,
-                                              start, ctx_.queue->now());
+                    std::vector<profiling::RecordId> deps;
+                    const profiling::RecordId c =
+                        profiling::resolveCause(cause);
+                    if (c != profiling::kNoRecord)
+                        deps.push_back(c);
+                    copy_id = ctx_.profiler->recordCopy(
+                        "PtoP", src, dst, bytes, start,
+                        ctx_.queue->now(), 0, std::move(deps));
                 }
+                // The barrier (and with it the broadcast completion)
+                // descends from the copy that released it.
+                profiling::CauseScope scope(
+                    copy_id == profiling::kNoRecord ? nullptr
+                                                    : ctx_.profiler,
+                    profiling::makeCause(copy_id));
                 fanout_done();
             });
     }

@@ -32,6 +32,12 @@ Machine::Machine(const TrainConfig &cfg, hw::Topology topo)
     if (cfg_.datasetImages == 0)
         sim::fatal("datasetImages must be positive");
 
+    // What-if ablation: widen (or narrow) every NVLink before any
+    // traffic flows. Guarded so default configs keep the untouched
+    // fabric object graph (and byte-identical baselines).
+    if (cfg_.nvlinkBwScale != 1.0)
+        fabric_->scaleNvlinkBandwidth(cfg_.nvlinkBwScale);
+
     gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
     for (hw::NodeId gpu : gpus_) {
         devices_.push_back(

@@ -131,6 +131,18 @@ struct TrainConfig
      * DGXSIM_AUDIT environment variable or commConfig.audit.
      */
     bool audit = false;
+    /**
+     * What-if ablation knob: scale the bandwidth of every NVLink in
+     * the fabric by this factor before the run (analysis::WhatIf
+     * "nvlink_bw" ground truth). 1.0 leaves the fabric untouched.
+     */
+    double nvlinkBwScale = 1.0;
+    /**
+     * Host entry overhead of the iteration-end cudaStreamSynchronize
+     * (us). Exposed so the analysis engine's "api_overhead" what-if
+     * can scale it like every other modeled API cost.
+     */
+    double syncEntryUs = 2.0;
     /** GPU model (swap for pascalP100() in ablations). */
     hw::GpuSpec gpuSpec = hw::GpuSpec::voltaV100();
     /** Communication tunables. */

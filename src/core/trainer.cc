@@ -101,12 +101,21 @@ Trainer::issueWorker(std::size_t g)
                     }
                     if (host < 0)
                         return; // no host path modeled
+                    // The issuing cudaMemcpyAsync record is the copy's
+                    // causal parent (host->device issue edge).
+                    auto issue = machine_.profiler().currentCause();
                     machine_.fabric().transfer(
                         host, gpu, batch_bytes,
-                        [this, gpu, batch_bytes, start]() {
+                        [this, gpu, batch_bytes, start, issue]() {
+                            std::vector<profiling::RecordId> deps;
+                            const profiling::RecordId id =
+                                profiling::resolveCause(issue);
+                            if (id != profiling::kNoRecord)
+                                deps.push_back(id);
                             machine_.profiler().recordCopy(
                                 "HtoD", -1, gpu, batch_bytes, start,
-                                machine_.queue().now());
+                                machine_.queue().now(), 0,
+                                std::move(deps));
                         });
                 });
 
@@ -127,7 +136,7 @@ Trainer::issueWorker(std::size_t g)
     // to the sync API (paper Table III).
     worker.waitStream(stream);
     worker.post([this, g]() { onWorkerBpDone(g); });
-    worker.syncEvent(barrier_, sim::usToTicks(2.0),
+    worker.syncEvent(barrier_, sim::usToTicks(cfg_.syncEntryUs),
                      "cudaStreamSynchronize");
     worker.post([this, g]() { onWorkerIterationDone(g); });
 }

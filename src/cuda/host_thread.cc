@@ -11,6 +11,13 @@ HostThread::HostThread(sim::EventQueue &queue,
 }
 
 void
+HostThread::captureEnqueueCause(Item &item) const
+{
+    if (profiler_)
+        item.enqueueCause = profiler_->currentCause();
+}
+
+void
 HostThread::call(std::string api, sim::Tick overhead,
                  std::function<void()> action)
 {
@@ -18,6 +25,7 @@ HostThread::call(std::string api, sim::Tick overhead,
     item.api = std::move(api);
     item.overhead = overhead;
     item.action = std::move(action);
+    captureEnqueueCause(item);
     work_.push_back(std::move(item));
     pump();
 }
@@ -30,6 +38,7 @@ HostThread::syncStream(Stream &stream, sim::Tick overhead, std::string api)
     item.overhead = overhead;
     item.stream = &stream;
     item.blocking = true;
+    captureEnqueueCause(item);
     work_.push_back(std::move(item));
     pump();
 }
@@ -43,6 +52,7 @@ HostThread::syncEvent(std::shared_ptr<CudaEvent> event, sim::Tick overhead,
     item.overhead = overhead;
     item.event = std::move(event);
     item.blocking = true;
+    captureEnqueueCause(item);
     work_.push_back(std::move(item));
     pump();
 }
@@ -79,15 +89,8 @@ HostThread::onIdle(std::function<void()> fn)
 }
 
 void
-HostThread::finishItem(const std::string &api, sim::Tick start,
-                       bool is_api)
+HostThread::continueThread()
 {
-    if (is_api) {
-        const sim::Tick end = queue_.now();
-        apiBusy_ += end - start;
-        if (profiler_)
-            profiler_->recordApi(api, name_, start, end);
-    }
     running_ = false;
     pump();
     if (idle() && !idleWaiters_.empty()) {
@@ -96,6 +99,45 @@ HostThread::finishItem(const std::string &api, sim::Tick start,
         for (auto &w : waiters)
             w();
     }
+}
+
+void
+HostThread::finishControl()
+{
+    // Non-API items continue under the ambient cause of whoever
+    // resumed them (e.g. a drained stream's last kernel), so control
+    // chains like waitStream -> post propagate causality.
+    continueThread();
+}
+
+void
+HostThread::finishApi(std::string api, sim::Tick start, sim::Tick overhead,
+                      bool blocking,
+                      const profiling::CauseToken &enqueue_cause,
+                      const profiling::CauseToken &issue_token,
+                      std::vector<profiling::RecordId> end_deps)
+{
+    const sim::Tick end = queue_.now();
+    apiBusy_ += end - start;
+    profiling::RecordId id = profiling::kNoRecord;
+    if (profiler_) {
+        std::vector<profiling::RecordId> deps = std::move(end_deps);
+        if (lastApiId_ != profiling::kNoRecord)
+            deps.push_back(lastApiId_);
+        const profiling::RecordId enq =
+            profiling::resolveCause(enqueue_cause);
+        if (enq != profiling::kNoRecord)
+            deps.push_back(enq);
+        id = profiler_->recordApi(std::move(api), name_, start, end,
+                                  overhead, blocking, std::move(deps));
+        lastApiId_ = id;
+        if (issue_token)
+            *issue_token = id;
+    }
+    profiling::CauseScope scope(id == profiling::kNoRecord ? nullptr
+                                                           : profiler_,
+                                profiling::makeCause(id));
+    continueThread();
 }
 
 void
@@ -113,25 +155,45 @@ HostThread::pump()
         if (item.blocking && item.stream) {
             // Engine-side dependency wait: blocks the thread but is
             // not a CUDA API call, so no API time is recorded.
-            item.stream->notifyDrained(
-                [this, start]() { finishItem("", start, false); });
+            item.stream->notifyDrained([this]() { finishControl(); });
             return;
         }
         // Pure control action: zero simulated cost.
         if (item.action)
             item.action();
-        finishItem("", start, false);
+        finishControl();
         return;
+    }
+
+    // Whoever's completion let this item start executing *now* (e.g.
+    // the kernel that drained the waitStream preceding a sync call)
+    // determines the API's start time; record it as a dependency so
+    // the analysis replay can move the start when that chain moves.
+    std::vector<profiling::RecordId> issue_deps;
+    if (profiler_) {
+        const profiling::RecordId c = profiler_->currentCauseId();
+        if (c != profiling::kNoRecord)
+            issue_deps.push_back(c);
     }
 
     if (!item.blocking) {
         queue_.scheduleAfter(
             item.overhead,
             [this, start, api = std::move(item.api),
-             action = std::move(item.action)]() mutable {
-                if (action)
+             action = std::move(item.action),
+             overhead = item.overhead,
+             issue_deps = std::move(issue_deps),
+             enq = std::move(item.enqueueCause)]() mutable {
+                // Ops the action enqueues capture this token as their
+                // issue cause; it resolves once the record lands.
+                profiling::CauseToken token =
+                    profiling::makeCause(profiling::kNoRecord);
+                if (action) {
+                    profiling::CauseScope scope(profiler_, token);
                     action();
-                finishItem(api, start, true);
+                }
+                finishApi(std::move(api), start, overhead, false, enq,
+                          token, std::move(issue_deps));
             });
         return;
     }
@@ -141,14 +203,28 @@ HostThread::pump()
     queue_.scheduleAfter(
         item.overhead,
         [this, start, api = std::move(item.api), stream = item.stream,
-         event = std::move(item.event)]() mutable {
-            auto resume = [this, start, api]() {
-                finishItem(api, start, true);
+         event = std::move(item.event), overhead = item.overhead,
+         issue_deps = std::move(issue_deps),
+         enq = std::move(item.enqueueCause)]() mutable {
+            auto resume = [this, start, api = std::move(api), overhead,
+                           deps = std::move(issue_deps),
+                           enq = std::move(enq)]() mutable {
+                // The ambient cause is whoever completed the awaited
+                // work — an end-dependency: it may end after this
+                // call started (that wait is the blocked time).
+                if (profiler_) {
+                    const profiling::RecordId c =
+                        profiler_->currentCauseId();
+                    if (c != profiling::kNoRecord)
+                        deps.push_back(c);
+                }
+                finishApi(std::move(api), start, overhead, true, enq,
+                          nullptr, std::move(deps));
             };
             if (stream)
-                stream->notifyDrained(resume);
+                stream->notifyDrained(std::move(resume));
             else if (event)
-                event->onSignal(resume);
+                event->onSignal(std::move(resume));
             else
                 resume();
         });

@@ -89,10 +89,40 @@ class HostThread
         std::shared_ptr<CudaEvent> event;
         bool blocking = false;
         bool isApi = true;
+        /**
+         * Ambient cause when the item was enqueued — e.g. the engine
+         * dispatch API that scheduled this worker call, or the kernel
+         * whose completion callback pushed a comm op.
+         */
+        profiling::CauseToken enqueueCause;
     };
 
     void pump();
-    void finishItem(const std::string &api, sim::Tick start, bool is_api);
+
+    /** Capture the ambient cause into @p item (when profiled). */
+    void captureEnqueueCause(Item &item) const;
+
+    /**
+     * Land an API record and continue the thread under its cause.
+     * @param overhead Fixed host-occupancy portion of the call.
+     * @param blocking Whether the call stalled on device work.
+     * @param enqueue_cause The item's enqueue-time cause.
+     * @param issue_token Late-bound token handed to the call's action;
+     *        filled with the new record id (may be null).
+     * @param end_deps Causes of the work a blocking call waited on
+     *        (they end when the call ends, not when it starts).
+     */
+    void finishApi(std::string api, sim::Tick start, sim::Tick overhead,
+                   bool blocking,
+                   const profiling::CauseToken &enqueue_cause,
+                   const profiling::CauseToken &issue_token,
+                   std::vector<profiling::RecordId> end_deps);
+
+    /** Continue after a non-API item (keeps the ambient cause). */
+    void finishControl();
+
+    /** pump() again and fire idle waiters; caller sets the cause. */
+    void continueThread();
 
     sim::EventQueue &queue_;
     profiling::Profiler *profiler_;
@@ -101,6 +131,8 @@ class HostThread
     bool running_ = false;
     sim::Tick apiBusy_ = 0;
     std::vector<std::function<void()>> idleWaiters_;
+    /** Last API record on this thread (program-order edge). */
+    profiling::RecordId lastApiId_ = profiling::kNoRecord;
 };
 
 } // namespace dgxsim::cuda

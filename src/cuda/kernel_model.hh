@@ -34,12 +34,26 @@ struct KernelCost
  * @return the device-side duration of a kernel with cost @p cost on a
  * GPU described by @p spec.
  */
+/**
+ * Apply GpuSpec::speedupFactor to a modeled duration. Guarded so the
+ * default factor of 1.0 returns @p base untouched (bit-exact with the
+ * unscaled model — the committed baselines depend on it).
+ */
+inline sim::Tick
+applySpeedup(const hw::GpuSpec &spec, sim::Tick base)
+{
+    if (spec.speedupFactor == 1.0)
+        return base;
+    return static_cast<sim::Tick>(static_cast<double>(base) /
+                                  spec.speedupFactor);
+}
+
 inline sim::Tick
 kernelDuration(const hw::GpuSpec &spec, const KernelCost &cost)
 {
     const sim::Tick tail = sim::usToTicks(spec.kernelTailUs);
     if (cost.flops <= 0 && cost.bytes <= 0)
-        return tail;
+        return applySpeedup(spec, tail);
 
     const double peak_now = spec.peakFlopsPerTick(cost.tensorOk);
     const double peak_fp32 = spec.peakFlopsPerTick(false);
@@ -58,7 +72,8 @@ kernelDuration(const hw::GpuSpec &spec, const KernelCost &cost)
     if (cost.bytes > 0)
         t_mem = cost.bytes / spec.memBytesPerTick();
 
-    return tail + static_cast<sim::Tick>(std::max(t_compute, t_mem));
+    return applySpeedup(
+        spec, tail + static_cast<sim::Tick>(std::max(t_compute, t_mem)));
 }
 
 } // namespace dgxsim::cuda

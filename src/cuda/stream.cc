@@ -12,12 +12,34 @@ Stream::Stream(sim::EventQueue &queue, profiling::Profiler *profiler,
 }
 
 void
+Stream::captureIssueCause(Op &op) const
+{
+    if (profiler_)
+        op.issueCause = profiler_->currentCause();
+}
+
+std::vector<profiling::RecordId>
+Stream::takeDeps(const profiling::CauseToken &issue)
+{
+    std::vector<profiling::RecordId> deps;
+    if (lastRec_ != profiling::kNoRecord)
+        deps.push_back(lastRec_);
+    deps.insert(deps.end(), pendingDeps_.begin(), pendingDeps_.end());
+    pendingDeps_.clear();
+    const profiling::RecordId issued = profiling::resolveCause(issue);
+    if (issued != profiling::kNoRecord)
+        deps.push_back(issued);
+    return deps;
+}
+
+void
 Stream::enqueueKernel(std::string kernel_name, sim::Tick duration)
 {
     Op op;
     op.kind = OpKind::Kernel;
     op.label = std::move(kernel_name);
     op.duration = duration;
+    captureIssueCause(op);
     ops_.push_back(std::move(op));
     pump();
 }
@@ -33,6 +55,7 @@ Stream::enqueueCopy(hw::Fabric &fabric, std::string copy_kind,
     op.src = src;
     op.dst = dst;
     op.bytes = bytes;
+    captureIssueCause(op);
     ops_.push_back(std::move(op));
     pump();
 }
@@ -103,10 +126,18 @@ Stream::pump()
         const sim::Tick dur = op.duration;
         kernelBusy_ += dur;
         queue_.scheduleAfter(dur, [this, start, dur,
-                                   label = std::move(op.label)] {
-            if (profiler_)
-                profiler_->recordKernel(label, deviceId_, start,
-                                        start + dur, name_);
+                                   label = std::move(op.label),
+                                   issue = std::move(op.issueCause)] {
+            if (profiler_) {
+                lastRec_ =
+                    profiler_->recordKernel(label, deviceId_, start,
+                                            start + dur, name_,
+                                            takeDeps(issue));
+                profiling::CauseScope scope(profiler_,
+                                            profiling::makeCause(lastRec_));
+                opDone();
+                return;
+            }
             opDone();
         });
         break;
@@ -118,28 +149,55 @@ Stream::pump()
         op.fabric->transfer(
             op.src, op.dst, op.bytes,
             [this, prof, dev, start, label = std::move(op.label),
-             src = op.src, dst = op.dst, bytes = op.bytes] {
-                if (prof) {
-                    prof->recordCopy(label, src, dst, bytes, start,
-                                     queue_.now());
-                }
+             src = op.src, dst = op.dst, bytes = op.bytes,
+             issue = std::move(op.issueCause)] {
                 (void)dev;
+                if (prof) {
+                    lastRec_ = prof->recordCopy(label, src, dst, bytes,
+                                                start, queue_.now(), 0,
+                                                takeDeps(issue));
+                    profiling::CauseScope scope(
+                        prof, profiling::makeCause(lastRec_));
+                    opDone();
+                    return;
+                }
                 opDone();
             });
         break;
       }
       case OpKind::Wait: {
-        op.event->onSignal([this] { opDone(); });
+        op.event->onSignal([this] {
+            // Remember who satisfied the wait; the next record on
+            // this stream picks it up as an event-wait edge.
+            if (profiler_) {
+                const profiling::RecordId cause =
+                    profiler_->currentCauseId();
+                if (cause != profiling::kNoRecord)
+                    pendingDeps_.push_back(cause);
+            }
+            opDone();
+        });
         break;
       }
       case OpKind::Signal: {
-        op.event->signal();
+        // Waiters run synchronously under this stream's last record
+        // as ambient cause, so cross-stream event edges resolve.
+        {
+            profiling::CauseScope scope(
+                lastRec_ == profiling::kNoRecord ? nullptr : profiler_,
+                profiling::makeCause(lastRec_));
+            op.event->signal();
+        }
         opDone();
         break;
       }
       case OpKind::HostFn: {
-        if (op.fn)
+        if (op.fn) {
+            profiling::CauseScope scope(
+                lastRec_ == profiling::kNoRecord ? nullptr : profiler_,
+                profiling::makeCause(lastRec_));
             op.fn();
+        }
         opDone();
         break;
       }

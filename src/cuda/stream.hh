@@ -88,6 +88,12 @@ class Stream
         sim::Bytes bytes = 0;
         std::shared_ptr<CudaEvent> event;
         std::function<void()> fn;
+        /**
+         * Ambient cause at enqueue time — normally the host API call
+         * that issued this op (a host->device issue edge once the API
+         * record lands and fills the token).
+         */
+        profiling::CauseToken issueCause;
     };
 
     /** Start the next op if the stream is idle. */
@@ -98,6 +104,17 @@ class Stream
 
     void checkDrained();
 
+    /** Capture the ambient cause into @p op (when profiled). */
+    void captureIssueCause(Op &op) const;
+
+    /**
+     * Assemble the causal edges of the op that is about to record:
+     * stream program order (previous record), any event-wait causes
+     * accumulated since, and the op's own issue edge.
+     */
+    std::vector<profiling::RecordId>
+    takeDeps(const profiling::CauseToken &issue);
+
     sim::EventQueue &queue_;
     profiling::Profiler *profiler_;
     int deviceId_;
@@ -106,6 +123,10 @@ class Stream
     bool running_ = false;
     sim::Tick kernelBusy_ = 0;
     std::vector<std::function<void()>> drainWaiters_;
+    /** Last record landed by this stream (program-order edge). */
+    profiling::RecordId lastRec_ = profiling::kNoRecord;
+    /** Causes of satisfied event waits, consumed by the next record. */
+    std::vector<profiling::RecordId> pendingDeps_;
 };
 
 } // namespace dgxsim::cuda

@@ -43,6 +43,12 @@ struct GpuSpec
      * Smaller kernels run at proportionally lower efficiency.
      */
     double satWorkPerSm = 0;
+    /**
+     * What-if ablation knob: divide every modeled kernel duration by
+     * this factor (analysis::WhatIf "kernel_speedup" ground truth).
+     * The default 1.0 is bit-exact with the unscaled model.
+     */
+    double speedupFactor = 1.0;
 
     /** Tesla V100-SXM2-16GB as shipped in the Volta DGX-1. */
     static GpuSpec voltaV100();

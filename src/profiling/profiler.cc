@@ -272,6 +272,30 @@ emitEvent(std::ostringstream &os, bool &first, const std::string &name,
        << ", \"dur\": " << dur_us << "}";
 }
 
+/** The (pid, tid) track a record renders on, plus its time span. */
+struct TracePos
+{
+    std::string pid;
+    std::string tid;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+};
+
+void
+emitFlowHalf(std::ostringstream &os, bool &first, char phase,
+             std::uint64_t flow_id, const TracePos &at, double ts_us)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "  {\"name\": \"dep\", \"cat\": \"dep\", \"ph\": \"" << phase
+       << "\", \"id\": " << flow_id;
+    if (phase == 'f')
+        os << ", \"bp\": \"e\"";
+    os << ", \"pid\": \"" << jsonEscape(at.pid) << "\", \"tid\": \""
+       << jsonEscape(at.tid) << "\", \"ts\": " << ts_us << "}";
+}
+
 } // namespace
 
 std::string
@@ -298,6 +322,56 @@ Profiler::chromeTrace() const
                       std::to_string(c.dst),
                   sim::ticksToUs(c.start),
                   sim::ticksToUs(c.duration()));
+    }
+    // Flow events ("s" at the predecessor's end, "f" at the dependent
+    // record) for every causal edge whose endpoints render on
+    // different tracks; same-track edges are visually implied by the
+    // lane ordering and would only add clutter.
+    const auto locate = [this](RecordId id) {
+        const RecordRef &ref = recordRef(id);
+        switch (ref.kind) {
+          case RecordKind::Kernel: {
+            const KernelRecord &k = kernels_[ref.index];
+            return TracePos{"GPU" + std::to_string(k.device), "kernels",
+                            k.start, k.end};
+          }
+          case RecordKind::Api: {
+            const ApiRecord &a = apis_[ref.index];
+            return TracePos{"host", a.thread, a.start, a.end};
+          }
+          default: {
+            const CopyRecord &c = copies_[ref.index];
+            return TracePos{"fabric",
+                            "gpu" + std::to_string(c.src) + ">gpu" +
+                                std::to_string(c.dst),
+                            c.start, c.end};
+          }
+        }
+    };
+    std::uint64_t flow_id = 0;
+    const RecordId lo = firstId();
+    const RecordId hi = lo + static_cast<RecordId>(recordCount());
+    for (RecordId id = lo; id < hi; ++id) {
+        const TracePos to = locate(id);
+        const RecordRef &ref = recordRef(id);
+        const std::vector<RecordId> &deps =
+            ref.kind == RecordKind::Kernel ? kernels_[ref.index].deps
+            : ref.kind == RecordKind::Api ? apis_[ref.index].deps
+                                          : copies_[ref.index].deps;
+        for (RecordId dep : deps) {
+            const TracePos from = locate(dep);
+            if (from.pid == to.pid && from.tid == to.tid)
+                continue;
+            // A blocking API may start before the work it waited on
+            // ends; bind the arrow to the record's end in that case.
+            const sim::Tick arrive =
+                from.end <= to.start ? to.start : to.end;
+            ++flow_id;
+            emitFlowHalf(os, first, 's', flow_id, from,
+                         sim::ticksToUs(from.end));
+            emitFlowHalf(os, first, 'f', flow_id, to,
+                         sim::ticksToUs(arrive));
+        }
     }
     os << "\n]}\n";
     return os.str();

@@ -6,20 +6,88 @@
  * here. The summary views mirror what `nvprof --print-gpu-summary` and
  * `--print-api-summary` give on a real DGX-1, which is exactly the
  * data the paper's evaluation is built from.
+ *
+ * Records additionally carry a stable id and the causal edges the
+ * analysis engine (src/analysis) consumes: which earlier records this
+ * one waited on (stream program order, event waits, copy->kernel
+ * chains, host->device issue edges). Emission sites thread the edges
+ * through two mechanisms:
+ *
+ *  - explicit `deps` arguments at record time, and
+ *  - an ambient *cause scope*: a stack of CauseTokens the currently
+ *    executing continuation runs under. A site that fires downstream
+ *    callbacks after landing a record pushes that record's token
+ *    around the callback, so anything the callback enqueues (or any
+ *    record it lands) can pick the cause up with currentCause().
+ *
+ * A CauseToken is a late-bound record id: HostThread pushes a token
+ * *before* running an API's action and fills it when the API record
+ * lands, which is how ops enqueued by the action acquire their
+ * host->device issue edge. Ids, deps and the cause machinery are NOT
+ * folded into digest() — the determinism contract and the committed
+ * baselines predate them.
  */
 
 #ifndef DGXSIM_PROFILING_PROFILER_HH
 #define DGXSIM_PROFILING_PROFILER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/auditor.hh"
 #include "sim/types.hh"
 
 namespace dgxsim::profiling {
+
+/** Stable id of one record; assignment order == landing order. */
+using RecordId = std::int64_t;
+
+/** Sentinel: "no record" / unresolved token. */
+constexpr RecordId kNoRecord = -1;
+
+/** Sentinel for ApiRecord::overhead: overhead portion unknown. */
+constexpr sim::Tick kUnknownOverhead = ~sim::Tick{0};
+
+/**
+ * A late-bound reference to a record. Sites that know the id up front
+ * wrap it with makeCause(); HostThread hands out unfilled tokens and
+ * writes the id once the API record lands.
+ */
+using CauseToken = std::shared_ptr<RecordId>;
+
+/** @return a token already resolved to @p id. */
+inline CauseToken
+makeCause(RecordId id)
+{
+    return std::make_shared<RecordId>(id);
+}
+
+/** @return the id a token resolves to, or kNoRecord. */
+inline RecordId
+resolveCause(const CauseToken &token)
+{
+    return token ? *token : kNoRecord;
+}
+
+/** Which record vector an id points into. */
+enum class RecordKind
+{
+    Kernel,
+    Api,
+    Copy,
+};
+
+/** Locator of one record: which vector, which index. */
+struct RecordRef
+{
+    RecordKind kind = RecordKind::Kernel;
+    std::uint32_t index = 0;
+};
 
 /** One executed GPU kernel. */
 struct KernelRecord
@@ -36,6 +104,10 @@ struct KernelRecord
      * issuer is unknown.
      */
     std::string stream;
+    /** Stable id (not folded into the digest). */
+    RecordId id = kNoRecord;
+    /** Causal predecessors (record ids), deduplicated. */
+    std::vector<RecordId> deps;
 
     sim::Tick duration() const { return end - start; }
 };
@@ -47,8 +119,34 @@ struct ApiRecord
     std::string thread;
     sim::Tick start = 0;
     sim::Tick end = 0;
+    /**
+     * The fixed host-occupancy portion of the call (entry overhead);
+     * the remainder of a blocking call is time spent waiting on its
+     * end-dependencies. kUnknownOverhead means unknown, in which
+     * case consumers treat the full duration as overhead.
+     */
+    sim::Tick overhead = kUnknownOverhead;
+    /** True for calls that stall until awaited device work lands. */
+    bool blocking = false;
+    /** Stable id (not folded into the digest). */
+    RecordId id = kNoRecord;
+    /**
+     * Causal predecessors. For a blocking call these may END after
+     * the call STARTS (the call waited on them); analysis splits
+     * them into start- and end-dependencies by timestamp.
+     */
+    std::vector<RecordId> deps;
 
     sim::Tick duration() const { return end - start; }
+
+    /** @return the fixed-overhead portion (duration if unknown). */
+    sim::Tick
+    overheadTicks() const
+    {
+        if (overhead == kUnknownOverhead)
+            return duration();
+        return std::min(overhead, duration());
+    }
 };
 
 /** One DMA copy between devices / host. */
@@ -67,6 +165,10 @@ struct CopyRecord
      * use it; equals `bytes` for plain DMA copies.
      */
     sim::Bytes wireBytes = 0;
+    /** Stable id (not folded into the digest). */
+    RecordId id = kNoRecord;
+    /** Causal predecessors (record ids), deduplicated. */
+    std::vector<RecordId> deps;
 
     sim::Tick duration() const { return end - start; }
 };
@@ -97,44 +199,96 @@ class Profiler
     /**
      * Record a kernel. @p stream names the serialized lane that
      * issued it (see KernelRecord::stream); pass "" when unknown.
+     * @return the new record's id.
      */
-    void
+    RecordId
     recordKernel(std::string name, int device, sim::Tick start,
-                 sim::Tick end, std::string stream = "")
+                 sim::Tick end, std::string stream = "",
+                 std::vector<RecordId> deps = {})
     {
         if (auditor_)
             auditor_->onKernelRecord(device, stream, start, end);
-        kernels_.push_back(
-            {std::move(name), device, start, end, std::move(stream)});
+        const RecordId id = nextId();
+        kernels_.push_back({std::move(name), device, start, end,
+                            std::move(stream), id,
+                            normalizeDeps(std::move(deps), id)});
+        refs_.push_back({RecordKind::Kernel,
+                         static_cast<std::uint32_t>(kernels_.size() - 1)});
+        return id;
     }
 
-    void
+    /**
+     * Record an API call. @p overhead is the fixed host-occupancy
+     * portion (kUnknownOverhead: unknown); @p blocking marks calls
+     * that stalled on device work, whose @p deps may end after
+     * @p start. @return the new record's id.
+     */
+    RecordId
     recordApi(std::string name, std::string thread, sim::Tick start,
-              sim::Tick end)
+              sim::Tick end, sim::Tick overhead = kUnknownOverhead,
+              bool blocking = false, std::vector<RecordId> deps = {})
     {
         if (auditor_)
             auditor_->onApiRecord(thread, start, end);
-        apis_.push_back({std::move(name), std::move(thread), start, end});
+        const RecordId id = nextId();
+        apis_.push_back({std::move(name), std::move(thread), start, end,
+                         overhead, blocking, id,
+                         normalizeDeps(std::move(deps), id)});
+        refs_.push_back({RecordKind::Api,
+                         static_cast<std::uint32_t>(apis_.size() - 1)});
+        return id;
     }
 
     /**
      * Record a copy. @p wire_bytes is the on-wire byte count when it
      * differs from the payload (protocol overhead); 0 means equal.
+     * @return the new record's id.
      */
-    void
+    RecordId
     recordCopy(std::string kind, int src, int dst, sim::Bytes bytes,
-               sim::Tick start, sim::Tick end, sim::Bytes wire_bytes = 0)
+               sim::Tick start, sim::Tick end, sim::Bytes wire_bytes = 0,
+               std::vector<RecordId> deps = {})
     {
         const sim::Bytes wire = wire_bytes ? wire_bytes : bytes;
         if (auditor_)
             auditor_->onCopyRecord(start, end, bytes, wire);
-        copies_.push_back(
-            {std::move(kind), src, dst, bytes, start, end, wire});
+        const RecordId id = nextId();
+        copies_.push_back({std::move(kind), src, dst, bytes, start, end,
+                           wire, id, normalizeDeps(std::move(deps), id)});
+        refs_.push_back({RecordKind::Copy,
+                         static_cast<std::uint32_t>(copies_.size() - 1)});
+        return id;
     }
 
     const std::vector<KernelRecord> &kernels() const { return kernels_; }
     const std::vector<ApiRecord> &apis() const { return apis_; }
     const std::vector<CopyRecord> &copies() const { return copies_; }
+
+    /** Ids of the current record set: [firstId(), firstId()+count). */
+    RecordId firstId() const { return baseId_; }
+    std::size_t recordCount() const { return refs_.size(); }
+
+    /** @return the locator of record @p id (must be in range). */
+    const RecordRef &
+    recordRef(RecordId id) const
+    {
+        return refs_[static_cast<std::size_t>(id - baseId_)];
+    }
+
+    // --- ambient cause scope (see file comment) ---
+
+    /** @return the innermost active cause token, or null. */
+    CauseToken
+    currentCause() const
+    {
+        return causes_.empty() ? nullptr : causes_.back();
+    }
+
+    /** @return currentCause() resolved to an id (or kNoRecord). */
+    RecordId currentCauseId() const { return resolveCause(currentCause()); }
+
+    void pushCause(CauseToken token) { causes_.push_back(std::move(token)); }
+    void popCause() { causes_.pop_back(); }
 
     /** Kernel time grouped by kernel name. */
     std::vector<SummaryRow> kernelSummary() const;
@@ -157,13 +311,15 @@ class Profiler
     /** Total on-wire bytes copied, optionally filtered by copy kind. */
     sim::Bytes copiedWireBytes(const std::string &kind = "") const;
 
-    /** Drop all records. */
+    /** Drop all records. Ids keep growing so stale tokens stay inert. */
     void
     clear()
     {
+        baseId_ += static_cast<RecordId>(refs_.size());
         kernels_.clear();
         apis_.clear();
         copies_.clear();
+        refs_.clear();
     }
 
     /** Render an nvprof-style text report. */
@@ -174,8 +330,10 @@ class Profiler
 
     /**
      * Render all records as a chrome://tracing / Perfetto JSON trace
-     * ("traceEvents" array of complete events): GPU kernels grouped
-     * per device, API calls per host thread, copies per route.
+     * ("traceEvents" array): complete events (GPU kernels grouped per
+     * device, API calls per host thread, copies per route) plus flow
+     * events ("ph":"s"/"f") for every causal edge that crosses
+     * track boundaries, so Perfetto renders the dependency arrows.
      */
     std::string chromeTrace() const;
 
@@ -186,6 +344,8 @@ class Profiler
      * Fold every record into an order-sensitive FNV-1a digest. Two
      * runs of the same configuration must produce identical digests;
      * the determinism harness (core/determinism.hh) is built on this.
+     * Ids and causal edges are deliberately NOT folded: they annotate
+     * the record stream without changing it.
      */
     std::uint64_t digest() const;
 
@@ -197,10 +357,52 @@ class Profiler
     void setAuditor(sim::Auditor *auditor) { auditor_ = auditor; }
 
   private:
+    RecordId
+    nextId() const
+    {
+        return baseId_ + static_cast<RecordId>(refs_.size());
+    }
+
+    /** Drop invalid/stale ids and duplicates; keep deps sorted. */
+    std::vector<RecordId>
+    normalizeDeps(std::vector<RecordId> deps, RecordId self) const
+    {
+        std::erase_if(deps, [this, self](RecordId d) {
+            return d < baseId_ || d >= self;
+        });
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        return deps;
+    }
+
     std::vector<KernelRecord> kernels_;
     std::vector<ApiRecord> apis_;
     std::vector<CopyRecord> copies_;
+    std::vector<RecordRef> refs_;
+    RecordId baseId_ = 0;
+    std::vector<CauseToken> causes_;
     sim::Auditor *auditor_ = nullptr;
+};
+
+/** RAII ambient-cause guard; tolerates a null profiler. */
+class CauseScope
+{
+  public:
+    CauseScope(Profiler *profiler, CauseToken token) : profiler_(profiler)
+    {
+        if (profiler_)
+            profiler_->pushCause(std::move(token));
+    }
+    ~CauseScope()
+    {
+        if (profiler_)
+            profiler_->popCause();
+    }
+    CauseScope(const CauseScope &) = delete;
+    CauseScope &operator=(const CauseScope &) = delete;
+
+  private:
+    Profiler *profiler_;
 };
 
 } // namespace dgxsim::profiling

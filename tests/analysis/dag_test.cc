@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the critical-path DAG: construction invariants and the
+ * tick-exact attribution contract, property-checked over a slice of
+ * the paper grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hh"
+#include "comm/factory.hh"
+#include "core/trainer_base.hh"
+#include "hw/topology.hh"
+
+namespace {
+
+using namespace dgxsim;
+
+core::TrainConfig
+gridConfig(const std::string &model, int gpus, comm::CommMethod method)
+{
+    core::TrainConfig cfg;
+    cfg.model = model;
+    cfg.numGpus = gpus;
+    cfg.batchPerGpu = 16;
+    cfg.method = method;
+    return cfg;
+}
+
+struct DagRun
+{
+    core::TrainReport report;
+    analysis::Dag dag;
+};
+
+DagRun
+runAndBuild(const core::TrainConfig &cfg)
+{
+    auto trainer = core::TrainerBase::make(cfg);
+    core::TrainReport report = trainer->run();
+    EXPECT_FALSE(report.oom);
+    return {std::move(report),
+            analysis::Dag(trainer->profiler(),
+                          hw::Topology::dgx1Volta())};
+}
+
+/** The central contract: compute + comm + api + idle == makespan,
+ * tick-exact, on every paper-grid configuration. */
+TEST(DagTest, AttributionPartitionsMakespanAcrossGrid)
+{
+    const struct
+    {
+        const char *model;
+        int gpus;
+        comm::CommMethod method;
+    } grid[] = {
+        {"lenet", 1, comm::CommMethod::P2P},
+        {"lenet", 2, comm::CommMethod::P2P},
+        {"lenet", 2, comm::CommMethod::NCCL},
+        {"lenet", 4, comm::CommMethod::NCCL},
+        {"alexnet", 2, comm::CommMethod::P2P},
+        {"alexnet", 2, comm::CommMethod::NCCL},
+    };
+    for (const auto &g : grid) {
+        SCOPED_TRACE(std::string(g.model) + " x" +
+                     std::to_string(g.gpus));
+        const DagRun run =
+            runAndBuild(gridConfig(g.model, g.gpus, g.method));
+        // attribute() panics internally unless the partition is
+        // exact; assert the pieces anyway so a failure names them.
+        const analysis::Attribution attr = run.dag.attribute();
+        EXPECT_EQ(attr.total(), attr.makespan);
+        EXPECT_EQ(attr.makespan, run.dag.makespan());
+        EXPECT_LE(attr.criticalPath, attr.makespan);
+        EXPECT_EQ(attr.criticalPath, attr.makespan - attr.idle);
+        EXPECT_GT(attr.compute, 0u);
+        if (g.gpus > 1) {
+            EXPECT_GT(attr.comm + attr.api, 0u);
+        }
+    }
+}
+
+/** Segments are a gapless, in-order partition of [0, makespan]. */
+TEST(DagTest, SegmentsAreContiguousAndOrdered)
+{
+    const DagRun run = runAndBuild(
+        gridConfig("lenet", 2, comm::CommMethod::NCCL));
+    const analysis::Attribution attr = run.dag.attribute();
+    ASSERT_FALSE(attr.segments.empty());
+    EXPECT_EQ(attr.segments.front().start, 0u);
+    EXPECT_EQ(attr.segments.back().end, attr.makespan);
+    for (std::size_t i = 0; i < attr.segments.size(); ++i) {
+        const analysis::Segment &s = attr.segments[i];
+        EXPECT_LT(s.start, s.end);
+        if (i) {
+            EXPECT_EQ(s.start, attr.segments[i - 1].end);
+        }
+        if (s.category != analysis::Category::Idle) {
+            ASSERT_GE(s.node, 0);
+            ASSERT_LT(static_cast<std::size_t>(s.node),
+                      run.dag.nodes().size());
+        } else {
+            EXPECT_EQ(s.node, -1);
+        }
+    }
+}
+
+/** Every recorded edge is causal after classification: start-preds
+ * end before the node starts, end-preds end inside blocking calls,
+ * issue-preds start no later than the node. */
+TEST(DagTest, EdgeClassesRespectTime)
+{
+    const DagRun run = runAndBuild(
+        gridConfig("lenet", 2, comm::CommMethod::P2P));
+    const std::vector<analysis::Node> &nodes = run.dag.nodes();
+    ASSERT_FALSE(nodes.empty());
+    EXPECT_GT(run.dag.edgeCount(), 0u);
+    for (const analysis::Node &n : nodes) {
+        for (std::int32_t p : n.startPreds)
+            EXPECT_LE(nodes[p].end, n.start);
+        for (std::int32_t p : n.endPreds) {
+            EXPECT_TRUE(n.blocking);
+            EXPECT_LE(nodes[p].end, n.end);
+        }
+        for (std::int32_t p : n.issuePreds)
+            EXPECT_LE(nodes[p].start, n.start);
+    }
+}
+
+/** Device breakdown covers each GPU and its critical share is
+ * bounded by the critical path; contributors aggregate to the
+ * non-idle total. */
+TEST(DagTest, BreakdownsAreConsistent)
+{
+    const int gpus = 4;
+    const DagRun run = runAndBuild(
+        gridConfig("lenet", gpus, comm::CommMethod::NCCL));
+    const analysis::Attribution attr = run.dag.attribute();
+    const std::vector<analysis::DeviceBreakdown> devices =
+        run.dag.deviceBreakdown(attr);
+    EXPECT_EQ(devices.size(), static_cast<std::size_t>(gpus));
+    for (const analysis::DeviceBreakdown &d : devices) {
+        EXPECT_GT(d.kernelBusy, 0u);
+        EXPECT_LE(d.critical, attr.criticalPath);
+    }
+    // With no truncation the contributors tile the whole partition:
+    // non-idle rows sum to the critical path, idle rows to the rest.
+    sim::Tick contributed = 0, idle = 0;
+    for (const analysis::Contributor &c :
+         run.dag.topContributors(attr, static_cast<std::size_t>(-1))) {
+        if (c.category == analysis::Category::Idle)
+            idle += c.critical;
+        else
+            contributed += c.critical;
+    }
+    EXPECT_EQ(contributed, attr.criticalPath);
+    EXPECT_EQ(idle, attr.idle);
+}
+
+/** Rebuilding the DAG from an identical fresh run yields the same
+ * graph shape and the same attribution, tick for tick. */
+TEST(DagTest, DeterministicAcrossIdenticalRuns)
+{
+    const core::TrainConfig cfg =
+        gridConfig("lenet", 2, comm::CommMethod::NCCL);
+    const DagRun a = runAndBuild(cfg);
+    const DagRun b = runAndBuild(cfg);
+    EXPECT_EQ(a.dag.nodes().size(), b.dag.nodes().size());
+    EXPECT_EQ(a.dag.edgeCount(), b.dag.edgeCount());
+    EXPECT_EQ(a.dag.droppedDeps(), b.dag.droppedDeps());
+    const analysis::Attribution attr_a = a.dag.attribute();
+    const analysis::Attribution attr_b = b.dag.attribute();
+    EXPECT_EQ(attr_a.compute, attr_b.compute);
+    EXPECT_EQ(attr_a.comm, attr_b.comm);
+    EXPECT_EQ(attr_a.api, attr_b.api);
+    EXPECT_EQ(attr_a.idle, attr_b.idle);
+}
+
+} // namespace

@@ -108,6 +108,10 @@ TEST(CliConfigTest, MapsParallelismMode)
 
 TEST(CliConfigTest, ModeDefaultsToSyncAndAcceptsAliases)
 {
+    // The deprecated *subcommand* aliases (dgxprof async/modelpar/mp)
+    // are gone — see the dgxprof_alias_*_removed ctest entries — but
+    // the --mode *value* aliases are supported spelling, not
+    // deprecation, and must keep working.
     EXPECT_EQ(core::cli::configFromArgs(Args::parse({})).mode,
               core::ParallelismMode::SyncDp);
     EXPECT_EQ(core::cli::configFromArgs(

@@ -35,6 +35,69 @@ TEST(ChromeTraceTest, EmitsCompleteEvents)
     EXPECT_NE(json.find("\"dur\": 15"), std::string::npos);
 }
 
+/** Count non-overlapping occurrences of @p needle in @p text. */
+std::size_t
+countOf(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(ChromeTraceTest, EmitsFlowEventsForCrossTrackDeps)
+{
+    Profiler p;
+    const profiling::RecordId k = p.recordKernel(
+        "producer", 0, sim::usToTicks(1), sim::usToTicks(5), "s0");
+    // Copy depends on a kernel: different track, so the edge becomes
+    // a flow-arrow pair ("s" at the producer, "f" at the consumer).
+    p.recordCopy("PtoP", 0, 1, 4096, sim::usToTicks(5),
+                 sim::usToTicks(9), 0, {k});
+    const std::string json = p.chromeTrace();
+    EXPECT_EQ(countOf(json, "\"ph\": \"s\""), 1u);
+    EXPECT_EQ(countOf(json, "\"ph\": \"f\""), 1u);
+    // Both halves carry the same flow id and category.
+    EXPECT_EQ(countOf(json, "\"id\": 1,"), 2u);
+    EXPECT_EQ(countOf(json, "\"cat\": \"dep\""), 2u);
+}
+
+TEST(ChromeTraceTest, NoFlowEventsForSameTrackDeps)
+{
+    Profiler p;
+    const profiling::RecordId a =
+        p.recordKernel("a", 0, 0, sim::usToTicks(10), "s0");
+    // Same (device, stream) track: program order is already visible
+    // in the timeline, so no arrow is drawn.
+    p.recordKernel("b", 0, sim::usToTicks(10), sim::usToTicks(20),
+                   "s0", {a});
+    const std::string json = p.chromeTrace();
+    EXPECT_EQ(countOf(json, "\"ph\": \"s\""), 0u);
+    EXPECT_EQ(countOf(json, "\"ph\": \"f\""), 0u);
+}
+
+TEST(ChromeTraceTest, BlockingApiFlowArrowBindsToRecordEnd)
+{
+    Profiler p;
+    // Kernel ends at 30us; the blocking sync started at 10us and
+    // returns at 32us — the wait is the covered interval, so the
+    // arrow must land at the API record's end, not its start.
+    const profiling::RecordId k = p.recordKernel(
+        "slow", 1, sim::usToTicks(5), sim::usToTicks(30), "s0");
+    p.recordApi("cudaStreamSynchronize", "worker1",
+                sim::usToTicks(10), sim::usToTicks(32),
+                sim::usToTicks(2), /*blocking=*/true, {k});
+    const std::string json = p.chromeTrace();
+    EXPECT_EQ(countOf(json, "\"ph\": \"s\""), 1u);
+    EXPECT_EQ(countOf(json, "\"ph\": \"f\""), 1u);
+    // The finish half sits at 32us on the API's own track.
+    EXPECT_NE(json.find("\"bp\": \"e\", \"pid\": \"host\", "
+                        "\"tid\": \"worker1\", \"ts\": 32"),
+              std::string::npos);
+}
+
 TEST(ChromeTraceTest, EmptyProfilerYieldsValidSkeleton)
 {
     Profiler p;

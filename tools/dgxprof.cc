@@ -4,6 +4,7 @@
  *
  * Subcommands:
  *   train    simulate one training configuration, print the report
+ *   analyze  critical-path attribution + validated what-if projections
  *   sweep    grid over GPUs x batch x method, print a table
  *   campaign parallel grid runner with JSON/CSV results
  *   check    re-run a campaign, diff against a golden baseline
@@ -12,12 +13,9 @@
  *   models   list the model zoo
  *   verify   determinism check: run a config twice, compare digests
  *
- * train/sweep/campaign/check/verify take --mode
+ * train/analyze/sweep/campaign/check/verify take --mode
  * sync_dp|async_ps|model_parallel to select the parallelization
- * strategy (campaign and check accept a comma-separated list). The
- * old `async` and `modelpar`/`mp` subcommands remain as deprecated
- * aliases for `train --mode async_ps` / `train --mode
- * model_parallel`.
+ * strategy (campaign and check accept a comma-separated list).
  *
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
@@ -27,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dag.hh"
+#include "analysis/what_if.hh"
 #include "campaign/campaign.hh"
 #include "campaign/check.hh"
 #include "campaign/thread_pool.hh"
@@ -40,6 +40,7 @@
 #include "dnn/models.hh"
 #include "dnn/serialize.hh"
 #include "hw/fabric.hh"
+#include "hw/topology.hh"
 #include "sim/logging.hh"
 
 namespace {
@@ -69,7 +70,15 @@ usage()
         "[--p100] [--images N]\n"
         "                                   [--trace FILE] [--csv "
         "FILE] [--report] [--audit])\n"
-        "  sweep     grid of runs          (--model [--gpus 1,2,4,8] "
+        "  analyze   critical-path + what-if (same config options as "
+        "train, plus\n"
+        "                                   [--what-if K=V,...|"
+        "standard] [--no-validate]\n"
+        "                                   [--max-error PCT] [--top "
+        "N] [--json FILE]\n"
+        "                                   [--record FILE] [--trace "
+        "FILE])\n"
+        "  sweep    grid of runs          (--model [--gpus 1,2,4,8] "
         "[--batches 16,32,64]\n"
         "                                   [--mode M] [--jobs N])\n"
         "  campaign  parallel grid runner  (--model M1,M2 [--gpus "
@@ -97,11 +106,7 @@ usage()
         "  verify    determinism check    (same options as train; "
         "runs twice,\n"
         "                                   compares digests, exits "
-        "non-zero on mismatch)\n"
-        "\n"
-        "deprecated aliases (use train --mode instead):\n"
-        "  async     = train --mode async_ps\n"
-        "  modelpar | mp = train --mode model_parallel\n");
+        "non-zero on mismatch)\n");
     return 2;
 }
 
@@ -169,6 +174,92 @@ cmdTrain(const Args &args)
         std::fputs(trainer.profiler().csv().c_str(), f);
         std::fclose(f);
         std::printf("profile CSV written to %s\n", path.c_str());
+    }
+    return 0;
+}
+
+/**
+ * Run one configuration, build the causal DAG, attribute the
+ * makespan, and evaluate what-if scenarios — optionally validating
+ * each projection against a ground-truth re-simulation.
+ */
+int
+cmdAnalyze(const Args &args)
+{
+    core::TrainConfig cfg = core::cli::configFromArgs(args);
+    auto trainer = core::TrainerBase::make(cfg);
+    const core::TrainReport base = trainer->run();
+    if (base.oom) {
+        std::printf("OOM: %s\n", base.oomDetail.c_str());
+        return 1;
+    }
+
+    const hw::Topology topo = hw::Topology::dgx1Volta();
+    const analysis::Dag dag(trainer->profiler(), topo);
+    // attribute() panics unless the four categories partition the
+    // makespan tick-exactly, so reaching the report is the proof.
+    const analysis::Attribution attr = dag.attribute();
+    const std::size_t top =
+        static_cast<std::size_t>(args.getInt("top", 10));
+
+    std::vector<analysis::WhatIfResult> results;
+    if (args.has("what-if")) {
+        const analysis::WhatIf what_if(dag, cfg, base);
+        const bool validate = !args.has("no-validate");
+        for (const analysis::WhatIfCase &c :
+             analysis::parseWhatIfSpecs(args.get("what-if", "standard")))
+            results.push_back(what_if.evaluate(c, validate));
+    }
+
+    std::printf("%s\n", base.oneLine().c_str());
+    std::printf("%s", dag.report(attr, top).c_str());
+    if (!results.empty())
+        std::printf("%s", analysis::WhatIf::report(results).c_str());
+
+    if (args.has("json")) {
+        const std::string path = args.get("json", "analysis.json");
+        campaign::writeFile(
+            path, analysis::analysisJson(dag, attr, results, top));
+        std::printf("analysis JSON written to %s\n", path.c_str());
+    }
+    if (args.has("record")) {
+        // Campaign-record projection with the critical-path summary
+        // attached; cp_* fields appear only on this path, so plain
+        // campaign baselines stay byte-identical.
+        const std::string path = args.get("record", "record.json");
+        campaign::RunRecord rec = campaign::recordFromReport(base);
+        rec.hasAnalysis = true;
+        rec.cpComputeSeconds = sim::ticksToSec(attr.compute);
+        rec.cpCommSeconds = sim::ticksToSec(attr.comm);
+        rec.cpApiSeconds = sim::ticksToSec(attr.api);
+        rec.cpIdleSeconds = sim::ticksToSec(attr.idle);
+        campaign::writeFile(path, campaign::recordsToJson({rec}));
+        std::printf("run record written to %s\n", path.c_str());
+    }
+    if (args.has("trace")) {
+        const std::string path = args.get("trace", "trace.json");
+        trainer->profiler().writeChromeTrace(path);
+        std::printf("trace written to %s\n", path.c_str());
+    }
+
+    // CI gate: fail when any validated projection misses the
+    // re-simulated ground truth by more than --max-error percent.
+    const double max_error_pct = args.getDouble("max-error", 0.0);
+    if (max_error_pct > 0) {
+        int failures = 0;
+        for (const analysis::WhatIfResult &r : results) {
+            if (r.validated &&
+                100.0 * r.errorFraction > max_error_pct) {
+                std::fprintf(stderr,
+                             "what-if '%s': projection error %.2f%% "
+                             "exceeds %.2f%%\n",
+                             r.label.c_str(), 100.0 * r.errorFraction,
+                             max_error_pct);
+                ++failures;
+            }
+        }
+        if (failures)
+            return 1;
     }
     return 0;
 }
@@ -424,37 +515,6 @@ cmdAdvise(const Args &args)
     return 0;
 }
 
-/**
- * Deprecated `async` / `modelpar` subcommands: warn once and run the
- * unified train path with the mode forced.
- */
-int
-cmdDeprecatedModeAlias(const std::string &command, const Args &args,
-                       core::ParallelismMode mode)
-{
-    const char *name = core::parallelismModeName(mode);
-    std::fprintf(stderr,
-                 "warning: 'dgxprof %s' is deprecated and will be "
-                 "removed in the next release; use 'dgxprof train "
-                 "--mode %s'\n",
-                 command.c_str(), name);
-    core::TrainConfig cfg = core::cli::configFromArgs(args);
-    cfg.mode = mode;
-    const auto r = core::TrainerBase::make(cfg)->run();
-    if (r.oom) {
-        std::printf("OOM: %s\n", r.oomDetail.c_str());
-        return 1;
-    }
-    std::printf("%s\n", r.oneLine().c_str());
-    if (mode == core::ParallelismMode::ModelParallel) {
-        std::printf("  stage weights (MB):");
-        for (sim::Bytes b : r.stageParamBytes)
-            std::printf(" %.1f", b / 1e6);
-        std::printf("\n");
-    }
-    return 0;
-}
-
 int
 cmdLayers(const Args &args)
 {
@@ -535,14 +595,8 @@ main(int argc, char **argv)
             return cmdTopo();
         if (command == "advise")
             return cmdAdvise(args);
-        if (command == "async") {
-            return cmdDeprecatedModeAlias(
-                command, args, core::ParallelismMode::AsyncPs);
-        }
-        if (command == "modelpar" || command == "mp") {
-            return cmdDeprecatedModeAlias(
-                command, args, core::ParallelismMode::ModelParallel);
-        }
+        if (command == "analyze")
+            return cmdAnalyze(args);
         if (command == "layers")
             return cmdLayers(args);
         if (command == "models")

@@ -56,8 +56,21 @@ for spec in \
     fi
 done
 
+echo "== analysis spot check (audited) =="
+# One audited critical-path analysis: attribution must partition the
+# makespan tick-exactly (analyze aborts otherwise) and the standard
+# what-if projections must validate within 5% of the re-simulated
+# ground truth.
+if ! DGXSIM_AUDIT=1 ./tools/dgxprof analyze --model alexnet \
+    --gpus 4 --batch 16 --method nccl \
+    --what-if standard --max-error 5 > /dev/null; then
+    echo "FAILED: dgxprof analyze --model alexnet --gpus 4" \
+         "--batch 16 --method nccl --what-if standard" >&2
+    failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
-    echo "audit sweep FAILED ($failures determinism check(s))" >&2
+    echo "audit sweep FAILED ($failures check(s))" >&2
     exit 1
 fi
 echo "audit sweep passed"
