@@ -15,6 +15,7 @@
 
 #include "core/text_table.hh"
 #include "core/trainer.hh"
+#include "hw/platform.hh"
 
 namespace {
 
@@ -33,6 +34,21 @@ runTopo(const std::string &model, CommMethod method, hw::Topology topo)
     return trainer.run();
 }
 
+/** Run on a registered platform (the uniform-vs-stock comparison is
+ * just the dgx1v vs dgx1v-uniform platform axis). */
+core::TrainReport
+runPlat(const std::string &model, CommMethod method,
+        const std::string &platform)
+{
+    core::TrainConfig cfg;
+    cfg.model = model;
+    cfg.numGpus = 8;
+    cfg.batchPerGpu = 16;
+    cfg.method = method;
+    cfg.platform = platform;
+    return core::Trainer::simulate(cfg);
+}
+
 void
 registerBenchmarks()
 {
@@ -46,10 +62,9 @@ registerBenchmarks()
                 [model, uniform](benchmark::State &state) {
                     for (auto _ : state) {
                         state.SetIterationTime(
-                            runTopo(model, CommMethod::NCCL,
-                                    uniform
-                                        ? hw::Topology::dgx1VoltaUniform()
-                                        : hw::Topology::dgx1Volta())
+                            runPlat(model, CommMethod::NCCL,
+                                    uniform ? "dgx1v-uniform"
+                                            : "dgx1v")
                                 .epochSeconds);
                     }
                 })
@@ -70,11 +85,9 @@ printTables()
     for (const char *model : {"alexnet", "resnet-50", "inception-v3"}) {
         for (CommMethod m : {CommMethod::P2P, CommMethod::NCCL}) {
             const double stock =
-                runTopo(model, m, hw::Topology::dgx1Volta())
-                    .epochSeconds;
+                runPlat(model, m, "dgx1v").epochSeconds;
             const double uniform =
-                runTopo(model, m, hw::Topology::dgx1VoltaUniform())
-                    .epochSeconds;
+                runPlat(model, m, "dgx1v-uniform").epochSeconds;
             table.addRow({model, comm::commMethodName(m),
                           core::TextTable::num(stock, 2),
                           core::TextTable::num(uniform, 2),
@@ -89,17 +102,16 @@ printTables()
     core::TextTable degraded({"degraded link", "epoch (s)",
                               "slowdown vs healthy"});
     const double healthy =
-        runTopo("alexnet", CommMethod::NCCL, hw::Topology::dgx1Volta())
-            .epochSeconds;
+        runPlat("alexnet", CommMethod::NCCL, "dgx1v").epochSeconds;
     degraded.addRow({"none", core::TextTable::num(healthy, 2), "1.000x"});
-    hw::Topology probe = hw::Topology::dgx1Volta();
+    const hw::Topology probe = hw::makePlatform("dgx1v").topology;
     for (std::size_t l = 0; l < probe.links().size(); ++l) {
         const hw::Link &link = probe.links()[l];
         if (link.type != hw::LinkType::NVLink)
             continue;
         // Only report links on the 8-GPU NCCL ring's cycle; others
         // barely matter, which is itself informative — show a couple.
-        hw::Topology topo = hw::Topology::dgx1Volta();
+        hw::Topology topo = hw::makePlatform("dgx1v").topology;
         topo.scaleLinkBandwidth(l, 0.5);
         const double slow =
             runTopo("alexnet", CommMethod::NCCL, std::move(topo))

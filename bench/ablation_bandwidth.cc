@@ -20,15 +20,16 @@ using comm::CommMethod;
 core::TrainReport
 runScaled(const std::string &model, CommMethod method, double bw_scale)
 {
+    // nvlinkBwScale is the config-level knob for exactly this
+    // experiment (Machine scales the fabric before any traffic), so
+    // the bench needs no hand-built topology.
     core::TrainConfig cfg;
     cfg.model = model;
     cfg.numGpus = 8;
     cfg.batchPerGpu = 16;
     cfg.method = method;
-    hw::Topology topo = hw::Topology::dgx1Volta();
-    topo.scaleNvlinkBandwidth(bw_scale);
-    core::Trainer trainer(cfg, std::move(topo));
-    return trainer.run();
+    cfg.nvlinkBwScale = bw_scale;
+    return core::Trainer::simulate(cfg);
 }
 
 const double kScales[] = {0.5, 1.0, 2.0, 4.0, 8.0};

@@ -19,14 +19,18 @@ using namespace dgxsim;
 using comm::CommMethod;
 
 core::TrainReport
-runGen(const std::string &model, const hw::GpuSpec &spec, bool tensor)
+runGen(const std::string &model, const std::string &platform,
+       bool tensor)
 {
+    // The Pascal machine is a registered platform (dgx1p = the
+    // DGX-1's topology with P100s), so the ablation just flips the
+    // platform axis instead of hand-wiring a GpuSpec.
     core::TrainConfig cfg;
     cfg.model = model;
     cfg.numGpus = 8;
     cfg.batchPerGpu = 16;
     cfg.method = CommMethod::NCCL;
-    cfg.gpuSpec = spec;
+    cfg.platform = platform;
     cfg.useTensorCores = tensor;
     return core::Trainer::simulate(cfg);
 }
@@ -44,11 +48,10 @@ registerBenchmarks()
                 name.c_str(),
                 [model, gen](benchmark::State &state) {
                     for (auto _ : state) {
-                        const auto spec =
-                            gen == 0 ? hw::GpuSpec::pascalP100()
-                                     : hw::GpuSpec::voltaV100();
                         state.SetIterationTime(
-                            runGen(model, spec, gen == 2)
+                            runGen(model,
+                                   gen == 0 ? "dgx1p" : "dgx1v",
+                                   gen == 2)
                                 .epochSeconds);
                     }
                 })
@@ -72,16 +75,16 @@ printTable()
         struct Gen
         {
             const char *label;
-            hw::GpuSpec spec;
+            const char *platform;
             bool tensor;
         };
         const Gen gens[] = {
-            {"P100 (Pascal DGX-1)", hw::GpuSpec::pascalP100(), false},
-            {"V100 fp32", hw::GpuSpec::voltaV100(), false},
-            {"V100 tensor cores", hw::GpuSpec::voltaV100(), true},
+            {"P100 (Pascal DGX-1)", "dgx1p", false},
+            {"V100 fp32", "dgx1v", false},
+            {"V100 tensor cores", "dgx1v", true},
         };
         for (const Gen &gen : gens) {
-            const auto r = runGen(model, gen.spec, gen.tensor);
+            const auto r = runGen(model, gen.platform, gen.tensor);
             const double total = r.fpBpSeconds + r.wuSeconds;
             table.addRow(
                 {model, gen.label,

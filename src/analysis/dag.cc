@@ -43,6 +43,7 @@ isNvlinkRoute(const hw::Topology &topo, int src, int dst)
         topo.findRoute(static_cast<hw::NodeId>(src),
                        static_cast<hw::NodeId>(dst));
     return route.kind == hw::RouteKind::DirectNvlink ||
+           route.kind == hw::RouteKind::SwitchNvlink ||
            route.kind == hw::RouteKind::StagedNvlink;
 }
 

@@ -8,35 +8,57 @@
 #include "campaign/thread_pool.hh"
 #include "comm/factory.hh"
 #include "core/trainer_base.hh"
+#include "hw/platform.hh"
+#include "sim/logging.hh"
 
 namespace dgxsim::campaign {
 
 std::vector<core::TrainConfig>
 CampaignSpec::expand() const
 {
+    const std::vector<std::string> plats =
+        platforms.empty() ? std::vector<std::string>{base.platform}
+                          : platforms;
+    // Validate the platform axis up front: unknown names and GPU
+    // requests beyond a platform's capacity fail here with a clear
+    // message instead of mid-campaign on a worker thread.
+    for (const std::string &name : plats) {
+        const hw::Platform plat = hw::makePlatform(name);
+        for (int g : gpus) {
+            if (g < 1 || g > plat.topology.numGpus()) {
+                sim::fatal("platform '", name, "' has ",
+                           plat.topology.numGpus(), " GPUs; grid asks "
+                           "for ", g);
+            }
+        }
+    }
+
     std::vector<core::TrainConfig> configs;
-    configs.reserve(modes.size() * models.size() * gpus.size() *
-                    batches.size() * methods.size());
-    for (core::ParallelismMode mode : modes) {
-        // Collectives are inherently synchronous: the non-sync
-        // strategies always use the P2P fabric path, so the method
-        // axis collapses to a single column for them.
-        const bool sync = mode == core::ParallelismMode::SyncDp;
-        const std::vector<comm::CommMethod> cellMethods =
-            sync ? methods
-                 : std::vector<comm::CommMethod>{
-                       comm::CommMethod::P2P};
-        for (const std::string &model : models) {
-            for (int g : gpus) {
-                for (int b : batches) {
-                    for (comm::CommMethod m : cellMethods) {
-                        core::TrainConfig cfg = base;
-                        cfg.mode = mode;
-                        cfg.model = model;
-                        cfg.numGpus = g;
-                        cfg.batchPerGpu = b;
-                        cfg.method = m;
-                        configs.push_back(std::move(cfg));
+    configs.reserve(plats.size() * modes.size() * models.size() *
+                    gpus.size() * batches.size() * methods.size());
+    for (const std::string &platform : plats) {
+        for (core::ParallelismMode mode : modes) {
+            // Collectives are inherently synchronous: the non-sync
+            // strategies always use the P2P fabric path, so the
+            // method axis collapses to a single column for them.
+            const bool sync = mode == core::ParallelismMode::SyncDp;
+            const std::vector<comm::CommMethod> cellMethods =
+                sync ? methods
+                     : std::vector<comm::CommMethod>{
+                           comm::CommMethod::P2P};
+            for (const std::string &model : models) {
+                for (int g : gpus) {
+                    for (int b : batches) {
+                        for (comm::CommMethod m : cellMethods) {
+                            core::TrainConfig cfg = base;
+                            cfg.platform = platform;
+                            cfg.mode = mode;
+                            cfg.model = model;
+                            cfg.numGpus = g;
+                            cfg.batchPerGpu = b;
+                            cfg.method = m;
+                            configs.push_back(std::move(cfg));
+                        }
                     }
                 }
             }
@@ -51,16 +73,17 @@ configKey(const core::TrainConfig &cfg)
     // Every field that can steer the simulation from the CLI or a
     // campaign spec participates; two configs with equal keys must
     // produce equal reports. %.17g keeps doubles exact.
-    char buf[704];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
-        "%s|g%d|b%d|m%d|pm%d|ub%d|ai%d|i%" PRIu64
+        "%s|plat:%s|g%d|b%d|m%d|pm%d|ub%d|ai%d|i%" PRIu64
         "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
         "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
         "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
         "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
         "|wi:%.17g,%.17g,%.17g",
-        cfg.model.c_str(), cfg.numGpus, cfg.batchPerGpu,
+        cfg.model.c_str(), cfg.platform.c_str(), cfg.numGpus,
+        cfg.batchPerGpu,
         static_cast<int>(cfg.method), static_cast<int>(cfg.mode),
         cfg.microbatches, cfg.asyncItersPerWorker, cfg.datasetImages,
         cfg.measuredIterations, cfg.overlapBpWu ? 1 : 0,

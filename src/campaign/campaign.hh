@@ -47,13 +47,20 @@ struct CampaignSpec
      */
     std::vector<core::ParallelismMode> modes = {
         core::ParallelismMode::SyncDp};
+    /**
+     * Hardware platforms to sweep (hw::platformNames). Empty means
+     * "whatever base.platform says" — the historical single-machine
+     * grid.
+     */
+    std::vector<std::string> platforms;
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
     /**
      * @return the grid expanded to configurations in deterministic
-     * mode-major order: mode, then model, then gpus, then batch,
-     * then method.
+     * platform-major order: platform, then mode, then model, then
+     * gpus, then batch, then method. Fatal when a platform is
+     * unknown or has fewer GPUs than the gpus axis requests.
      */
     std::vector<core::TrainConfig> expand() const;
 };

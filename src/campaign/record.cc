@@ -6,6 +6,7 @@
 
 #include "campaign/json.hh"
 #include "comm/factory.hh"
+#include "hw/platform.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::campaign {
@@ -122,9 +123,11 @@ RunRecord::key() const
                   model.c_str(), gpus, batch, method.c_str(), images);
     std::string out = buf;
     // Pre-mode baselines never carried the mode, so sync_dp keys stay
-    // as they were.
+    // as they were; ditto the default platform.
     if (mode != "sync_dp")
         out += " " + mode;
+    if (platform != hw::kDefaultPlatform)
+        out += " " + platform;
     return out;
 }
 
@@ -137,6 +140,7 @@ RunRecord::toConfig() const
     cfg.batchPerGpu = batch;
     cfg.method = comm::parseCommMethod(method);
     cfg.mode = core::parseParallelismMode(mode);
+    cfg.platform = platform;
     cfg.microbatches = microbatches;
     cfg.datasetImages = images;
     return cfg;
@@ -151,6 +155,7 @@ recordFromReport(const core::TrainReport &report)
     r.batch = report.config.batchPerGpu;
     r.method = comm::commMethodName(report.config.method);
     r.mode = core::parallelismModeName(report.config.mode);
+    r.platform = report.config.platform;
     r.images = report.config.datasetImages;
     r.oom = report.oom;
     r.iterations = report.iterations;
@@ -186,9 +191,12 @@ recordsToJson(const std::vector<RunRecord> &records)
         out += "\"batch\": " + std::to_string(r.batch) + ", ";
         out += "\"method\": \"" + jsonEscape(r.method) + "\", ";
         // sync_dp omits the mode so pre-mode baselines stay
-        // byte-identical.
+        // byte-identical; same for the default platform.
         if (r.mode != "sync_dp")
             out += "\"mode\": \"" + jsonEscape(r.mode) + "\", ";
+        if (r.platform != hw::kDefaultPlatform)
+            out += "\"platform\": \"" + jsonEscape(r.platform) +
+                   "\", ";
         out += "\"images\": " + fmtU64(r.images) + ",\n     ";
         out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
                ", ";
@@ -255,6 +263,8 @@ recordsFromJson(const std::string &text)
         r.method = v.stringAt("method");
         if (const JsonValue *m = v.find("mode"))
             r.mode = m->asString();
+        if (const JsonValue *p = v.find("platform"))
+            r.platform = p->asString();
         r.images = u64At(v, "images");
         r.oom = v.boolAt("oom");
         r.iterations = u64At(v, "iterations");
@@ -296,7 +306,8 @@ std::string
 recordsToCsv(const std::vector<RunRecord> &records)
 {
     std::string out =
-        "model,gpus,batch,method,mode,images,oom,iterations,epoch_s,"
+        "model,gpus,batch,method,mode,platform,images,oom,iterations,"
+        "epoch_s,"
         "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
         "inter_gpu_bytes_per_iter,mem_pre_bytes,mem_gpu0_bytes,"
         "mem_gpux_bytes,digest\n";
@@ -306,6 +317,7 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += std::to_string(r.batch) + ",";
         out += csvEscape(r.method) + ",";
         out += csvEscape(r.mode) + ",";
+        out += csvEscape(r.platform) + ",";
         out += fmtU64(r.images) + ",";
         out += std::string(r.oom ? "1" : "0") + ",";
         out += fmtU64(r.iterations) + ",";

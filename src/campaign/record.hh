@@ -43,6 +43,12 @@ struct RunRecord
      * byte-identical.
      */
     std::string mode = "sync_dp";
+    /**
+     * Hardware platform (hw::platformNames). JSON and key() omit it
+     * for the default "dgx1v" so pre-platform baselines stay
+     * byte-identical.
+     */
+    std::string platform = "dgx1v";
     std::uint64_t images = 256000;
 
     // --- outcome ---

@@ -9,7 +9,9 @@ namespace {
 bool
 linked(const hw::Topology &topo, hw::NodeId a, hw::NodeId b)
 {
-    return topo.directLink(a, b, hw::LinkType::NVLink).has_value();
+    // Direct NVLink, or an all-switch NVLink path (NVSwitch
+    // platforms have no GPU-GPU links at all).
+    return topo.nvlinkConnected(a, b);
 }
 
 bool

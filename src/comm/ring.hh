@@ -2,10 +2,15 @@
  * @file
  * NVLink ring construction for the NCCL-like communicator.
  *
- * NCCL builds rings over the NVLink graph so every hop is a direct
+ * NCCL builds rings over the NVLink graph so every hop is a
  * high-bandwidth link. On the DGX-1's hybrid cube-mesh such a
- * Hamiltonian cycle exists for the 2-, 4- and 8-GPU subsets the paper
- * trains on.
+ * Hamiltonian cycle of direct links exists for the 2-, 4- and 8-GPU
+ * subsets the paper trains on; on NVSwitch platforms (dgx2) every
+ * GPU pair is NVLink-connected through the crossbar, so any order is
+ * a ring. Where no cycle exists (e.g. pcie8, or cube-mesh subsets
+ * like {GPU3, GPU4} with no connecting link), the search returns
+ * empty and the communicator falls back to the given GPU order,
+ * letting the fabric stage each hop (host-PCIe on pcie8).
  */
 
 #ifndef DGXSIM_COMM_RING_HH
@@ -19,7 +24,8 @@ namespace dgxsim::comm {
 
 /**
  * Find a cycle through @p gpus in which consecutive GPUs (and the
- * last-to-first pair) share a direct NVLink.
+ * last-to-first pair) are NVLink-connected: a direct link, or a path
+ * through switch nodes only (hw::Topology::nvlinkConnected).
  *
  * @return the ring starting at gpus[0], or an empty vector when no
  * such cycle exists (the caller then falls back to the given order

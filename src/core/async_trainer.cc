@@ -10,12 +10,19 @@
 namespace dgxsim::core {
 
 AsyncTrainer::AsyncTrainer(TrainConfig cfg)
-    : AsyncTrainer(std::move(cfg), hw::Topology::dgx1Volta())
+    : TrainerBase(std::move(cfg), std::nullopt)
 {
+    setup();
 }
 
 AsyncTrainer::AsyncTrainer(TrainConfig cfg, hw::Topology topo)
     : TrainerBase(std::move(cfg), std::nullopt, std::move(topo))
+{
+    setup();
+}
+
+void
+AsyncTrainer::setup()
 {
     cfg_.mode = ParallelismMode::AsyncPs; // reports describe what ran
     for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {

@@ -56,6 +56,9 @@ class AsyncTrainer : public TrainerBase
                                 int iterations_per_worker = 0);
 
   private:
+    /** Shared constructor body (streams, auditor wiring). */
+    void setup();
+
     /** Start (or continue) one worker's push-pull loop. */
     void workerIteration(std::size_t g);
 

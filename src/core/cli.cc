@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "hw/platform.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core::cli {
@@ -141,8 +142,9 @@ baseConfigFromArgs(const Args &args)
     cfg.useAllReduce = args.has("allreduce");
     cfg.bucketFusionMB = args.getDouble("fusion-mb", 0.0);
     cfg.audit = args.has("audit");
-    // --mode is parsed by configFromArgs (scalar commands) or by the
-    // grid commands themselves (campaign sweeps a mode list).
+    // --mode and --platform are parsed by configFromArgs (scalar
+    // commands) or by the grid commands themselves (campaign sweeps
+    // list-valued modes/platforms).
     cfg.microbatches = args.getInt("microbatches", 0);
     cfg.asyncItersPerWorker = args.getInt("async-iters", 30);
     if (args.has("rings"))
@@ -162,6 +164,17 @@ configFromArgs(const Args &args)
     cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
     if (args.has("mode"))
         cfg.mode = parseParallelismMode(args.get("mode"));
+    if (args.has("platform"))
+        cfg.platform = args.get("platform");
+    // Validate up front: an unknown platform fatals inside
+    // makePlatform, and a GPU count beyond the platform's capacity
+    // gets a clear message here instead of indexing surprises later.
+    const hw::Platform plat = hw::makePlatform(cfg.platform);
+    if (cfg.numGpus < 1 || cfg.numGpus > plat.topology.numGpus()) {
+        sim::fatal("--gpus ", cfg.numGpus, " is out of range: "
+                   "platform '", cfg.platform, "' has ",
+                   plat.topology.numGpus(), " GPUs");
+    }
     return cfg;
 }
 

@@ -67,16 +67,18 @@ class Args
  * Build a TrainConfig from the non-grid options only: --images
  * --tensor-cores --overlap --allreduce --fusion-mb --audit
  * --microbatches --async-iters --rings --p100. Model, gpus, batch,
- * method and mode keep their defaults; grid commands (campaign,
- * sweep) fill them per cell, so list-valued
- * --gpus/--batches/--method/--mode never hit the scalar parsers.
+ * method, mode and platform keep their defaults; grid commands
+ * (campaign, sweep) fill them per cell, so list-valued
+ * --gpus/--batches/--method/--mode/--platform never hit the scalar
+ * parsers.
  */
 TrainConfig baseConfigFromArgs(const Args &args);
 
 /**
  * Build a TrainConfig from common options: --model --gpus --batch
- * --method --mode --images --tensor-cores --overlap --allreduce
- * --fusion-mb --microbatches --async-iters.
+ * --method --mode --platform --images --tensor-cores --overlap
+ * --allreduce --fusion-mb --microbatches --async-iters. Fatal when
+ * --platform is unknown or --gpus exceeds the platform's GPU count.
  */
 TrainConfig configFromArgs(const Args &args);
 

@@ -17,9 +17,16 @@ gb(double v)
 
 } // namespace
 
-Machine::Machine(const TrainConfig &cfg, hw::Topology topo)
+Machine::Machine(const TrainConfig &cfg, const hw::Platform &platform)
+    : Machine(cfg, platform.topology, platform.hostSpec)
+{
+}
+
+Machine::Machine(const TrainConfig &cfg, hw::Topology topo,
+                 hw::HostSpec host)
     : cfg_(cfg),
-      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo)))
+      fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo),
+                                           std::move(host)))
 {
     if (cfg_.numGpus < 1 ||
         cfg_.numGpus > fabric_->topology().numGpus()) {

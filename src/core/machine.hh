@@ -35,6 +35,7 @@
 #include "cuda/stream.hh"
 #include "dnn/network.hh"
 #include "hw/fabric.hh"
+#include "hw/platform.hh"
 #include "profiling/profiler.hh"
 #include "sim/event_queue.hh"
 
@@ -49,7 +50,11 @@ class Machine
      * cfg.numGpus GPUs as devices. Validates numGpus, batchPerGpu
      * and datasetImages (fatal on nonsense).
      */
-    Machine(const TrainConfig &cfg, hw::Topology topo);
+    Machine(const TrainConfig &cfg, hw::Topology topo,
+            hw::HostSpec host = hw::HostSpec::xeonE52698v4());
+
+    /** Build the substrate a registered platform describes. */
+    Machine(const TrainConfig &cfg, const hw::Platform &platform);
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
     ~Machine();

@@ -7,8 +7,7 @@ namespace dgxsim::core {
 
 ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
                                            int microbatches)
-    : TrainerBase(std::move(cfg), std::nullopt,
-                  hw::Topology::dgx1Volta()),
+    : TrainerBase(std::move(cfg), std::nullopt),
       microbatches_(microbatches > 0     ? microbatches
                     : cfg_.microbatches > 0 ? cfg_.microbatches
                                             : cfg_.numGpus)

@@ -14,6 +14,7 @@
 #include "comm/factory.hh"
 #include "core/parallelism.hh"
 #include "hw/gpu_spec.hh"
+#include "hw/platform.hh"
 
 namespace dgxsim::core {
 
@@ -143,7 +144,18 @@ struct TrainConfig
      * can scale it like every other modeled API cost.
      */
     double syncEntryUs = 2.0;
-    /** GPU model (swap for pascalP100() in ablations). */
+    /**
+     * Hardware substrate to simulate on, by registry name
+     * (hw/platform.hh). The default is the paper's DGX-1V; any other
+     * name swaps topology + device specs under the same workload.
+     * Ignored by the explicit-topology trainer constructors.
+     */
+    std::string platform = hw::kDefaultPlatform;
+    /**
+     * GPU model (swap for pascalP100() in ablations). When left at
+     * the default V100 it yields to the selected platform's GPU; an
+     * explicit override always wins (see TrainerBase).
+     */
     hw::GpuSpec gpuSpec = hw::GpuSpec::voltaV100();
     /** Communication tunables. */
     comm::CommConfig commConfig;

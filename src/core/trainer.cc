@@ -10,8 +10,16 @@
 namespace dgxsim::core {
 
 Trainer::Trainer(TrainConfig cfg)
-    : Trainer(std::move(cfg), hw::Topology::dgx1Volta())
+    : TrainerBase(std::move(cfg), std::nullopt)
 {
+    setup();
+}
+
+Trainer::Trainer(TrainConfig cfg, dnn::Network net)
+    : TrainerBase(std::move(cfg),
+                  std::optional<dnn::Network>(std::move(net)))
+{
+    setup();
 }
 
 Trainer::Trainer(TrainConfig cfg, hw::Topology topo)
@@ -28,6 +36,12 @@ Trainer::Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo)
 Trainer::Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
                  hw::Topology topo)
     : TrainerBase(std::move(cfg), std::move(net), std::move(topo))
+{
+    setup();
+}
+
+void
+Trainer::setup()
 {
     cfg_.mode = ParallelismMode::SyncDp; // reports describe what ran
     for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {

@@ -35,20 +35,26 @@
 
 namespace dgxsim::core {
 
-/** Simulates one training configuration on a DGX-1 (or a custom
- * topology). */
+/** Simulates one training configuration on a registered platform (or
+ * a custom topology). */
 class Trainer : public TrainerBase
 {
   public:
-    /** Train on the stock Volta DGX-1. */
+    /** Train on the platform cfg.platform names (default DGX-1V). */
     explicit Trainer(TrainConfig cfg);
 
-    /** Train on a custom topology (ablations). */
+    /**
+     * Train a user-defined network (cfg.model is ignored) on the
+     * platform cfg.platform names.
+     */
+    Trainer(TrainConfig cfg, dnn::Network net);
+
+    /** Train on a custom topology (ablations; cfg.platform ignored). */
     Trainer(TrainConfig cfg, hw::Topology topo);
 
     /**
-     * Train a user-defined network (cfg.model is ignored); see
-     * examples/custom_network.cc.
+     * Train a user-defined network (cfg.model is ignored) on a custom
+     * topology; see examples/custom_network.cc.
      */
     Trainer(TrainConfig cfg, dnn::Network net, hw::Topology topo);
 
@@ -62,7 +68,7 @@ class Trainer : public TrainerBase
     TrainReport run() override;
 
     /**
-     * Convenience: simulate @p cfg on a stock DGX-1 with the
+     * Convenience: simulate @p cfg on its platform with the
      * synchronous schedule (cfg.mode is ignored). Use
      * TrainerBase::simulate for mode dispatch.
      */
@@ -79,6 +85,9 @@ class Trainer : public TrainerBase
     /** Delegated constructor; builds cfg.model when @p net is empty. */
     Trainer(TrainConfig cfg, std::optional<dnn::Network> net,
             hw::Topology topo);
+
+    /** Shared constructor body (streams, communicator, buckets). */
+    void setup();
 
     struct Bucket
     {

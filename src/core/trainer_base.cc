@@ -35,7 +35,34 @@ registry()
     return factories;
 }
 
+/**
+ * Fold the platform's GPU spec into the config: a gpuSpec left at the
+ * default V100 yields to the platform's device, carrying over any
+ * what-if speedupFactor; an explicitly overridden spec (--p100,
+ * ground-truth tweaks) wins over the platform.
+ */
+TrainConfig
+withPlatformSpec(TrainConfig cfg)
+{
+    hw::GpuSpec def = hw::GpuSpec::voltaV100();
+    def.speedupFactor = cfg.gpuSpec.speedupFactor;
+    if (cfg.gpuSpec == def) {
+        const double speedup = cfg.gpuSpec.speedupFactor;
+        cfg.gpuSpec = hw::makePlatform(cfg.platform).gpuSpec;
+        cfg.gpuSpec.speedupFactor = speedup;
+    }
+    return cfg;
+}
+
 } // namespace
+
+TrainerBase::TrainerBase(TrainConfig cfg,
+                         std::optional<dnn::Network> net)
+    : cfg_(withPlatformSpec(std::move(cfg))),
+      machine_(cfg_, hw::makePlatform(cfg_.platform)),
+      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+{
+}
 
 TrainerBase::TrainerBase(TrainConfig cfg,
                          std::optional<dnn::Network> net,

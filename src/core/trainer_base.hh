@@ -59,8 +59,9 @@ class TrainerBase
     const hw::Fabric &fabric() const { return machine_.fabric(); }
 
     /**
-     * Construct the strategy registered for cfg.mode on a stock
-     * DGX-1 (fatal when no strategy is registered for the mode).
+     * Construct the strategy registered for cfg.mode on the platform
+     * cfg.platform names (fatal when no strategy is registered for
+     * the mode or the platform is unknown).
      */
     static std::unique_ptr<TrainerBase> make(const TrainConfig &cfg);
 
@@ -76,7 +77,20 @@ class TrainerBase
         TrainConfig cfg, const std::vector<int> &candidates);
 
   protected:
-    /** Build cfg.model when @p net is empty. */
+    /**
+     * Build the machine from the platform registry entry cfg.platform
+     * names. A cfg.gpuSpec left at the default V100 is replaced by
+     * the platform's GPU (preserving speedupFactor); an explicit
+     * override — --p100, what-if ground-truth tweaks — wins over the
+     * platform. Builds cfg.model when @p net is empty.
+     */
+    TrainerBase(TrainConfig cfg, std::optional<dnn::Network> net);
+
+    /**
+     * Build the machine over an explicit topology, bypassing the
+     * platform registry (cfg.platform is ignored; cfg.gpuSpec is used
+     * as given). Builds cfg.model when @p net is empty.
+     */
     TrainerBase(TrainConfig cfg, std::optional<dnn::Network> net,
                 hw::Topology topo);
 

@@ -50,6 +50,9 @@ struct GpuSpec
      */
     double speedupFactor = 1.0;
 
+    /** Member-wise equality (platform-default detection). */
+    bool operator==(const GpuSpec &) const = default;
+
     /** Tesla V100-SXM2-16GB as shipped in the Volta DGX-1. */
     static GpuSpec voltaV100();
 
@@ -86,6 +89,9 @@ struct HostSpec
     double qpiGBps = 0;
     /** Host software overhead added to each staged host copy (us). */
     double stagingOverheadUs = 0;
+
+    /** Member-wise equality (platform-default detection). */
+    bool operator==(const HostSpec &) const = default;
 
     /** Intel Xeon E5-2698 v4 as shipped in the DGX-1. */
     static HostSpec xeonE52698v4();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The platform registry: a machine is a declarative, named bundle of
+ * topology + device specs instead of an assumption woven through the
+ * trainer layers. `makePlatform("dgx1v")` is bit-exact with the
+ * historical hard-coded DGX-1V; every other name swaps the whole
+ * substrate under an unchanged training configuration.
+ *
+ * Registered platforms:
+ *   dgx1v         8x V100 hybrid cube-mesh (the paper's machine)
+ *   dgx1p         the same cube-mesh with Pascal P100 GPUs
+ *   dgx1v-uniform cube-mesh edges with uniform NVLink bandwidth
+ *   pcie8         8 GPUs with no NVLink at all (host-staged only)
+ *   dgx2          16x V100 through per-baseboard NVSwitch crossbars
+ */
+
+#ifndef DGXSIM_HW_PLATFORM_HH
+#define DGXSIM_HW_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.hh"
+#include "hw/topology.hh"
+
+namespace dgxsim::hw {
+
+/** The platform every config assumes unless told otherwise. */
+inline constexpr const char *kDefaultPlatform = "dgx1v";
+
+/**
+ * A named hardware substrate: everything the simulator needs to stand
+ * up a machine. Purely declarative — construction happens in the
+ * registered builder, consumption in core::Machine.
+ */
+struct Platform
+{
+    std::string name;
+    std::string description;
+    Topology topology;
+    /** The GPU model the platform ships with (per-config overrides
+     * such as --p100 still win; see TrainerBase). */
+    GpuSpec gpuSpec;
+    HostSpec hostSpec;
+};
+
+/**
+ * Build a registered platform by name. Fatal on unknown names, with
+ * the list of known ones in the message.
+ */
+Platform makePlatform(const std::string &name);
+
+/** @return true if @p name is a registered platform. */
+bool isPlatform(const std::string &name);
+
+/** @return all registered platform names, in registration order. */
+std::vector<std::string> platformNames();
+
+} // namespace dgxsim::hw
+
+#endif // DGXSIM_HW_PLATFORM_HH

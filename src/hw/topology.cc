@@ -24,6 +24,7 @@ routeKindName(RouteKind kind)
     switch (kind) {
       case RouteKind::Loopback: return "loopback";
       case RouteKind::DirectNvlink: return "direct-nvlink";
+      case RouteKind::SwitchNvlink: return "switch-nvlink";
       case RouteKind::StagedNvlink: return "staged-nvlink";
       case RouteKind::HostPcie: return "host-pcie";
     }
@@ -46,6 +47,8 @@ Topology::addLink(Link link)
         link.b >= numNodes() || link.a == link.b) {
         sim::fatal("bad link endpoints ", link.a, ", ", link.b);
     }
+    if (link.baseGbpsPerLane == 0)
+        link.baseGbpsPerLane = link.gbpsPerLane;
     links_.push_back(link);
     return links_.size() - 1;
 }
@@ -73,7 +76,7 @@ Topology::scaleNvlinkBandwidth(double factor)
         sim::fatal("bandwidth scale factor must be positive: ", factor);
     for (Link &link : links_) {
         if (link.type == LinkType::NVLink)
-            link.gbpsPerLane *= factor;
+            link.gbpsPerLane = link.baseGbpsPerLane * factor;
     }
 }
 
@@ -84,7 +87,8 @@ Topology::scaleLinkBandwidth(std::size_t link_index, double factor)
         sim::fatal("unknown link ", link_index);
     if (factor <= 0)
         sim::fatal("bandwidth scale factor must be positive: ", factor);
-    links_[link_index].gbpsPerLane *= factor;
+    links_[link_index].gbpsPerLane =
+        links_[link_index].baseGbpsPerLane * factor;
 }
 
 std::optional<std::size_t>
@@ -124,7 +128,100 @@ hostOf(const Topology &topo, NodeId gpu)
     sim::fatal("GPU ", gpu, " has no PCIe uplink to a CPU");
 }
 
+/**
+ * Widest-shortest NVLink path from @p src to @p dst whose interior
+ * nodes all satisfy @p relay_ok. Deterministic policy: minimize hop
+ * count first, then maximize the bottleneck bandwidth, breaking ties
+ * toward the smallest relay id at every layer (which reproduces the
+ * historical DGX-1 "best common neighbor" choice for two-hop pairs)
+ * and then the smallest link index. Paths of fewer than two hops are
+ * the caller's business (loopback/direct run first); returns nullopt
+ * for those and for unreachable pairs.
+ */
+template <typename RelayOk>
+std::optional<Route>
+nvlinkPath(const Topology &topo, NodeId src, NodeId dst,
+           RelayOk relay_ok, RouteKind kind)
+{
+    const int n = topo.numNodes();
+    std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
+    for (std::size_t i = 0; i < topo.links().size(); ++i) {
+        const Link &link = topo.links()[i];
+        if (link.type != LinkType::NVLink)
+            continue;
+        adj[link.a].push_back({link.b, i});
+        adj[link.b].push_back({link.a, i});
+    }
+
+    // BFS layering; only relay-eligible nodes (and dst) are entered.
+    std::vector<int> dist(n, -1);
+    dist[src] = 0;
+    std::vector<NodeId> frontier{src};
+    while (!frontier.empty() && dist[dst] < 0) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+            for (const auto &[v, li] : adj[u]) {
+                if (dist[v] >= 0 || (v != dst && !relay_ok(v)))
+                    continue;
+                dist[v] = dist[u] + 1;
+                next.push_back(v);
+            }
+        }
+        frontier = std::move(next);
+    }
+    if (dist[dst] < 2)
+        return std::nullopt;
+
+    // Widest-path DP across the BFS layers.
+    std::vector<double> widest(n, -1.0);
+    std::vector<NodeId> pred(n, -1);
+    std::vector<std::size_t> pred_link(n, 0);
+    widest[src] = std::numeric_limits<double>::infinity();
+    for (int d = 1; d <= dist[dst]; ++d) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (dist[v] != d)
+                continue;
+            for (const auto &[u, li] : adj[v]) {
+                if (dist[u] != d - 1 || widest[u] < 0)
+                    continue;
+                const double bw = std::min(
+                    widest[u], topo.links()[li].gbpsPerDir());
+                if (bw > widest[v] ||
+                    (bw == widest[v] && u < pred[v])) {
+                    widest[v] = bw;
+                    pred[v] = u;
+                    pred_link[v] = li;
+                }
+            }
+        }
+    }
+    if (widest[dst] < 0)
+        return std::nullopt;
+
+    Route route;
+    route.kind = kind;
+    for (NodeId v = dst; v != src; v = pred[v])
+        route.legs.push_back(RouteLeg{pred[v], v, pred_link[v]});
+    std::reverse(route.legs.begin(), route.legs.end());
+    return route;
+}
+
 } // namespace
+
+bool
+Topology::nvlinkConnected(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return true;
+    if (directLink(a, b, LinkType::NVLink))
+        return true;
+    return nvlinkPath(*this, a, b,
+                      [this](NodeId n) {
+                          return nodeKind(n) == NodeKind::Switch;
+                      },
+                      RouteKind::SwitchNvlink)
+        .has_value();
+}
 
 Route
 Topology::findRoute(NodeId src, NodeId dst) const
@@ -145,32 +242,25 @@ Topology::findRoute(NodeId src, NodeId dst) const
             route.legs.push_back(RouteLeg{src, dst, *link});
             return route;
         }
-        // Two-hop staged transfer through the best common neighbor.
-        double best_bw = -1;
-        NodeId best_relay = -1;
-        std::size_t best_l1 = 0, best_l2 = 0;
-        for (std::size_t l1 : linksOf(src, LinkType::NVLink)) {
-            NodeId relay = links_[l1].peer(src);
-            if (nodeKind(relay) != NodeKind::Gpu)
-                continue;
-            auto l2 = directLink(relay, dst, LinkType::NVLink);
-            if (!l2)
-                continue;
-            const double bw = std::min(links_[l1].gbpsPerDir(),
-                                       links_[*l2].gbpsPerDir());
-            if (bw > best_bw ||
-                (bw == best_bw && relay < best_relay)) {
-                best_bw = bw;
-                best_relay = relay;
-                best_l1 = l1;
-                best_l2 = *l2;
-            }
+        // NVSwitch crossbar traversal: an NVLink path whose interior
+        // nodes are all switches (no GPU relay, no host staging).
+        if (auto via_switch = nvlinkPath(
+                *this, src, dst,
+                [this](NodeId n) {
+                    return nodeKind(n) == NodeKind::Switch;
+                },
+                RouteKind::SwitchNvlink)) {
+            return *via_switch;
         }
-        if (best_relay >= 0) {
-            route.kind = RouteKind::StagedNvlink;
-            route.legs.push_back(RouteLeg{src, best_relay, best_l1});
-            route.legs.push_back(RouteLeg{best_relay, dst, best_l2});
-            return route;
+        // Staged transfer relayed through intermediate GPUs, e.g.
+        // MXNet's two-hop GPU0->GPU1->GPU7 on the DGX-1.
+        if (auto staged = nvlinkPath(
+                *this, src, dst,
+                [this](NodeId n) {
+                    return nodeKind(n) == NodeKind::Gpu;
+                },
+                RouteKind::StagedNvlink)) {
+            return *staged;
         }
     }
 
@@ -294,6 +384,7 @@ Topology::dgx1VoltaUniform()
         if (link.type == LinkType::NVLink) {
             link.lanes = 1;
             link.gbpsPerLane = uniform_gbps;
+            link.baseGbpsPerLane = uniform_gbps;
         }
     }
     return topo;

@@ -1,14 +1,20 @@
 /**
  * @file
  * Node/link topology of a multi-GPU system, with the DGX-1V hybrid
- * cube-mesh factory (paper Fig. 2) and the route policy MXNet's data
- * movement follows on it:
+ * cube-mesh factory (paper Fig. 2) and a graph-derived route policy
+ * generalizing what MXNet's data movement does on such machines:
  *
  *   1. a direct NVLink if one exists;
- *   2. otherwise a two-hop staged transfer through a common NVLink
- *      neighbor (MXNet's multi-stage transfer, e.g. GPU0->GPU1->GPU7);
- *   3. otherwise a device-to-host copy over PCIe, optionally across
+ *   2. otherwise an NVLink path through switch nodes only (NVSwitch
+ *      crossbars, e.g. the DGX-2);
+ *   3. otherwise a staged transfer relayed through intermediate GPUs
+ *      (MXNet's multi-stage transfer, e.g. GPU0->GPU1->GPU7), found
+ *      by a widest-shortest BFS over the NVLink graph;
+ *   4. otherwise a device-to-host copy over PCIe, optionally across
  *      the QPI socket interconnect, and a host-to-device copy.
+ *
+ * On the DGX-1 every staged pair is exactly two hops away, so the BFS
+ * reduces bit-exactly to the historical "best common neighbor" scan.
  */
 
 #ifndef DGXSIM_HW_TOPOLOGY_HH
@@ -27,7 +33,7 @@ namespace dgxsim::hw {
 using NodeId = int;
 
 /** What a node is. */
-enum class NodeKind { Gpu, Cpu };
+enum class NodeKind { Gpu, Cpu, Switch };
 
 /** Physical interconnect classes in a DGX-1. */
 enum class LinkType { NVLink, PCIe, QPI };
@@ -47,6 +53,12 @@ struct Link
     double gbpsPerLane = 0;
     /** One-way latency, microseconds. */
     double latencyUs = 0;
+    /**
+     * Unscaled per-lane bandwidth, GB/s. Recorded by addLink (0 means
+     * "take gbpsPerLane") so ablation scaling is always relative to
+     * the base instead of compounding across calls.
+     */
+    double baseGbpsPerLane = 0;
 
     /** @return total bandwidth per direction in GB/s. */
     double gbpsPerDir() const { return lanes * gbpsPerLane; }
@@ -67,7 +79,8 @@ enum class RouteKind
 {
     Loopback,     ///< src == dst; no data movement
     DirectNvlink, ///< one NVLink hop
-    StagedNvlink, ///< two NVLink hops through a relay GPU
+    SwitchNvlink, ///< NVLink hops through switch (NVSwitch) nodes
+    StagedNvlink, ///< NVLink hops staged through relay GPUs
     HostPcie,     ///< DtoH + (QPI) + HtoD through the CPUs
 };
 
@@ -121,10 +134,18 @@ class Topology
     /** @return all links. */
     const std::vector<Link> &links() const { return links_; }
 
-    /** Scale every NVLink's per-lane bandwidth (ablation hook). */
+    /**
+     * Scale every NVLink's per-lane bandwidth (ablation hook). The
+     * factor applies to the base bandwidth recorded at addLink time,
+     * so repeated calls replace the previous scale instead of
+     * compounding with it.
+     */
     void scaleNvlinkBandwidth(double factor);
 
-    /** Scale one link's per-lane bandwidth (degraded-link studies). */
+    /**
+     * Scale one link's per-lane bandwidth (degraded-link studies).
+     * Like scaleNvlinkBandwidth, relative to the base bandwidth.
+     */
     void scaleLinkBandwidth(std::size_t link_index, double factor);
 
     /**
@@ -136,6 +157,14 @@ class Topology
 
     /** @return indices of all links touching @p node of @p type. */
     std::vector<std::size_t> linksOf(NodeId node, LinkType type) const;
+
+    /**
+     * @return true if the two nodes can talk over NVLink without any
+     * GPU relay or host staging: either a direct NVLink or a path
+     * whose intermediate nodes are all switches. This is the
+     * reachability predicate ring search uses.
+     */
+    bool nvlinkConnected(NodeId a, NodeId b) const;
 
     /**
      * Resolve the route policy described in the file comment.

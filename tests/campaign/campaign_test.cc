@@ -13,6 +13,7 @@
 #include "campaign/campaign.hh"
 #include "campaign/thread_pool.hh"
 #include "core/trainer.hh"
+#include "sim/logging.hh"
 
 namespace dgxsim::campaign {
 namespace {
@@ -138,6 +139,46 @@ TEST(Campaign, ConfigKeySeparatesEveryCliAxis)
     EXPECT_TRUE(differs([](auto &c) { c.commConfig.ncclRings = 2; }));
     EXPECT_TRUE(
         differs([](auto &c) { c.gpuSpec = hw::GpuSpec::pascalP100(); }));
+    EXPECT_TRUE(differs([](auto &c) { c.platform = "dgx2"; }));
+}
+
+TEST(CampaignSpec, PlatformAxisIsOutermost)
+{
+    CampaignSpec spec = smallSpec();
+    spec.platforms = {"dgx1v", "dgx2"};
+    const auto configs = spec.expand();
+    ASSERT_EQ(configs.size(), 16u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(configs[i].platform, "dgx1v") << i;
+        EXPECT_EQ(configs[i + 8].platform, "dgx2") << i;
+        // Inner ordering is unchanged between the platform blocks.
+        EXPECT_EQ(configs[i].model, configs[i + 8].model);
+        EXPECT_EQ(configs[i].numGpus, configs[i + 8].numGpus);
+        EXPECT_EQ(configs[i].method, configs[i + 8].method);
+    }
+}
+
+TEST(CampaignSpec, EmptyPlatformsMeansTheBasePlatform)
+{
+    CampaignSpec spec = smallSpec();
+    spec.base.platform = "dgx1p";
+    for (const auto &cfg : spec.expand())
+        EXPECT_EQ(cfg.platform, "dgx1p");
+}
+
+TEST(CampaignSpec, InvalidPlatformAxisIsFatal)
+{
+    CampaignSpec bad = smallSpec();
+    bad.platforms = {"dgx1v", "dgx3"};
+    EXPECT_THROW(bad.expand(), sim::FatalError);
+    // A GPU request beyond a listed platform's capacity fails the
+    // whole grid up front, not mid-campaign on a worker thread.
+    CampaignSpec wide = smallSpec();
+    wide.platforms = {"dgx1v"};
+    wide.gpus = {8, 16};
+    EXPECT_THROW(wide.expand(), sim::FatalError);
+    wide.platforms = {"dgx2"};
+    EXPECT_EQ(wide.expand().size(), 8u);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)

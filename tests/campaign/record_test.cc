@@ -137,6 +137,26 @@ TEST(RunRecord, ModeExtendsKeyOnlyWhenNotSync)
               std::string::npos);
 }
 
+TEST(RunRecord, PlatformExtendsKeyOnlyWhenNotDefault)
+{
+    // Default-platform keys and JSON are frozen so baselines written
+    // before the platform axis existed keep matching byte-for-byte.
+    EXPECT_EQ(sampleRecord().key(), "alexnet x4 b32 nccl i256000");
+    EXPECT_EQ(recordsToJson({sampleRecord()}).find("\"platform\""),
+              std::string::npos);
+    RunRecord dgx2 = sampleRecord();
+    dgx2.platform = "dgx2";
+    dgx2.gpus = 16;
+    EXPECT_EQ(dgx2.key(), "alexnet x16 b32 nccl i256000 dgx2");
+    EXPECT_NE(recordsToJson({dgx2}).find("\"platform\": \"dgx2\""),
+              std::string::npos);
+    const auto parsed = recordsFromJson(recordsToJson({dgx2}));
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0], dgx2);
+    EXPECT_EQ(dgx2.toConfig().platform, "dgx2");
+    EXPECT_EQ(sampleRecord().toConfig().platform, "dgx1v");
+}
+
 TEST(RunRecord, MalformedJsonIsFatal)
 {
     EXPECT_THROW(recordsFromJson("{"), sim::FatalError);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/ring.hh"
+#include "hw/platform.hh"
 
 namespace {
 
@@ -86,6 +87,64 @@ TEST_F(RingTest, SubsetRingsExistForAllPaperGpuCounts)
         const auto gpus = topo.gpuSet(count);
         EXPECT_FALSE(findNvlinkRing(topo, gpus).empty())
             << count << " GPUs";
+    }
+}
+
+TEST_F(RingTest, Pcie8PlatformNeverYieldsARing)
+{
+    // The no-NVLink platform has no Hamiltonian cycle for any subset
+    // of two or more GPUs; callers fall back to the given order and
+    // the fabric host-stages every hop.
+    const hw::Topology pcie = hw::makePlatform("pcie8").topology;
+    for (int count : {2, 3, 4, 8})
+        EXPECT_TRUE(findNvlinkRing(pcie, pcie.gpuSet(count)).empty())
+            << count << " GPUs";
+    EXPECT_EQ(findNvlinkRing(pcie, {5}),
+              (std::vector<hw::NodeId>{5}));
+}
+
+TEST_F(RingTest, Dgx2OddSubsetsRingThroughTheCrossbar)
+{
+    // NVSwitch makes every GPU pair NVLink-connected, so rings exist
+    // for subsets the cube-mesh cannot serve — odd sizes, arbitrary
+    // members, and the full 16.
+    const hw::Topology dgx2 = hw::makePlatform("dgx2").topology;
+    const std::vector<std::vector<hw::NodeId>> subsets = {
+        {0, 1, 2}, {1, 3, 5, 7, 9}, {2, 6, 11}, dgx2.gpuSet(16)};
+    for (const auto &gpus : subsets) {
+        auto ring = findNvlinkRing(dgx2, gpus);
+        ASSERT_EQ(ring.size(), gpus.size());
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            EXPECT_TRUE(dgx2.nvlinkConnected(
+                ring[i], ring[(i + 1) % ring.size()]));
+        }
+        std::sort(ring.begin(), ring.end());
+        EXPECT_EQ(ring, gpus);
+    }
+}
+
+TEST_F(RingTest, EveryPlatformRingHopIsNvlinkConnected)
+{
+    // Property over the whole registry: whatever subset findNvlinkRing
+    // accepts, each consecutive hop (including the wrap) must be an
+    // NVLink path with no GPU relay — that is the ring's contract.
+    for (const std::string &name : hw::platformNames()) {
+        const hw::Topology plat = hw::makePlatform(name).topology;
+        for (int count = 1; count <= plat.numGpus(); ++count) {
+            const auto gpus = plat.gpuSet(count);
+            auto ring = findNvlinkRing(plat, gpus);
+            if (ring.empty())
+                continue; // fallback case; nothing to validate
+            ASSERT_EQ(ring.size(), gpus.size()) << name;
+            for (std::size_t i = 0; i < ring.size(); ++i) {
+                EXPECT_TRUE(plat.nvlinkConnected(
+                    ring[i], ring[(i + 1) % ring.size()]))
+                    << name << ": hop " << ring[i] << "->"
+                    << ring[(i + 1) % ring.size()];
+            }
+            std::sort(ring.begin(), ring.end());
+            EXPECT_EQ(ring, gpus) << name;
+        }
     }
 }
 

@@ -140,4 +140,44 @@ TEST(CliConfigTest, BaseConfigIgnoresModeForGridCommands)
     EXPECT_EQ(cfg.mode, core::ParallelismMode::SyncDp);
 }
 
+TEST(CliConfigTest, MapsPlatformAndDefaultsToDgx1v)
+{
+    EXPECT_EQ(core::cli::configFromArgs(Args::parse({})).platform,
+              "dgx1v");
+    const Args args = Args::parse(
+        {"--platform", "dgx2", "--gpus", "16"});
+    const core::TrainConfig cfg = core::cli::configFromArgs(args);
+    EXPECT_EQ(cfg.platform, "dgx2");
+    EXPECT_EQ(cfg.numGpus, 16);
+}
+
+TEST(CliConfigTest, BadPlatformIsFatal)
+{
+    const Args args = Args::parse({"--platform", "dgx3"});
+    EXPECT_THROW(core::cli::configFromArgs(args), sim::FatalError);
+}
+
+TEST(CliConfigTest, GpusBeyondThePlatformAreFatal)
+{
+    // 16 GPUs fit the DGX-2 but not the DGX-1; the parser validates
+    // the pair up front instead of failing deep in Machine setup.
+    EXPECT_THROW(core::cli::configFromArgs(
+                     Args::parse({"--gpus", "16"})),
+                 sim::FatalError);
+    EXPECT_THROW(core::cli::configFromArgs(
+                     Args::parse({"--gpus", "0"})),
+                 sim::FatalError);
+    EXPECT_NO_THROW(core::cli::configFromArgs(Args::parse(
+        {"--platform", "dgx2", "--gpus", "16"})));
+}
+
+TEST(CliConfigTest, BaseConfigIgnoresPlatformForGridCommands)
+{
+    // Campaign passes list-valued --platform; the scalar parser must
+    // not touch it (makePlatform would fatal on "dgx1p,dgx2").
+    const Args args = Args::parse({"--platform", "dgx1p,dgx2"});
+    const core::TrainConfig cfg = core::cli::baseConfigFromArgs(args);
+    EXPECT_EQ(cfg.platform, "dgx1v");
+}
+
 } // namespace

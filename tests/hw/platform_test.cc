@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Platform registry tests: the registered names, bit-exactness of the
+ * default platform against the hand-built DGX-1 topology, the DGX-2
+ * NVSwitch fabric's structure and routes, and base-relative bandwidth
+ * scaling (repeated scales must not compound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/platform.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using hw::makePlatform;
+
+TEST(Platform, RegistryListsTheKnownMachines)
+{
+    EXPECT_EQ(hw::platformNames(),
+              (std::vector<std::string>{"dgx1v", "dgx1p",
+                                        "dgx1v-uniform", "pcie8",
+                                        "dgx2"}));
+    for (const std::string &name : hw::platformNames()) {
+        EXPECT_TRUE(hw::isPlatform(name)) << name;
+        EXPECT_EQ(makePlatform(name).name, name);
+    }
+    EXPECT_FALSE(hw::isPlatform("dgx3"));
+    EXPECT_EQ(std::string(hw::kDefaultPlatform), "dgx1v");
+}
+
+TEST(Platform, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makePlatform("summit"), sim::FatalError);
+    EXPECT_THROW(makePlatform(""), sim::FatalError);
+}
+
+TEST(Platform, DefaultPlatformMatchesTheHandBuiltDgx1)
+{
+    // The determinism digest folds per-link traffic in link-index
+    // order, so the registry's dgx1v must reproduce dgx1Volta()
+    // link-for-link — same order, same fields.
+    const hw::Platform plat = makePlatform("dgx1v");
+    const hw::Topology ref = hw::Topology::dgx1Volta();
+    ASSERT_EQ(plat.topology.links().size(), ref.links().size());
+    for (std::size_t i = 0; i < ref.links().size(); ++i) {
+        const hw::Link &a = plat.topology.links()[i];
+        const hw::Link &b = ref.links()[i];
+        EXPECT_EQ(a.a, b.a) << "link " << i;
+        EXPECT_EQ(a.b, b.b) << "link " << i;
+        EXPECT_EQ(a.type, b.type) << "link " << i;
+        EXPECT_EQ(a.lanes, b.lanes) << "link " << i;
+        EXPECT_DOUBLE_EQ(a.gbpsPerLane, b.gbpsPerLane) << "link " << i;
+        EXPECT_DOUBLE_EQ(a.latencyUs, b.latencyUs) << "link " << i;
+    }
+    EXPECT_EQ(plat.gpuSpec, hw::GpuSpec::voltaV100());
+    EXPECT_EQ(plat.hostSpec, hw::HostSpec::xeonE52698v4());
+}
+
+TEST(Platform, Dgx1pIsTheVoltaMeshWithPascalGpus)
+{
+    const hw::Platform plat = makePlatform("dgx1p");
+    EXPECT_EQ(plat.gpuSpec, hw::GpuSpec::pascalP100());
+    EXPECT_EQ(plat.topology.links().size(),
+              hw::Topology::dgx1Volta().links().size());
+}
+
+TEST(Platform, Dgx2HasSixteenGpusBehindSwitches)
+{
+    const hw::Topology topo = makePlatform("dgx2").topology;
+    EXPECT_EQ(topo.numGpus(), 16);
+    // No direct GPU-GPU NVLinks: every brick lands on a switch.
+    for (const hw::Link &link : topo.links()) {
+        if (link.type != hw::LinkType::NVLink)
+            continue;
+        EXPECT_TRUE(topo.nodeKind(link.a) == hw::NodeKind::Switch ||
+                    topo.nodeKind(link.b) == hw::NodeKind::Switch);
+    }
+    // Yet every pair is NVLink-connected through the crossbar.
+    for (hw::NodeId a = 0; a < 16; ++a)
+        for (hw::NodeId b = a + 1; b < 16; ++b)
+            EXPECT_TRUE(topo.nvlinkConnected(a, b))
+                << a << "-" << b;
+}
+
+TEST(Platform, Dgx2RoutesTraverseTheCrossbar)
+{
+    const hw::Topology topo = makePlatform("dgx2").topology;
+    // Same baseboard: GPU -> NVS0 -> GPU, two legs.
+    const hw::Route same = topo.findRoute(0, 1);
+    EXPECT_EQ(same.kind, hw::RouteKind::SwitchNvlink);
+    EXPECT_EQ(same.legs.size(), 2u);
+    // Cross-board: GPU -> NVS0 -> NVS1 -> GPU, three legs, still at
+    // the full 6-brick rate (the 48-lane trunk is not the bottleneck).
+    const hw::Route cross = topo.findRoute(0, 15);
+    EXPECT_EQ(cross.kind, hw::RouteKind::SwitchNvlink);
+    EXPECT_EQ(cross.legs.size(), 3u);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(0, 1), 150.0);
+    EXPECT_DOUBLE_EQ(topo.routeBandwidthGbps(0, 15), 150.0);
+}
+
+TEST(Platform, Pcie8RoutesAreHostStaged)
+{
+    const hw::Topology topo = makePlatform("pcie8").topology;
+    EXPECT_EQ(topo.findRoute(0, 1).kind, hw::RouteKind::HostPcie);
+    EXPECT_FALSE(topo.nvlinkConnected(0, 1));
+}
+
+TEST(Platform, NvlinkScalingIsBaseRelative)
+{
+    hw::Topology topo = makePlatform("dgx1v").topology;
+    const double base = topo.links()[0].gbpsPerLane;
+    topo.scaleNvlinkBandwidth(2.0);
+    topo.scaleNvlinkBandwidth(2.0);
+    // Repeating the same factor is idempotent: the scale applies to
+    // the construction-time bandwidth, not the current value.
+    EXPECT_DOUBLE_EQ(topo.links()[0].gbpsPerLane, 2.0 * base);
+    topo.scaleNvlinkBandwidth(0.5);
+    EXPECT_DOUBLE_EQ(topo.links()[0].gbpsPerLane, 0.5 * base);
+    topo.scaleNvlinkBandwidth(1.0);
+    EXPECT_DOUBLE_EQ(topo.links()[0].gbpsPerLane, base);
+}
+
+TEST(Platform, PerLinkScalingIsBaseRelativeToo)
+{
+    hw::Topology topo = makePlatform("dgx1v").topology;
+    const double base = topo.links()[3].gbpsPerLane;
+    topo.scaleLinkBandwidth(3, 0.5);
+    topo.scaleLinkBandwidth(3, 0.5);
+    EXPECT_DOUBLE_EQ(topo.links()[3].gbpsPerLane, 0.5 * base);
+    // And the global NVLink scale composes from the same base, so the
+    // two entry points cannot double-apply each other's factor.
+    topo.scaleNvlinkBandwidth(4.0);
+    EXPECT_DOUBLE_EQ(topo.links()[3].gbpsPerLane, 4.0 * base);
+}
+
+} // namespace

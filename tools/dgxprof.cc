@@ -8,14 +8,17 @@
  *   sweep    grid over GPUs x batch x method, print a table
  *   campaign parallel grid runner with JSON/CSV results
  *   check    re-run a campaign, diff against a golden baseline
- *   topo     show the DGX-1 topology, routes and bandwidths
+ *   topo     show a platform's topology, routes and bandwidths
+ *   platforms list the registered hardware platforms
  *   advise   pick max batch size and best method for a model
  *   models   list the model zoo
  *   verify   determinism check: run a config twice, compare digests
  *
  * train/analyze/sweep/campaign/check/verify take --mode
  * sync_dp|async_ps|model_parallel to select the parallelization
- * strategy (campaign and check accept a comma-separated list).
+ * strategy, and --platform to pick the hardware substrate from the
+ * registry (campaign and check accept comma-separated lists of
+ * both).
  *
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
@@ -40,6 +43,7 @@
 #include "dnn/models.hh"
 #include "dnn/serialize.hh"
 #include "hw/fabric.hh"
+#include "hw/platform.hh"
 #include "hw/topology.hh"
 #include "sim/logging.hh"
 
@@ -62,6 +66,8 @@ usage()
         "--method p2p|nccl\n"
         "                                   [--mode "
         "sync_dp|async_ps|model_parallel]\n"
+        "                                   [--platform "
+        "dgx1v|dgx1p|dgx2|... ]\n"
         "                                   [--microbatches N] "
         "[--async-iters N]\n"
         "                                   [--allreduce] [--fusion-mb "
@@ -80,13 +86,15 @@ usage()
         "FILE])\n"
         "  sweep    grid of runs          (--model [--gpus 1,2,4,8] "
         "[--batches 16,32,64]\n"
-        "                                   [--mode M] [--jobs N])\n"
+        "                                   [--mode M] [--platform P] "
+        "[--jobs N])\n"
         "  campaign  parallel grid runner  (--model M1,M2 [--gpus "
         "1,2,4,8]\n"
         "                                   [--batches 16,32,64] "
         "[--method p2p,nccl]\n"
-        "                                   [--mode M1,M2] [--jobs N] "
-        "[--json FILE]\n"
+        "                                   [--mode M1,M2] "
+        "[--platform P1,P2]\n"
+        "                                   [--jobs N] [--json FILE]\n"
         "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
         "results/baseline.json\n"
@@ -95,9 +103,12 @@ usage()
         "                                   [--model ...] [--gpus ...] "
         "[--batches ...]\n"
         "                                   [--method ...] [--mode "
-        "...] to filter\n"
-        "                                   the baseline grid)\n"
-        "  topo      DGX-1 topology, routes, bandwidth matrix\n"
+        "...] [--platform ...]\n"
+        "                                   to filter the baseline "
+        "grid)\n"
+        "  topo      topology, routes, bandwidth matrix "
+        "([--platform P])\n"
+        "  platforms list the registered hardware platforms\n"
         "  advise    batch-size + method advice (--model [--gpus N] "
         "[--mode M])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
@@ -124,8 +135,7 @@ cmdTrain(const Args &args)
         dnn::Network net =
             dnn::loadNetworkFile(args.get("model-file"));
         cfg.model = net.name();
-        owned = std::make_unique<core::Trainer>(
-            cfg, std::move(net), hw::Topology::dgx1Volta());
+        owned = std::make_unique<core::Trainer>(cfg, std::move(net));
     } else {
         owned = core::TrainerBase::make(cfg);
     }
@@ -194,7 +204,9 @@ cmdAnalyze(const Args &args)
         return 1;
     }
 
-    const hw::Topology topo = hw::Topology::dgx1Volta();
+    // The DAG reads routes off the topology the run actually used
+    // (whatever platform cfg selected).
+    const hw::Topology &topo = trainer->fabric().topology();
     const analysis::Dag dag(trainer->profiler(), topo);
     // attribute() panics unless the four categories partition the
     // makespan tick-exactly, so reaching the report is the proof.
@@ -281,6 +293,8 @@ campaignSpecFromArgs(const Args &args)
     spec.modes.clear();
     for (const std::string &m : args.getList("mode", {"sync_dp"}))
         spec.modes.push_back(core::parseParallelismMode(m));
+    // Empty means "base.platform only" (the default machine).
+    spec.platforms = args.getList("platform", {});
     return spec;
 }
 
@@ -361,12 +375,14 @@ cmdCheck(const Args &args)
     };
     if (args.has("model") || args.has("gpus") ||
         args.has("batches") || args.has("batch") ||
-        args.has("method") || args.has("mode")) {
+        args.has("method") || args.has("mode") ||
+        args.has("platform")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
             args.getIntList("batches", args.getIntList("batch", {}));
         const auto methods = args.getList("method", {});
+        const auto platforms = args.getList("platform", {});
         std::vector<std::string> modes;
         for (const std::string &m : args.getList("mode", {})) {
             // Canonicalize aliases ("async" -> "async_ps") so the
@@ -379,7 +395,9 @@ cmdCheck(const Args &args)
                    (!gpus.empty() && !contains(gpus, r.gpus)) ||
                    (!batches.empty() && !contains(batches, r.batch)) ||
                    (!methods.empty() && !contains(methods, r.method)) ||
-                   (!modes.empty() && !contains(modes, r.mode));
+                   (!modes.empty() && !contains(modes, r.mode)) ||
+                   (!platforms.empty() &&
+                    !contains(platforms, r.platform));
         });
     }
     if (baseline.empty()) {
@@ -460,18 +478,38 @@ cmdSweep(const Args &args)
 }
 
 int
-cmdTopo()
+cmdTopo(const Args &args)
 {
-    hw::Topology topo = hw::Topology::dgx1Volta();
+    const hw::Platform plat = hw::makePlatform(
+        args.get("platform", hw::kDefaultPlatform));
+    const hw::Topology &topo = plat.topology;
+    const hw::NodeId gpus =
+        static_cast<hw::NodeId>(topo.numGpus());
+    std::printf("%s: %s\n", plat.name.c_str(),
+                plat.description.c_str());
     TextTable table({"pair", "route", "bw (GB/s)"});
-    for (hw::NodeId a = 0; a < 8; ++a) {
-        for (hw::NodeId b = a + 1; b < 8; ++b) {
+    for (hw::NodeId a = 0; a < gpus; ++a) {
+        for (hw::NodeId b = a + 1; b < gpus; ++b) {
             table.addRow({"GPU" + std::to_string(a) + "-GPU" +
                               std::to_string(b),
                           hw::routeKindName(topo.findRoute(a, b).kind),
                           TextTable::num(topo.routeBandwidthGbps(a, b),
                                          0)});
         }
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
+cmdPlatforms()
+{
+    TextTable table({"name", "gpus", "gpu", "description"});
+    for (const std::string &name : hw::platformNames()) {
+        const hw::Platform plat = hw::makePlatform(name);
+        table.addRow({plat.name,
+                      std::to_string(plat.topology.numGpus()),
+                      plat.gpuSpec.name, plat.description});
     }
     std::printf("%s", table.str().c_str());
     return 0;
@@ -592,7 +630,9 @@ main(int argc, char **argv)
         if (command == "check")
             return cmdCheck(args);
         if (command == "topo")
-            return cmdTopo();
+            return cmdTopo(args);
+        if (command == "platforms")
+            return cmdPlatforms();
         if (command == "advise")
             return cmdAdvise(args);
         if (command == "analyze")

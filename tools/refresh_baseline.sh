@@ -6,6 +6,9 @@
 #   results/baseline_modes.json — a small async_ps + model_parallel
 #       grid (lenet,alexnet x {2,4} GPUs x b16 x p2p) gating the
 #       non-sync strategies
+#   results/baseline_platforms.json — a non-default-platform grid
+#       (dgx1p,dgx2 x lenet,alexnet x {1,4} GPUs x b16 x {p2p,nccl})
+#       gating the platform registry
 # Both are serialized with deterministic formatting so the diff
 # against the old baseline is reviewable like code.
 #
@@ -40,3 +43,11 @@ echo "results/baseline.json refreshed ($count records)"
 
 count=$(grep -c '"model"' "$repo/results/baseline_modes.json")
 echo "results/baseline_modes.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet --gpus 1,4 --batches 16 --method p2p,nccl \
+    --platform dgx1p,dgx2 \
+    --json "$repo/results/baseline_platforms.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_platforms.json")
+echo "results/baseline_platforms.json refreshed ($count records)"
