@@ -1,0 +1,178 @@
+#include "campaign/benchfile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "campaign/json.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::campaign {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+serializeBenchFile(const BenchFile &file)
+{
+    std::vector<BenchMetric> metrics = file.metrics;
+    std::sort(metrics.begin(), metrics.end(),
+              [](const BenchMetric &a, const BenchMetric &b) {
+                  return a.name < b.name;
+              });
+
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"" << kBenchSchema << "\",\n";
+    os << "  \"suite\": \"" << jsonEscape(file.suite) << "\",\n";
+    os << "  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const BenchMetric &m = metrics[i];
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << jsonEscape(m.name) << "\", \"unit\": \""
+           << jsonEscape(m.unit) << "\", \"higher_is_better\": "
+           << (m.higherIsBetter ? "true" : "false")
+           << ", \"value\": " << formatNumber(m.value) << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"trajectory\": [";
+    for (std::size_t i = 0; i < file.trajectory.size(); ++i) {
+        const BenchPoint &p = file.trajectory[i];
+        os << (i ? "," : "") << "\n    {\n      \"label\": \""
+           << jsonEscape(p.label) << "\",\n      \"note\": \""
+           << jsonEscape(p.note) << "\",\n      \"values\": {";
+        std::size_t j = 0;
+        for (const auto &[name, value] : p.values) {
+            os << (j++ ? "," : "") << "\n        \""
+               << jsonEscape(name) << "\": " << formatNumber(value);
+        }
+        os << "\n      }\n    }";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+BenchFile
+parseBenchFile(const std::string &text)
+{
+    const JsonValue doc = JsonValue::parse(text);
+    const std::string &schema = doc.stringAt("schema");
+    if (schema != kBenchSchema)
+        sim::fatal("bench file schema '", schema, "' is not '",
+                   kBenchSchema, "'");
+
+    BenchFile file;
+    file.suite = doc.stringAt("suite");
+    if (file.suite.empty())
+        sim::fatal("bench file has an empty suite name");
+
+    for (const JsonValue &m : doc.at("metrics").asArray()) {
+        BenchMetric metric;
+        metric.name = m.stringAt("name");
+        metric.unit = m.stringAt("unit");
+        metric.higherIsBetter = m.boolAt("higher_is_better");
+        metric.value = m.numberAt("value");
+        if (metric.name.empty())
+            sim::fatal("bench metric with an empty name");
+        if (!file.metrics.empty() &&
+            metric.name <= file.metrics.back().name) {
+            sim::fatal("bench metrics not sorted/unique at '",
+                       metric.name, "' (deterministic schema "
+                       "requires sorted unique names)");
+        }
+        file.metrics.push_back(std::move(metric));
+    }
+
+    for (const JsonValue &p : doc.at("trajectory").asArray()) {
+        BenchPoint point;
+        point.label = p.stringAt("label");
+        point.note = p.stringAt("note");
+        if (point.label.empty())
+            sim::fatal("bench trajectory point with an empty label");
+        for (const auto &[name, value] : p.at("values").asObject())
+            point.values[name] = value.asNumber();
+        file.trajectory.push_back(std::move(point));
+    }
+    return file;
+}
+
+std::vector<std::string>
+findRegressions(const BenchFile &baseline, const BenchFile &fresh,
+                double tolerance, const std::string &calibration)
+{
+    const auto lookup = [](const BenchFile &f, const std::string &name)
+        -> const BenchMetric * {
+        for (const BenchMetric &m : f.metrics) {
+            if (m.name == name)
+                return &m;
+        }
+        return nullptr;
+    };
+
+    // Host-speed normalization: compare code ratios, not absolute
+    // throughput, when both files carry the calibration metric.
+    double factor = 1.0;
+    if (!calibration.empty()) {
+        const BenchMetric *base = lookup(baseline, calibration);
+        const BenchMetric *now = lookup(fresh, calibration);
+        if (base && now && base->value > 0 && now->value > 0)
+            factor = now->value / base->value;
+    }
+
+    std::vector<std::string> regressions;
+    for (const BenchMetric &base : baseline.metrics) {
+        if (base.name == calibration)
+            continue;
+        const BenchMetric *now = lookup(fresh, base.name);
+        if (!now)
+            continue; // metric retired; not a regression
+        // factor is a throughput ratio (fresh host speed / baseline
+        // host speed): throughputs scale with it, latencies against.
+        const double expected = base.higherIsBetter
+                                    ? base.value * factor
+                                    : base.value / factor;
+        bool bad;
+        if (base.higherIsBetter)
+            bad = now->value < expected * (1.0 - tolerance);
+        else
+            bad = now->value > expected * (1.0 + tolerance);
+        if (bad) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "%s: baseline %.6g (host-adjusted %.6g), "
+                          "measured %.6g, tolerance %.0f%%",
+                          base.name.c_str(), base.value, expected,
+                          now->value, tolerance * 100.0);
+            regressions.push_back(line);
+        }
+    }
+    return regressions;
+}
+
+} // namespace dgxsim::campaign

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The BENCH_*.json schema: the repo's performance-trajectory files.
+ *
+ * A bench file records how fast the *simulator itself* runs — not
+ * simulated results — so perf work can be measured, committed, and
+ * gated like correctness. The schema is deterministic: fixed key
+ * order, metrics sorted by name, trajectory in chronological order.
+ * Only the metric values change between runs on the same code; every
+ * other field is a function of the harness alone, which is what the
+ * bench smoke test asserts.
+ *
+ * Cross-machine regression checks normalize by a calibration metric
+ * (see findRegressions): an absolute 25% gate would trip on any
+ * slower CI runner, but metric/calibration ratios track the code, not
+ * the host.
+ */
+
+#ifndef DGXSIM_CAMPAIGN_BENCHFILE_HH
+#define DGXSIM_CAMPAIGN_BENCHFILE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dgxsim::campaign {
+
+/** Schema identifier; bump when the layout changes. */
+inline constexpr const char *kBenchSchema = "dgxsim-bench-v1";
+
+/** One measured quantity. */
+struct BenchMetric
+{
+    std::string name;        ///< snake_case, unique within the file
+    std::string unit;        ///< e.g. "sims/s", "ms"
+    bool higherIsBetter = true;
+    double value = 0;
+};
+
+/** One point on the perf trajectory (a commit-level snapshot). */
+struct BenchPoint
+{
+    std::string label; ///< e.g. "pre-incremental-solver"
+    std::string note;  ///< provenance: where/how it was measured
+    /** Metric name -> value at that point (absent = not measured). */
+    std::map<std::string, double> values;
+};
+
+/** A full bench file. */
+struct BenchFile
+{
+    std::string suite; ///< e.g. "simulator"
+    std::vector<BenchMetric> metrics;    ///< current measurement
+    std::vector<BenchPoint> trajectory;  ///< history, oldest first
+};
+
+/**
+ * @return @p file serialized with the deterministic layout (metrics
+ * sorted by name; stable key order; trailing newline).
+ */
+std::string serializeBenchFile(const BenchFile &file);
+
+/**
+ * Parse and validate @p text. Fatal on: wrong schema id, missing
+ * fields, unsorted or duplicate metric names — the schema is strict
+ * so drift shows up at the parse site, not downstream.
+ */
+BenchFile parseBenchFile(const std::string &text);
+
+/**
+ * Compare a fresh measurement against a committed baseline.
+ *
+ * Every baseline metric also present in @p fresh is checked after
+ * normalizing by the calibration metric's ratio between the two
+ * files (when @p calibration names a metric both files carry): the
+ * gate then compares code-speed ratios rather than absolute
+ * throughput, so a slower CI host does not trip it. The calibration
+ * metric itself is exempt.
+ *
+ * @param tolerance Allowed fractional slowdown (0.25 = 25%).
+ * @return one human-readable line per regression; empty when clean.
+ */
+std::vector<std::string>
+findRegressions(const BenchFile &baseline, const BenchFile &fresh,
+                double tolerance,
+                const std::string &calibration = "");
+
+} // namespace dgxsim::campaign
+
+#endif // DGXSIM_CAMPAIGN_BENCHFILE_HH

@@ -68,10 +68,43 @@ struct CampaignSpec
 /**
  * Simulate @p cfg through a process-wide thread-safe memo cache.
  * Repeated calls with an equivalent configuration return the stored
- * report without re-running. The reference stays valid for the
- * process lifetime.
+ * report without re-running. The reference stays valid until the
+ * next clearSimulationCache() or trimSimulationCache() eviction —
+ * copy the report before either can run if it must outlive them.
  */
 const core::TrainReport &cachedSimulate(const core::TrainConfig &cfg);
+
+/** Observable state of the simulate memo cache. */
+struct SimulationCacheStats
+{
+    std::size_t entries = 0; ///< reports currently held
+    std::size_t limit = 0;   ///< trim threshold; 0 = unbounded
+    std::uint64_t hits = 0;  ///< lookups served from the cache
+    std::uint64_t misses = 0; ///< simulations performed
+};
+
+/** @return a snapshot of the simulate cache counters (thread-safe). */
+SimulationCacheStats simulationCacheStats();
+
+/**
+ * Drop every cached report (and the per-layer cost tables) and reset
+ * the hit/miss counters. References previously returned by
+ * cachedSimulate() are invalidated.
+ */
+void clearSimulationCache();
+
+/**
+ * Cap the cache at @p max_entries reports; 0 (the default) keeps it
+ * unbounded. The cap takes effect at the next trimSimulationCache()
+ * — lookups never evict, so references stay stable within a grid.
+ */
+void setSimulationCacheLimit(std::size_t max_entries);
+
+/**
+ * Evict oldest-inserted reports until the cache is within its limit.
+ * runCampaign() calls this between grids; a no-op when unbounded.
+ */
+void trimSimulationCache();
 
 /**
  * @return a cache/identity key covering every TrainConfig field that

@@ -38,6 +38,14 @@ JsonValue::asArray() const
     return array_;
 }
 
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        sim::fatal("JSON value is not an object");
+    return object_;
+}
+
 const JsonValue &
 JsonValue::at(const std::string &key) const
 {

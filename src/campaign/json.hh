@@ -46,6 +46,9 @@ class JsonValue
     /** @return the array elements (fatal if not an Array). */
     const std::vector<JsonValue> &asArray() const;
 
+    /** @return the members, key-sorted (fatal if not an Object). */
+    const std::map<std::string, JsonValue> &asObject() const;
+
     /**
      * @return the named member (fatal if not an Object or the key is
      * absent).

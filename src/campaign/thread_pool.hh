@@ -25,14 +25,26 @@
 namespace dgxsim::campaign {
 
 /**
+ * Thread-creation hook for parallelFor. The default (an empty
+ * function) constructs a plain std::thread; tests inject spawners
+ * that fail partway through to exercise the error path.
+ */
+using ThreadSpawner =
+    std::function<std::thread(const std::function<void()> &)>;
+
+/**
  * Run body(i) for every i in [0, count) on up to @p jobs threads.
  * jobs <= 1 runs inline on the caller's thread. The first exception
  * thrown by any body is rethrown on the caller's thread after all
- * workers finish (remaining indices are abandoned).
+ * workers finish (remaining indices are abandoned). If spawning a
+ * worker thread fails partway through, the already-running workers
+ * are drained and joined before the spawn error propagates — a
+ * joinable std::thread must never be destroyed.
  */
 inline void
 parallelFor(std::size_t count, int jobs,
-            const std::function<void(std::size_t)> &body)
+            const std::function<void(std::size_t)> &body,
+            const ThreadSpawner &spawn = {})
 {
     if (count == 0)
         return;
@@ -65,8 +77,19 @@ parallelFor(std::size_t count, int jobs,
     };
     std::vector<std::thread> threads;
     threads.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t)
-        threads.emplace_back(worker);
+    try {
+        for (std::size_t t = 0; t < workers; ++t) {
+            threads.emplace_back(spawn ? spawn(worker)
+                                       : std::thread(worker));
+        }
+    } catch (...) {
+        // Abandon unclaimed indices so the spawned workers drain
+        // quickly, join them, then let the spawn failure propagate.
+        next.store(count, std::memory_order_relaxed);
+        for (std::thread &t : threads)
+            t.join();
+        throw;
+    }
     for (std::thread &t : threads)
         t.join();
     if (error)

@@ -49,7 +49,7 @@ AsyncTrainer::workerIteration(std::size_t g)
 
     // Compute on whatever weights the last pull delivered.
     pulledVersion_[g] = version_;
-    issueFpBp(worker, stream, net_, cfg_);
+    issueFpBp(worker, stream, layerCosts(), cfg_);
     worker.waitStream(stream);
 
     // Push: move the full gradient set to the server GPU; the update

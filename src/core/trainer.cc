@@ -142,7 +142,7 @@ Trainer::issueWorker(std::size_t g)
             onGradientReady(bucketOfWeighted_[weighted_idx]);
         };
     }
-    issueFpBp(worker, stream, net_, cfg_, std::move(on_gradient));
+    issueFpBp(worker, stream, layerCosts(), cfg_, std::move(on_gradient));
 
     // Wait for BP through the engine's dependency tracking (not a
     // CUDA API), then block in cudaStreamSynchronize until the

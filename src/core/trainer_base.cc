@@ -60,7 +60,10 @@ TrainerBase::TrainerBase(TrainConfig cfg,
                          std::optional<dnn::Network> net)
     : cfg_(withPlatformSpec(std::move(cfg))),
       machine_(cfg_, hw::makePlatform(cfg_.platform)),
-      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model)),
+      // Only a net built from cfg_.model may share the cached table;
+      // a caller-supplied network gets a private one.
+      layerCosts_(layerCostsFor(net_, cfg_, !net))
 {
 }
 
@@ -69,7 +72,8 @@ TrainerBase::TrainerBase(TrainConfig cfg,
                          hw::Topology topo)
     : cfg_(std::move(cfg)),
       machine_(cfg_, std::move(topo)),
-      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model))
+      net_(net ? std::move(*net) : dnn::buildByName(cfg_.model)),
+      layerCosts_(layerCostsFor(net_, cfg_, !net))
 {
 }
 

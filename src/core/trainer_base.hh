@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/layer_costs.hh"
 #include "core/machine.hh"
 #include "core/parallelism.hh"
 #include "core/report.hh"
@@ -94,9 +95,16 @@ class TrainerBase
     TrainerBase(TrainConfig cfg, std::optional<dnn::Network> net,
                 hw::Topology topo);
 
+    /**
+     * @return the per-layer kernel costs for net_ under cfg_, shared
+     * through the process-wide cache when net_ came from cfg_.model.
+     */
+    const LayerCostTable &layerCosts() const { return *layerCosts_; }
+
     TrainConfig cfg_;
     Machine machine_;
     dnn::Network net_;
+    std::shared_ptr<const LayerCostTable> layerCosts_;
 };
 
 /** Factory signature of one registered strategy. */

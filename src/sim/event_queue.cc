@@ -4,23 +4,100 @@
 
 namespace dgxsim::sim {
 
+EventQueue::Record *
+EventQueue::allocRecord()
+{
+    if (freeList_.empty()) {
+        slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
+        Record *slab = slabs_.back().get();
+        freeList_.reserve(freeList_.size() + kSlabSize);
+        // Reverse order so the first allocation serves slab[0].
+        for (std::size_t i = kSlabSize; i-- > 0;)
+            freeList_.push_back(&slab[i]);
+    }
+    Record *rec = freeList_.back();
+    freeList_.pop_back();
+    return rec;
+}
+
+void
+EventQueue::recycle(Record *rec)
+{
+    // Invalidate every outstanding handle to this incarnation, then
+    // make the record reusable. The callback is released eagerly so
+    // captured resources do not linger on the free list.
+    ++rec->gen;
+    rec->cancelled = false;
+    rec->callback = nullptr;
+    freeList_.push_back(rec);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    const HeapEntry entry = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!(entry < heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = entry;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const HeapEntry entry = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap_[c] < heap_[best])
+                best = c;
+        }
+        if (!(heap_[best] < entry))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = entry;
+}
+
+EventQueue::HeapEntry
+EventQueue::popTop()
+{
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return top;
+}
+
 EventHandle
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < curTick_)
         fatal("event scheduled in the past: ", when, " < ", curTick_);
-    auto record = std::make_shared<EventHandle::Record>();
-    record->callback = std::move(cb);
-    heap_.push(HeapEntry{when, nextSeq_++, record});
+    Record *rec = allocRecord();
+    rec->callback = std::move(cb);
+    heap_.push_back(HeapEntry{when, nextSeq_++, rec});
+    siftUp(heap_.size() - 1);
     ++liveEvents_;
-    return EventHandle(record);
+    return EventHandle(rec, rec->gen);
 }
 
 bool
 EventQueue::cancel(EventHandle &handle)
 {
-    auto rec = handle.record.lock();
-    if (!rec || rec->cancelled || rec->fired)
+    Record *rec = handle.record_;
+    if (!rec || rec->gen != handle.gen_ || rec->cancelled)
         return false;
     rec->cancelled = true;
     rec->callback = nullptr;
@@ -31,8 +108,8 @@ EventQueue::cancel(EventHandle &handle)
 void
 EventQueue::skipCancelled()
 {
-    while (!heap_.empty() && heap_.top().record->cancelled)
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().record->cancelled)
+        recycle(popTop().record);
 }
 
 bool
@@ -41,15 +118,15 @@ EventQueue::step()
     skipCancelled();
     if (heap_.empty())
         return false;
-    HeapEntry entry = heap_.top();
-    heap_.pop();
+    HeapEntry entry = popTop();
     curTick_ = entry.when;
-    entry.record->fired = true;
     --liveEvents_;
     ++executed_;
-    // Move the callback out so the record can be released even if the
-    // callback reschedules.
+    // Move the callback out and recycle before invoking: the callback
+    // may schedule new events (reusing this record is fine — any
+    // handle to the fired event went stale at the generation bump).
     Callback cb = std::move(entry.record->callback);
+    recycle(entry.record);
     cb();
     return true;
 }
@@ -67,7 +144,7 @@ EventQueue::runUntil(Tick limit)
 {
     for (;;) {
         skipCancelled();
-        if (heap_.empty() || heap_.top().when > limit)
+        if (heap_.empty() || heap_.front().when > limit)
             break;
         step();
     }

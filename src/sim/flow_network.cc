@@ -19,6 +19,11 @@ FlowNetwork::addChannel(double bytes_per_tick, std::string name)
     if (bytes_per_tick <= 0)
         fatal("channel capacity must be positive: ", bytes_per_tick);
     channels_.push_back(Channel{bytes_per_tick, std::move(name), 0, 0});
+    channelFlows_.emplace_back();
+    channelDirty_.push_back(0);
+    channelMark_.push_back(0);
+    capScratch_.push_back(0);
+    userScratch_.push_back(0);
     return channels_.size() - 1;
 }
 
@@ -31,8 +36,44 @@ FlowNetwork::setChannelCapacity(ChannelId id, double bytes_per_tick)
         fatal("channel capacity must be positive: ", bytes_per_tick);
     settleProgress();
     channels_[id].capacity = bytes_per_tick;
+    markDirty(id);
     allocateRates();
     rescheduleCompletions();
+}
+
+void
+FlowNetwork::markDirty(ChannelId id)
+{
+    if (!channelDirty_[id]) {
+        channelDirty_[id] = 1;
+        dirty_.push_back(id);
+    }
+}
+
+void
+FlowNetwork::joinAllocation(FlowId id, const Flow &flow)
+{
+    for (ChannelId c : flow.path) {
+        channelFlows_[c].push_back(id);
+        markDirty(c);
+    }
+}
+
+void
+FlowNetwork::leaveAllocation(FlowId id, const Flow &flow)
+{
+    for (ChannelId c : flow.path) {
+        auto &users = channelFlows_[c];
+        // One occurrence per path element (paths may repeat a channel).
+        for (std::size_t i = users.size(); i-- > 0;) {
+            if (users[i] == id) {
+                users[i] = users.back();
+                users.pop_back();
+                break;
+            }
+        }
+        markDirty(c);
+    }
 }
 
 double
@@ -74,6 +115,7 @@ FlowNetwork::startFlow(Bytes bytes, std::vector<ChannelId> path,
         // Keep the flow out of the allocation until its head latency
         // elapses; rate stays 0 meanwhile.
         active_[id].lastUpdate = queue_.now() + latency;
+        latencyPending_.push_back(id);
         queue_.scheduleAfter(latency, [this, id] { activate(id); });
     }
     return id;
@@ -86,6 +128,12 @@ FlowNetwork::activate(FlowId id)
     if (it == active_.end())
         return;
     it->second.lastUpdate = queue_.now();
+    // An earlier recompute in this same tick may already have promoted
+    // the flow out of the latency stage.
+    if (!it->second.joined) {
+        it->second.joined = true;
+        joinAllocation(id, it->second);
+    }
     recompute();
 }
 
@@ -142,36 +190,82 @@ FlowNetwork::settleProgress()
 void
 FlowNetwork::allocateRates()
 {
-    const Tick now = queue_.now();
-
-    // Residual capacity and unfrozen-flow count per channel.
-    std::vector<double> cap(channels_.size());
-    std::vector<int> users(channels_.size(), 0);
-    for (std::size_t c = 0; c < channels_.size(); ++c)
-        cap[c] = channels_[c].capacity;
-
-    std::vector<FlowId> unfrozen;
-    for (auto &[id, flow] : active_) {
-        flow.rate = 0;
-        if (flow.done || flow.lastUpdate > now)
-            continue; // still in latency stage
-        unfrozen.push_back(id);
-        for (ChannelId c : flow.path)
-            ++users[c];
+    // Promote latency-stage flows whose head latency has elapsed.
+    if (!latencyPending_.empty()) {
+        const Tick now = queue_.now();
+        for (std::size_t i = latencyPending_.size(); i-- > 0;) {
+            auto it = active_.find(latencyPending_[i]);
+            if (it != active_.end() && !it->second.joined &&
+                it->second.lastUpdate > now)
+                continue; // still in its latency stage
+            if (it != active_.end() && !it->second.joined) {
+                it->second.joined = true;
+                joinAllocation(latencyPending_[i], it->second);
+            }
+            latencyPending_[i] = latencyPending_.back();
+            latencyPending_.pop_back();
+        }
     }
-    // Deterministic processing order regardless of hash layout.
-    std::sort(unfrozen.begin(), unfrozen.end());
 
-    std::vector<bool> frozen(unfrozen.size(), false);
-    std::size_t remaining_flows = unfrozen.size();
+    // Closure walk: every flow touching a dirty channel, every channel
+    // touched by such a flow, transitively. Rates outside this
+    // component cannot change (no shared residual capacity), so they
+    // are left untouched.
+    ++solveEpoch_;
+    affectedChannels_.clear();
+    affectedFlows_.clear();
+    for (ChannelId c : dirty_) {
+        channelDirty_[c] = 0;
+        if (channelMark_[c] != solveEpoch_) {
+            channelMark_[c] = solveEpoch_;
+            affectedChannels_.push_back(c);
+        }
+    }
+    dirty_.clear();
+    for (std::size_t i = 0; i < affectedChannels_.size(); ++i) {
+        for (FlowId id : channelFlows_[affectedChannels_[i]]) {
+            Flow &flow = active_[id];
+            if (flow.mark == solveEpoch_)
+                continue;
+            flow.mark = solveEpoch_;
+            affectedFlows_.emplace_back(id, &flow);
+            for (ChannelId c : flow.path) {
+                if (channelMark_[c] != solveEpoch_) {
+                    channelMark_[c] = solveEpoch_;
+                    affectedChannels_.push_back(c);
+                }
+            }
+        }
+    }
+    if (affectedChannels_.empty()) {
+        if (auditor_)
+            auditRates();
+        return;
+    }
+
+    // Ascending channel-index and flow-id orders reproduce the
+    // from-scratch solver's tie-breaking exactly.
+    std::sort(affectedChannels_.begin(), affectedChannels_.end());
+    std::sort(affectedFlows_.begin(), affectedFlows_.end());
+
+    // Residual capacity and unfrozen-flow count, affected slots only.
+    for (ChannelId c : affectedChannels_) {
+        capScratch_[c] = channels_[c].capacity;
+        userScratch_[c] = static_cast<int>(channelFlows_[c].size());
+    }
+    for (auto &[id, flow] : affectedFlows_)
+        flow->rate = 0;
+
+    std::vector<bool> frozen(affectedFlows_.size(), false);
+    std::size_t remaining_flows = affectedFlows_.size();
     while (remaining_flows > 0) {
         // Find the bottleneck channel: minimal fair share.
         double best_share = std::numeric_limits<double>::infinity();
         std::size_t best_chan = channels_.size();
-        for (std::size_t c = 0; c < channels_.size(); ++c) {
-            if (users[c] <= 0)
+        for (ChannelId c : affectedChannels_) {
+            if (userScratch_[c] <= 0)
                 continue;
-            const double share = cap[c] / users[c];
+            const double share = capScratch_[c] / userScratch_[c];
             if (share < best_share) {
                 best_share = share;
                 best_chan = c;
@@ -181,10 +275,10 @@ FlowNetwork::allocateRates()
             panic("max-min allocation found no bottleneck with flows left");
 
         // Freeze every unfrozen flow crossing the bottleneck.
-        for (std::size_t i = 0; i < unfrozen.size(); ++i) {
+        for (std::size_t i = 0; i < affectedFlows_.size(); ++i) {
             if (frozen[i])
                 continue;
-            Flow &flow = active_[unfrozen[i]];
+            Flow &flow = *affectedFlows_[i].second;
             const bool crosses =
                 std::find(flow.path.begin(), flow.path.end(), best_chan) !=
                 flow.path.end();
@@ -194,13 +288,73 @@ FlowNetwork::allocateRates()
             frozen[i] = true;
             --remaining_flows;
             for (ChannelId c : flow.path) {
-                cap[c] -= best_share;
-                if (cap[c] < 0)
-                    cap[c] = 0;
-                --users[c];
+                capScratch_[c] -= best_share;
+                if (capScratch_[c] < 0)
+                    capScratch_[c] = 0;
+                --userScratch_[c];
             }
         }
     }
+#ifdef DGXSIM_SOLVER_DIFF
+    {
+        const Tick now = queue_.now();
+        std::vector<double> cap(channels_.size());
+        std::vector<int> users(channels_.size(), 0);
+        for (std::size_t c = 0; c < channels_.size(); ++c)
+            cap[c] = channels_[c].capacity;
+        std::vector<FlowId> unfrozen;
+        std::unordered_map<FlowId, double> ref;
+        for (auto &[id, flow] : active_) {
+            ref[id] = 0;
+            if (flow.done || flow.lastUpdate > now)
+                continue;
+            unfrozen.push_back(id);
+            for (ChannelId c : flow.path)
+                ++users[c];
+        }
+        std::sort(unfrozen.begin(), unfrozen.end());
+        std::vector<bool> frz(unfrozen.size(), false);
+        std::size_t rem = unfrozen.size();
+        while (rem > 0) {
+            double bs = std::numeric_limits<double>::infinity();
+            std::size_t bc = channels_.size();
+            for (std::size_t c = 0; c < channels_.size(); ++c) {
+                if (users[c] <= 0)
+                    continue;
+                const double share = cap[c] / users[c];
+                if (share < bs) {
+                    bs = share;
+                    bc = c;
+                }
+            }
+            if (bc == channels_.size())
+                panic("ref solver: no bottleneck");
+            for (std::size_t i = 0; i < unfrozen.size(); ++i) {
+                if (frz[i])
+                    continue;
+                Flow &flow = active_[unfrozen[i]];
+                if (std::find(flow.path.begin(), flow.path.end(), bc) ==
+                    flow.path.end())
+                    continue;
+                ref[unfrozen[i]] = bs;
+                frz[i] = true;
+                --rem;
+                for (ChannelId c : flow.path) {
+                    cap[c] -= bs;
+                    if (cap[c] < 0)
+                        cap[c] = 0;
+                    --users[c];
+                }
+            }
+        }
+        for (auto &[id, flow] : active_) {
+            if (flow.rate != ref[id])
+                panic("solver diff at tick ", now, ": flow ", id,
+                      " incremental rate ", flow.rate, " ref ", ref[id],
+                      " done=", flow.done, " path=", flow.path.size());
+        }
+    }
+#endif
     if (auditor_)
         auditRates();
 }
@@ -304,6 +458,8 @@ FlowNetwork::complete(FlowId id)
     }
     std::function<void()> cb = std::move(it->second.onComplete);
     queue_.cancel(it->second.completion);
+    if (it->second.joined)
+        leaveAllocation(id, it->second);
     active_.erase(it);
     // Reallocate the freed bandwidth before notifying, so anything the
     // callback starts sees fresh rates.

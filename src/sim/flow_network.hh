@@ -10,6 +10,18 @@
  * reschedules every affected completion event. This reproduces how
  * concurrent DMA transfers share NVLink/PCIe bandwidth on a real
  * multi-GPU system without simulating individual packets.
+ *
+ * The allocation is incremental: the network tracks which flows use
+ * each channel and which channels a flow start/finish/capacity change
+ * dirtied, and re-solves only the connected component of the
+ * flow-channel bipartite graph reachable from the dirty channels.
+ * Max-min allocation within a component is arithmetically independent
+ * of every other component (no shared channel, so no shared residual
+ * capacity), and the restricted solver visits channels in ascending
+ * index and flows in ascending id — the same orders the from-scratch
+ * solver used — so the resulting rates are bit-identical to a full
+ * re-solve. Flows outside the component keep their previous rates,
+ * which a full solve would have recomputed to the same doubles.
  */
 
 #ifndef DGXSIM_SIM_FLOW_NETWORK_HH
@@ -19,6 +31,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -123,6 +136,10 @@ class FlowNetwork
         Tick lastUpdate = 0;
         EventHandle completion;
         bool done = false;
+        /** True once the flow entered the allocation membership. */
+        bool joined = false;
+        /** Epoch stamp used by the incremental solver's closure walk. */
+        std::uint64_t mark = 0;
     };
 
     /** Charge elapsed progress to all active flows, then reallocate. */
@@ -131,8 +148,21 @@ class FlowNetwork
     /** Advance flow progress from lastUpdate to now. */
     void settleProgress();
 
-    /** Max-min fair allocation over the active flows. */
+    /**
+     * Max-min fair allocation over the active flows. Incremental:
+     * only the dirty-channel component is re-solved (see the file
+     * comment); a call with nothing dirty is a no-op.
+     */
     void allocateRates();
+
+    /** Flag a channel whose flow set or capacity changed. */
+    void markDirty(ChannelId id);
+
+    /** Enter @p id into the allocation (per-channel membership). */
+    void joinAllocation(FlowId id, const Flow &flow);
+
+    /** Remove @p id from the allocation (per-channel membership). */
+    void leaveAllocation(FlowId id, const Flow &flow);
 
     /** (Re)schedule every active flow's completion event. */
     void rescheduleCompletions();
@@ -151,6 +181,34 @@ class FlowNetwork
     std::unordered_map<FlowId, Flow> active_;
     FlowId nextFlow_ = 0;
     Auditor *auditor_ = nullptr;
+
+    /**
+     * Per-channel ids of flows currently in the allocation (activated,
+     * not done). One entry per path element, so a path listing a
+     * channel twice counts as two users — matching the from-scratch
+     * solver's user accounting.
+     */
+    std::vector<std::vector<FlowId>> channelFlows_;
+    /**
+     * Latency-stage flows not yet in the allocation. A flow whose
+     * head latency expires at tick T joins at the first allocation
+     * pass with now >= T — which may be a recompute triggered by an
+     * unrelated flow earlier in tick T than the activation event,
+     * exactly as the from-scratch solver's lastUpdate <= now
+     * membership test behaved.
+     */
+    std::vector<FlowId> latencyPending_;
+    /** Channels whose flow set or capacity changed since last solve. */
+    std::vector<ChannelId> dirty_;
+    std::vector<std::uint8_t> channelDirty_;
+    /** Closure-walk epoch stamps (channels; flows stamp Flow::mark). */
+    std::vector<std::uint64_t> channelMark_;
+    std::uint64_t solveEpoch_ = 0;
+    /** Scratch for the restricted solve; only affected slots touched. */
+    std::vector<double> capScratch_;
+    std::vector<int> userScratch_;
+    std::vector<ChannelId> affectedChannels_;
+    std::vector<std::pair<FlowId, Flow *>> affectedFlows_;
 };
 
 } // namespace dgxsim::sim

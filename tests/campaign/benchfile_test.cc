@@ -1,0 +1,231 @@
+/**
+ * @file
+ * BENCH_*.json schema tests: serialization determinism, strict
+ * parsing, round-trip fidelity, the calibration-normalized
+ * regression gate, and the committed results/BENCH_simulator.json
+ * artifact itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/benchfile.hh"
+#include "sim/logging.hh"
+
+namespace dgxsim::campaign {
+namespace {
+
+BenchFile
+sampleFile()
+{
+    BenchFile f;
+    f.suite = "simulator";
+    f.metrics = {
+        {"grid_sims_per_sec", "sims/s", true, 123.25},
+        {"alloc_ms", "ms", false, 4.5},
+    };
+    BenchPoint pre;
+    pre.label = "pre";
+    pre.note = "seed build";
+    pre.values = {{"grid_sims_per_sec", 100.0}, {"alloc_ms", 9.0}};
+    BenchPoint now;
+    now.label = "now";
+    now.note = "this commit";
+    now.values = {{"grid_sims_per_sec", 123.25}, {"alloc_ms", 4.5}};
+    f.trajectory = {pre, now};
+    return f;
+}
+
+TEST(BenchFile, RoundTripPreservesEverything)
+{
+    const BenchFile f = sampleFile();
+    const BenchFile g = parseBenchFile(serializeBenchFile(f));
+    EXPECT_EQ(g.suite, "simulator");
+    ASSERT_EQ(g.metrics.size(), 2u);
+    // Serializer sorts by name: alloc_ms first.
+    EXPECT_EQ(g.metrics[0].name, "alloc_ms");
+    EXPECT_FALSE(g.metrics[0].higherIsBetter);
+    EXPECT_DOUBLE_EQ(g.metrics[0].value, 4.5);
+    EXPECT_EQ(g.metrics[1].name, "grid_sims_per_sec");
+    EXPECT_EQ(g.metrics[1].unit, "sims/s");
+    EXPECT_DOUBLE_EQ(g.metrics[1].value, 123.25);
+    ASSERT_EQ(g.trajectory.size(), 2u);
+    EXPECT_EQ(g.trajectory[0].label, "pre");
+    EXPECT_EQ(g.trajectory[0].note, "seed build");
+    EXPECT_DOUBLE_EQ(g.trajectory[0].values.at("alloc_ms"), 9.0);
+    EXPECT_DOUBLE_EQ(g.trajectory[1].values.at("grid_sims_per_sec"),
+                     123.25);
+}
+
+TEST(BenchFile, SerializationIsDeterministic)
+{
+    // Same content, different metric insertion order: identical
+    // bytes. This is the schema contract the smoke test relies on.
+    BenchFile a = sampleFile();
+    BenchFile b = sampleFile();
+    std::swap(b.metrics[0], b.metrics[1]);
+    EXPECT_EQ(serializeBenchFile(a), serializeBenchFile(b));
+    // Serialize → parse → serialize is a fixed point.
+    const std::string text = serializeBenchFile(a);
+    EXPECT_EQ(serializeBenchFile(parseBenchFile(text)), text);
+}
+
+TEST(BenchFile, RejectsWrongSchemaAndMalformedMetricLists)
+{
+    EXPECT_THROW(parseBenchFile("{\"schema\": \"other-v9\", "
+                                "\"suite\": \"s\", \"metrics\": [], "
+                                "\"trajectory\": []}"),
+                 sim::FatalError);
+    // Unsorted metric names violate the deterministic layout.
+    EXPECT_THROW(
+        parseBenchFile(
+            "{\"schema\": \"dgxsim-bench-v1\", \"suite\": \"s\", "
+            "\"metrics\": ["
+            "{\"name\": \"b\", \"unit\": \"x\", "
+            "\"higher_is_better\": true, \"value\": 1},"
+            "{\"name\": \"a\", \"unit\": \"x\", "
+            "\"higher_is_better\": true, \"value\": 2}"
+            "], \"trajectory\": []}"),
+        sim::FatalError);
+    // Duplicates too.
+    EXPECT_THROW(
+        parseBenchFile(
+            "{\"schema\": \"dgxsim-bench-v1\", \"suite\": \"s\", "
+            "\"metrics\": ["
+            "{\"name\": \"a\", \"unit\": \"x\", "
+            "\"higher_is_better\": true, \"value\": 1},"
+            "{\"name\": \"a\", \"unit\": \"x\", "
+            "\"higher_is_better\": true, \"value\": 2}"
+            "], \"trajectory\": []}"),
+        sim::FatalError);
+    // Empty suite.
+    EXPECT_THROW(parseBenchFile("{\"schema\": \"dgxsim-bench-v1\", "
+                                "\"suite\": \"\", \"metrics\": [], "
+                                "\"trajectory\": []}"),
+                 sim::FatalError);
+}
+
+TEST(BenchFile, TrajectoryPointsMayCarryRetiredMetrics)
+{
+    // A historical point can reference a metric the current file no
+    // longer measures; parsing must keep it (history is immutable).
+    BenchFile f = sampleFile();
+    f.trajectory[0].values["retired_metric"] = 7.0;
+    const BenchFile g = parseBenchFile(serializeBenchFile(f));
+    EXPECT_DOUBLE_EQ(g.trajectory[0].values.at("retired_metric"),
+                     7.0);
+}
+
+double &
+metricValue(BenchFile &f, const std::string &name)
+{
+    for (BenchMetric &m : f.metrics) {
+        if (m.name == name)
+            return m.value;
+    }
+    ADD_FAILURE() << "no metric " << name;
+    static double dummy;
+    return dummy;
+}
+
+TEST(BenchFile, FindRegressionsFlagsBothDirections)
+{
+    const BenchFile base = sampleFile();
+    BenchFile fresh = base;
+    EXPECT_TRUE(findRegressions(base, fresh, 0.25).empty());
+
+    // higher-is-better metric drops 30% -> regression at 25%.
+    metricValue(fresh, "grid_sims_per_sec") *= 0.70;
+    EXPECT_EQ(findRegressions(base, fresh, 0.25).size(), 1u);
+    EXPECT_TRUE(findRegressions(base, fresh, 0.35).empty());
+
+    // lower-is-better metric grows 30% -> regression at 25%.
+    fresh = base;
+    metricValue(fresh, "alloc_ms") *= 1.30;
+    const auto regs = findRegressions(base, fresh, 0.25);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_NE(regs[0].find("alloc_ms"), std::string::npos);
+}
+
+TEST(BenchFile, CalibrationNormalizesHostSpeed)
+{
+    BenchFile base = sampleFile();
+    base.metrics.push_back({"host_calib", "ops/s", true, 1000.0});
+    std::sort(base.metrics.begin(), base.metrics.end(),
+              [](const BenchMetric &a, const BenchMetric &b) {
+                  return a.name < b.name;
+              });
+    // A uniformly 2x-slower host: every throughput halves, every
+    // latency doubles, and the calibration metric halves with them.
+    BenchFile fresh = base;
+    for (BenchMetric &m : fresh.metrics)
+        m.value = m.higherIsBetter ? m.value / 2 : m.value * 2;
+    // Without calibration everything looks regressed...
+    EXPECT_EQ(findRegressions(base, fresh, 0.25).size(), 3u);
+    // ...with it, throughput ratios are clean. (Latency metrics are
+    // compared against expected*factor too, so a latency that merely
+    // scaled with the host also passes.)
+    EXPECT_TRUE(
+        findRegressions(base, fresh, 0.25, "host_calib").empty());
+    // A genuine 2x code slowdown on top of host scaling still trips.
+    for (BenchMetric &m : fresh.metrics) {
+        if (m.name == "grid_sims_per_sec")
+            m.value /= 2;
+    }
+    const auto regs = findRegressions(base, fresh, 0.25, "host_calib");
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_NE(regs[0].find("grid_sims_per_sec"), std::string::npos);
+}
+
+TEST(BenchFile, RetiredMetricInBaselineIsNotARegression)
+{
+    BenchFile base = sampleFile();
+    base.metrics.push_back({"zzz_old", "ms", false, 1.0});
+    const BenchFile fresh = sampleFile();
+    EXPECT_TRUE(findRegressions(base, fresh, 0.25).empty());
+}
+
+/**
+ * The committed artifact: results/BENCH_simulator.json must parse
+ * under the strict schema and carry the pre-optimization trajectory
+ * point the perf claims in the docs refer to.
+ */
+TEST(BenchFile, CommittedArtifactIsValid)
+{
+    const std::string path =
+        std::string(DGXSIM_REPO_ROOT) + "/results/BENCH_simulator.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const BenchFile f = parseBenchFile(os.str());
+    EXPECT_EQ(f.suite, "simulator");
+    ASSERT_GE(f.trajectory.size(), 2u);
+    EXPECT_EQ(f.trajectory.front().label, "pre-perf-work");
+    // The non-timing fields the harness must emit deterministically.
+    const auto has = [&f](const std::string &name) {
+        for (const BenchMetric &m : f.metrics) {
+            if (m.name == name)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has("eq_storm_events_per_sec"));
+    EXPECT_TRUE(has("eq_churn_resched_per_sec"));
+    EXPECT_TRUE(has("flow_churn_flows_per_sec"));
+    EXPECT_TRUE(has("grid120_cold_sims_per_sec"));
+    EXPECT_TRUE(has("grid120_warm_sims_per_sec"));
+    // And the trajectory records the before/after pair on the grid.
+    const BenchPoint &pre = f.trajectory.front();
+    const BenchPoint &now = f.trajectory.back();
+    ASSERT_TRUE(pre.values.count("grid120_cold_sims_per_sec"));
+    ASSERT_TRUE(now.values.count("grid120_cold_sims_per_sec"));
+    EXPECT_GT(now.values.at("grid120_cold_sims_per_sec"),
+              pre.values.at("grid120_cold_sims_per_sec"));
+}
+
+} // namespace
+} // namespace dgxsim::campaign

@@ -142,6 +142,102 @@ TEST(Campaign, ConfigKeySeparatesEveryCliAxis)
     EXPECT_TRUE(differs([](auto &c) { c.platform = "dgx2"; }));
 }
 
+TEST(Campaign, ConfigKeyNeverTruncatesLongNames)
+{
+    // Regression test: configKey used to snprintf into a fixed
+    // 768-byte buffer without checking the return value, so two
+    // configs whose keys differed only past the truncation point
+    // collided in the memo cache and returned each other's reports.
+    const std::string pad(800, 'x');
+    core::TrainConfig a;
+    a.model = pad + "-alpha";
+    core::TrainConfig b;
+    b.model = pad + "-beta";
+    const std::string ka = configKey(a);
+    const std::string kb = configKey(b);
+    EXPECT_NE(ka, kb);
+    EXPECT_NE(ka.find("alpha"), std::string::npos)
+        << "key must contain the full model name";
+    // The differing axis can sit past the old buffer size on any
+    // field, not just the model.
+    core::TrainConfig c = a;
+    core::TrainConfig d = a;
+    d.platform = "dgx2";
+    EXPECT_NE(configKey(c), configKey(d));
+}
+
+TEST(Campaign, CacheClearDropsEntriesAndResetsStats)
+{
+    clearSimulationCache();
+    core::TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 1;
+    cfg.batchPerGpu = 16;
+    cachedSimulate(cfg);
+    cachedSimulate(cfg);
+    SimulationCacheStats stats = simulationCacheStats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    clearSimulationCache();
+    stats = simulationCacheStats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    // After a clear the same config re-simulates (fresh miss).
+    cachedSimulate(cfg);
+    EXPECT_EQ(simulationCacheStats().misses, 1u);
+}
+
+TEST(Campaign, CacheLimitEvictsOldestEntriesFirst)
+{
+    clearSimulationCache();
+    setSimulationCacheLimit(2);
+    core::TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 1;
+    for (int batch : {16, 32, 64})
+        (void)cachedSimulate(
+            [&] {
+                cfg.batchPerGpu = batch;
+                return cfg;
+            }());
+    EXPECT_EQ(simulationCacheStats().entries, 3u)
+        << "trim is explicit, not per-insert";
+    trimSimulationCache();
+    EXPECT_EQ(simulationCacheStats().entries, 2u);
+    // FIFO: the first-inserted config (b16) was evicted, so asking
+    // for it again is a miss while b64 is still a hit.
+    const auto missesBefore = simulationCacheStats().misses;
+    cfg.batchPerGpu = 64;
+    cachedSimulate(cfg);
+    EXPECT_EQ(simulationCacheStats().misses, missesBefore);
+    cfg.batchPerGpu = 16;
+    cachedSimulate(cfg);
+    EXPECT_EQ(simulationCacheStats().misses, missesBefore + 1);
+    // Restore defaults for the rest of the suite: unbounded.
+    setSimulationCacheLimit(0);
+    clearSimulationCache();
+}
+
+TEST(Campaign, UnboundedDefaultMakesTrimANoOp)
+{
+    clearSimulationCache();
+    setSimulationCacheLimit(0);
+    core::TrainConfig cfg;
+    cfg.model = "lenet";
+    cfg.numGpus = 1;
+    for (int batch : {16, 32, 64})
+        (void)cachedSimulate([&] {
+            cfg.batchPerGpu = batch;
+            return cfg;
+        }());
+    trimSimulationCache(); // what runCampaign calls between grids
+    EXPECT_EQ(simulationCacheStats().entries, 3u)
+        << "single-grid behavior must not change at the default";
+    clearSimulationCache();
+}
+
 TEST(CampaignSpec, PlatformAxisIsOutermost)
 {
     CampaignSpec spec = smallSpec();

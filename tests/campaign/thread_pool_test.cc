@@ -1,0 +1,124 @@
+/**
+ * @file
+ * parallelFor failure-path tests: worker spawn failures must join
+ * the already-running threads before propagating (a joinable
+ * std::thread destroyed mid-unwind calls std::terminate), and heavy
+ * oversubscription must still cover every index exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "campaign/thread_pool.hh"
+
+namespace dgxsim::campaign {
+namespace {
+
+/** A spawner that works @p good times, then throws like an exhausted
+ * OS would (std::thread reports that as std::system_error). */
+ThreadSpawner
+failAfter(int good, std::atomic<int> &spawned)
+{
+    return [good, &spawned](const std::function<void()> &fn) {
+        if (spawned.fetch_add(1) >= good)
+            throw std::runtime_error("spawn exhausted");
+        return std::thread(fn);
+    };
+}
+
+TEST(ParallelFor, SpawnFailurePropagatesAfterJoiningWorkers)
+{
+    std::atomic<int> spawned{0};
+    std::atomic<int> done{0};
+    // 2 good spawns, then failure on the 3rd: the two live workers
+    // must be joined (not leaked, not terminated) and the spawn
+    // error must reach the caller.
+    EXPECT_THROW(parallelFor(
+                     1000, 8,
+                     [&](std::size_t) {
+                         done.fetch_add(1);
+                         std::this_thread::yield();
+                     },
+                     failAfter(2, spawned)),
+                 std::runtime_error);
+    EXPECT_EQ(spawned.load(), 3);
+    // Whatever the two workers claimed before the abandon signal ran
+    // to completion — no index can be mid-flight after the throw.
+    EXPECT_LE(done.load(), 1000);
+}
+
+TEST(ParallelFor, ImmediateSpawnFailureStillThrows)
+{
+    std::atomic<int> spawned{0};
+    int calls = 0;
+    EXPECT_THROW(parallelFor(
+                     10, 4, [&](std::size_t) { ++calls; },
+                     failAfter(0, spawned)),
+                 std::runtime_error);
+    EXPECT_EQ(calls, 0) << "no worker ever ran";
+}
+
+TEST(ParallelFor, CustomSpawnerIsUsedOnTheParallelPath)
+{
+    std::atomic<int> spawned{0};
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(
+        hits.size(), 3, [&](std::size_t i) { hits[i].fetch_add(1); },
+        [&spawned](const std::function<void()> &fn) {
+            spawned.fetch_add(1);
+            return std::thread(fn);
+        });
+    EXPECT_EQ(spawned.load(), 3);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, InlinePathNeverSpawns)
+{
+    std::atomic<int> spawned{0};
+    int calls = 0;
+    parallelFor(
+        5, 1, [&](std::size_t) { ++calls; }, failAfter(0, spawned));
+    EXPECT_EQ(calls, 5);
+    EXPECT_EQ(spawned.load(), 0);
+}
+
+TEST(ParallelFor, OversubscriptionCapsWorkersAtCount)
+{
+    // jobs far beyond count: only `count` threads may spawn, and
+    // every index still runs exactly once.
+    std::atomic<int> spawned{0};
+    std::vector<std::atomic<int>> hits(4);
+    parallelFor(
+        hits.size(), 1000,
+        [&](std::size_t i) { hits[i].fetch_add(1); },
+        [&spawned](const std::function<void()> &fn) {
+            spawned.fetch_add(1);
+            return std::thread(fn);
+        });
+    EXPECT_EQ(spawned.load(), 4);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, BodyExceptionBeatsSpawnedWorkCompletion)
+{
+    // A body exception on the threaded path is rethrown after all
+    // workers drain, even under heavy oversubscription.
+    std::atomic<int> done{0};
+    EXPECT_THROW(parallelFor(200, 64,
+                             [&](std::size_t i) {
+                                 if (i == 7)
+                                     throw std::logic_error("body");
+                                 done.fetch_add(1);
+                             }),
+                 std::logic_error);
+    EXPECT_LT(done.load(), 200);
+}
+
+} // namespace
+} // namespace dgxsim::campaign

@@ -160,6 +160,72 @@ TEST(EventQueueTest, ExecutedEventsCounterCounts)
     EXPECT_EQ(q.executedEvents(), 7u);
 }
 
+TEST(EventQueueTest, ArenaRecyclesRecordsInsteadOfGrowing)
+{
+    // Sequential schedule/fire churn far beyond one slab must keep
+    // reusing the free list: the arena stays at its first slab.
+    EventQueue q;
+    for (int i = 0; i < 10000; ++i) {
+        q.schedule(q.now() + 1, [] {});
+        q.step();
+    }
+    EXPECT_EQ(q.executedEvents(), 10000u);
+    EXPECT_LE(q.arenaRecords(), 512u) << "free list not reused";
+}
+
+TEST(EventQueueTest, ArenaGrowsBySlabUnderLivePressure)
+{
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(10, [] {});
+    EXPECT_GE(q.arenaRecords(), 1000u);
+    EXPECT_EQ(q.arenaRecords() % 512u, 0u) << "slab granularity";
+    const std::size_t peak = q.arenaRecords();
+    q.run();
+    // Slabs are retained for reuse, never returned mid-simulation.
+    EXPECT_EQ(q.arenaRecords(), peak);
+}
+
+TEST(EventQueueTest, StaleHandleCannotCancelARecycledRecord)
+{
+    // After a record is recycled its generation advances, so a
+    // handle from the previous occupant must not cancel (or even
+    // report valid for) the new event sharing the same slot.
+    EventQueue q;
+    EventHandle old = q.schedule(1, [] {});
+    q.run(); // fires; record returns to the free list
+    bool ran = false;
+    EventHandle fresh = q.schedule(2, [&] { ran = true; });
+    EXPECT_FALSE(old.valid());
+    EXPECT_FALSE(q.cancel(old));
+    EXPECT_TRUE(fresh.valid());
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelHeavyChurnKeepsCountsConsistent)
+{
+    // The FlowNetwork pattern: every round cancels K handles and
+    // reschedules them. Counters and drain behavior must match the
+    // naive queue's semantics exactly.
+    EventQueue q;
+    const int K = 8;
+    std::vector<EventHandle> handles(K);
+    long fired = 0;
+    for (int round = 0; round < 200; ++round) {
+        for (int k = 0; k < K; ++k) {
+            q.cancel(handles[k]);
+            handles[k] = q.schedule(q.now() + 1 + (k * 7 + round) % 5,
+                                    [&fired] { ++fired; });
+        }
+        q.step();
+    }
+    q.run();
+    EXPECT_EQ(q.executedEvents(), static_cast<std::uint64_t>(fired));
+    EXPECT_EQ(q.pendingEvents(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
 /** Deterministic interleave: a self-rescheduling pair of processes. */
 TEST(EventQueueTest, InterleavedProcessesAreDeterministic)
 {

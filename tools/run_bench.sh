@@ -1,0 +1,55 @@
+#!/bin/sh
+# Drive the simulator-performance harness (bench/perf_simulator.cc)
+# against the committed trajectory file results/BENCH_simulator.json.
+#
+# Modes:
+#   tools/run_bench.sh refresh [build-dir]
+#       Re-measure at full size and rewrite the committed BENCH file.
+#       Run this when a PR intentionally changes simulator speed and
+#       commit the result with the change, like a golden baseline.
+#   tools/run_bench.sh check [build-dir]
+#       Re-measure and gate against the committed file: exits 1 when
+#       any metric regresses by more than 25% after normalizing by
+#       the eq_storm calibration metric (so a slower CI host does not
+#       trip the gate — only a slower simulator does). This is what
+#       the perf-smoke CI job runs.
+#   tools/run_bench.sh smoke [build-dir]
+#       Fast reduced-size emit to a temp file plus strict validation
+#       of both that file and the committed one. Schema/determinism
+#       coverage only; smoke numbers are not comparable to full runs.
+#
+# Usage: tools/run_bench.sh [refresh|check|smoke] [build-dir]
+set -eu
+
+mode=${1:-check}
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+builddir=${2:-"$repo/build"}
+bench="$builddir/bench/perf_simulator"
+committed="$repo/results/BENCH_simulator.json"
+
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (build the perf_simulator target)" >&2
+    exit 1
+fi
+
+case "$mode" in
+  refresh)
+    "$bench" --emit-json="$committed" --label=this-commit
+    echo "results/BENCH_simulator.json refreshed"
+    ;;
+  check)
+    "$bench" --validate="$committed"
+    "$bench" --check-against="$committed" --tolerance=0.25
+    ;;
+  smoke)
+    tmp="${TMPDIR:-/tmp}/dgxsim_bench_smoke.$$.json"
+    trap 'rm -f "$tmp"' EXIT
+    "$bench" --emit-json="$tmp" --smoke --label=smoke
+    "$bench" --validate="$tmp"
+    "$bench" --validate="$committed"
+    ;;
+  *)
+    echo "usage: tools/run_bench.sh [refresh|check|smoke] [build-dir]" >&2
+    exit 2
+    ;;
+esac
