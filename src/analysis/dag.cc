@@ -18,6 +18,8 @@ categoryName(Category c)
         return "compute";
       case Category::Comm:
         return "comm";
+      case Category::InterNodeComm:
+        return "inter_node_comm";
       case Category::Api:
         return "api";
       default:
@@ -34,6 +36,14 @@ isCommLane(const std::string &lane)
     return lane == "comm" || lane.rfind("nccl.", 0) == 0;
 }
 
+/** Inter-node collective kernels run on "ib." lanes
+ * (comm/hierarchical_communicator.cc). */
+bool
+isInterNodeLane(const std::string &lane)
+{
+    return lane.rfind("ib.", 0) == 0;
+}
+
 bool
 isNvlinkRoute(const hw::Topology &topo, int src, int dst)
 {
@@ -45,6 +55,17 @@ isNvlinkRoute(const hw::Topology &topo, int src, int dst)
     return route.kind == hw::RouteKind::DirectNvlink ||
            route.kind == hw::RouteKind::SwitchNvlink ||
            route.kind == hw::RouteKind::StagedNvlink;
+}
+
+bool
+isInterNodeRoute(const hw::Topology &topo, int src, int dst)
+{
+    if (src < 0 || dst < 0)
+        return false;
+    const hw::Route route =
+        topo.findRoute(static_cast<hw::NodeId>(src),
+                       static_cast<hw::NodeId>(dst));
+    return route.kind == hw::RouteKind::InterNode;
 }
 
 } // namespace
@@ -71,8 +92,11 @@ Dag::Dag(const profiling::Profiler &prof, const hw::Topology &topo)
             node.start = k.start;
             node.end = k.end;
             node.device = k.device;
-            node.category = isCommLane(k.stream) ? Category::Comm
-                                                 : Category::Compute;
+            node.category = isInterNodeLane(k.stream)
+                                ? Category::InterNodeComm
+                                : isCommLane(k.stream)
+                                      ? Category::Comm
+                                      : Category::Compute;
             // NCCL hop kernels are modeled from link bandwidth and
             // hop latency, not the roofline, so a GPU speedup does
             // not touch them; everything else goes through
@@ -100,8 +124,47 @@ Dag::Dag(const profiling::Profiler &prof, const hw::Topology &topo)
                         std::to_string(c.dst);
             node.start = c.start;
             node.end = c.end;
-            node.category = Category::Comm;
+            node.interNodeCopy = isInterNodeRoute(topo, c.src, c.dst);
+            node.category = node.interNodeCopy
+                                ? Category::InterNodeComm
+                                : Category::Comm;
             node.nvlinkCopy = isNvlinkRoute(topo, c.src, c.dst);
+            if (node.interNodeCopy && node.duration() > 0) {
+                // Estimate what share of the recorded duration an
+                // ib_bw what-if can actually speed up. The route is
+                // staged, and only its IB legs scale with the
+                // fabric. Per-leg timing is not recorded, so bracket
+                // the IB share: at least the uncontended IB
+                // serialization + latency, at most everything the
+                // uncontended PCIe staging legs cannot account for
+                // (max-min contention lives on the IB wire). Take
+                // the midpoint of the bracket.
+                const hw::Route route = topo.findRoute(
+                    static_cast<hw::NodeId>(c.src),
+                    static_cast<hw::NodeId>(c.dst));
+                double ib_secs = 0;
+                double pcie_secs = 0;
+                for (const hw::RouteLeg &leg : route.legs) {
+                    const hw::Link &link = topo.links()[leg.linkIndex];
+                    const double leg_secs =
+                        static_cast<double>(c.wireBytes) /
+                            (link.gbpsPerDir() * 1e9) +
+                        link.latencyUs * 1e-6;
+                    if (link.type == hw::LinkType::IB)
+                        ib_secs += leg_secs;
+                    else
+                        pcie_secs += leg_secs;
+                }
+                const double dur =
+                    static_cast<double>(node.duration());
+                const double lo = std::min(
+                    1.0, sim::secToTicks(ib_secs) / dur);
+                const double hi = std::max(
+                    lo, 1.0 - std::min(1.0, sim::secToTicks(
+                                                pcie_secs) /
+                                                dur));
+                node.ibFraction = 0.5 * (lo + hi);
+            }
             deps = &c.deps;
             break;
           }
@@ -263,6 +326,9 @@ Dag::attribute() const
           case Category::Comm:
             attr.comm += ticks;
             break;
+          case Category::InterNodeComm:
+            attr.interNodeComm += ticks;
+            break;
           case Category::Api:
             attr.api += ticks;
             break;
@@ -360,6 +426,7 @@ Dag::report(const Attribution &attr, std::size_t top_k) const
         };
         row("compute", attr.compute);
         row("comm", attr.comm);
+        row("inter_node_comm", attr.interNodeComm);
         row("api", attr.api);
         row("idle", attr.idle);
         row("makespan", attr.makespan);

@@ -38,6 +38,10 @@ enum class Category
 {
     Compute,
     Comm,
+    /** Copies routed over the inter-node NIC/switch fabric plus
+     * kernels on "ib." lanes (hierarchical collectives); separate
+     * from Comm so a cluster run shows where the wire time lives. */
+    InterNodeComm,
     Api,
     Idle,
 };
@@ -65,6 +69,17 @@ struct Node
     sim::Tick overhead = 0;
     /** Copy only: payload routed over NVLink (what-if scalable). */
     bool nvlinkCopy = false;
+    /** Copy only: payload crossed the inter-node fabric (what-if
+     * "ib_bw" scalable). */
+    bool interNodeCopy = false;
+    /**
+     * Inter-node copy only: estimated share of the duration spent on
+     * the IB wire legs (uncontended serialization + latency over the
+     * route's IB links, clamped to 1). The ib_bw replay scales only
+     * this share — the PCIe host-staging legs of the route keep
+     * their time whatever the fabric speed.
+     */
+    double ibFraction = 0;
     /**
      * Kernel only: duration produced by the roofline model
      * (cuda::kernelDuration), so GpuSpec::speedupFactor scales it.
@@ -102,6 +117,8 @@ struct Attribution
     sim::Tick makespan = 0;
     sim::Tick compute = 0;
     sim::Tick comm = 0;
+    /** Exposed inter-node (NIC/IB) communication; 0 on one node. */
+    sim::Tick interNodeComm = 0;
     sim::Tick api = 0;
     sim::Tick idle = 0;
     /** Binding-chain work: makespan minus idle (<= makespan). */
@@ -109,11 +126,11 @@ struct Attribution
     /** Back-to-front partition segments, in time order. */
     std::vector<Segment> segments;
 
-    /** @return compute + comm + api + idle (== makespan, always). */
+    /** @return the category sum (== makespan, always). */
     sim::Tick
     total() const
     {
-        return compute + comm + api + idle;
+        return compute + comm + interNodeComm + api + idle;
     }
 };
 

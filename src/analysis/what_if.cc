@@ -32,6 +32,21 @@ scaleMul(sim::Tick t, double factor)
     return static_cast<sim::Tick>(static_cast<double>(t) * factor);
 }
 
+/**
+ * Scale an inter-node copy's time: only the IB-wire share
+ * (node.ibFraction) shrinks with the fabric; the PCIe host-staging
+ * legs keep their duration (exact at 1.0).
+ */
+sim::Tick
+scaleIbShare(sim::Tick t, double ib_fraction, double factor)
+{
+    if (factor == 1.0)
+        return t;
+    const double ib = static_cast<double>(t) * ib_fraction;
+    return static_cast<sim::Tick>(static_cast<double>(t) - ib +
+                                  ib / factor);
+}
+
 /** Busy (non-waiting) replay duration of one node under @p p. */
 sim::Tick
 scaledBusy(const Node &node, const WhatIfParams &p)
@@ -51,6 +66,9 @@ scaledBusy(const Node &node, const WhatIfParams &p)
         return node.duration() - node.overhead + scaled;
       }
       default:
+        if (node.interNodeCopy)
+            return scaleIbShare(node.duration(), node.ibFraction,
+                                p.ibBw);
         return node.nvlinkCopy ? scaleDiv(node.duration(), p.nvlinkBw)
                                : node.duration();
     }
@@ -122,9 +140,14 @@ parseWhatIfSpecs(const std::string &spec)
             if (value <= 0)
                 sim::fatal("kernel_speedup must be > 0, got ", value);
             c.params.kernelSpeedup = value;
+        } else if (key == "ib_bw") {
+            if (value <= 0)
+                sim::fatal("ib_bw must be > 0, got ", value);
+            c.params.ibBw = value;
         } else {
             sim::fatal("unknown what-if key '", key,
-                       "' (nvlink_bw, api_overhead, kernel_speedup)");
+                       "' (nvlink_bw, ib_bw, api_overhead, "
+                       "kernel_speedup)");
         }
         cases.push_back(std::move(c));
     }
@@ -172,9 +195,16 @@ WhatIf::project(const WhatIfParams &params) const
         sim::Tick slack =
             node.startPreds.empty() ? (anchored ? node.start : 0)
                                     : node.start - orig_pred;
-        if (binding >= 0 && node.nvlinkCopy &&
-            node.kind == profiling::RecordKind::Copy) {
-            slack = scaleDiv(slack, params.nvlinkBw);
+        if (binding >= 0 && node.kind == profiling::RecordKind::Copy) {
+            if (node.interNodeCopy) {
+                // Queueing behind other staged inter-node rounds
+                // shrinks like the rounds themselves: only their IB
+                // share speeds up.
+                slack = scaleIbShare(slack, node.ibFraction,
+                                     params.ibBw);
+            } else if (node.nvlinkCopy) {
+                slack = scaleDiv(slack, params.nvlinkBw);
+            }
         }
         sim::Tick start =
             (node.startPreds.empty() && !anchored ? 0 : replay_pred) +
@@ -221,6 +251,7 @@ WhatIf::modifiedConfig(core::TrainConfig cfg, const WhatIfParams &params)
 {
     cfg.gpuSpec.speedupFactor *= params.kernelSpeedup;
     cfg.nvlinkBwScale *= params.nvlinkBw;
+    cfg.ibBwScale *= params.ibBw;
     if (params.apiOverhead != 1.0) {
         const double f = params.apiOverhead;
         cfg.gpuSpec.launchOverheadUs *= f;
@@ -331,6 +362,7 @@ analysisJson(const Dag &dag, const Attribution &attr,
     os << "  \"attribution_ticks\": {\n";
     os << "    \"compute\": " << attr.compute << ",\n";
     os << "    \"comm\": " << attr.comm << ",\n";
+    os << "    \"inter_node_comm\": " << attr.interNodeComm << ",\n";
     os << "    \"api\": " << attr.api << ",\n";
     os << "    \"idle\": " << attr.idle << "\n";
     os << "  },\n";

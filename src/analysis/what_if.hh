@@ -49,13 +49,19 @@ struct WhatIfParams
     double apiOverhead = 1.0;
     /** Compute-kernel speedup divisor (1.5 = kernels 1.5x faster). */
     double kernelSpeedup = 1.0;
+    /**
+     * Inter-node IB bandwidth multiplier (nodes > 1 fabrics only;
+     * ground truth is TrainConfig::ibBwScale). Declared last so the
+     * three-field aggregate initializers keep their meaning.
+     */
+    double ibBw = 1.0;
 
     /** @return true when the perturbation changes nothing. */
     bool
     identity() const
     {
         return nvlinkBw == 1.0 && apiOverhead == 1.0 &&
-               kernelSpeedup == 1.0;
+               kernelSpeedup == 1.0 && ibBw == 1.0;
     }
 };
 
@@ -68,8 +74,8 @@ struct WhatIfCase
 
 /**
  * Parse a comma-separated scenario list. Each element is `key=value`
- * with key one of nvlink_bw / api_overhead / kernel_speedup, or the
- * word `standard` which expands to the three canonical scenarios
+ * with key one of nvlink_bw / ib_bw / api_overhead / kernel_speedup,
+ * or the word `standard` which expands to the three canonical scenarios
  * (nvlink_bw=2, api_overhead=0, kernel_speedup=1.5). Fatal on
  * malformed input.
  */

@@ -11,6 +11,7 @@
 #include "comm/factory.hh"
 #include "core/layer_costs.hh"
 #include "core/trainer_base.hh"
+#include "hw/cluster.hh"
 #include "hw/platform.hh"
 #include "sim/logging.hh"
 
@@ -22,6 +23,20 @@ CampaignSpec::expand() const
     const std::vector<std::string> plats =
         platforms.empty() ? std::vector<std::string>{base.platform}
                           : platforms;
+    const std::vector<std::string> nets =
+        interconnects.empty()
+            ? std::vector<std::string>{base.interconnect}
+            : interconnects;
+    for (const std::string &name : nets) {
+        if (!hw::isInterconnect(name)) {
+            sim::fatal("unknown interconnect '", name,
+                       "' in campaign grid");
+        }
+    }
+    for (int n : nodeCounts) {
+        if (n < 1)
+            sim::fatal("node count must be positive, got ", n);
+    }
     // Validate the platform axis up front: unknown names and GPU
     // requests beyond a platform's capacity fail here with a clear
     // message instead of mid-campaign on a worker thread.
@@ -37,30 +52,60 @@ CampaignSpec::expand() const
     }
 
     std::vector<core::TrainConfig> configs;
-    configs.reserve(plats.size() * modes.size() * models.size() *
-                    gpus.size() * batches.size() * methods.size());
+    configs.reserve(plats.size() * nodeCounts.size() * modes.size() *
+                    models.size() * gpus.size() * batches.size() *
+                    methods.size());
     for (const std::string &platform : plats) {
-        for (core::ParallelismMode mode : modes) {
-            // Collectives are inherently synchronous: the non-sync
-            // strategies always use the P2P fabric path, so the
-            // method axis collapses to a single column for them.
-            const bool sync = mode == core::ParallelismMode::SyncDp;
-            const std::vector<comm::CommMethod> cellMethods =
-                sync ? methods
-                     : std::vector<comm::CommMethod>{
-                           comm::CommMethod::P2P};
-            for (const std::string &model : models) {
-                for (int g : gpus) {
-                    for (int b : batches) {
-                        for (comm::CommMethod m : cellMethods) {
-                            core::TrainConfig cfg = base;
-                            cfg.platform = platform;
-                            cfg.mode = mode;
-                            cfg.model = model;
-                            cfg.numGpus = g;
-                            cfg.batchPerGpu = b;
-                            cfg.method = m;
-                            configs.push_back(std::move(cfg));
+        for (int nodes : nodeCounts) {
+            // Without an inter-node fabric the interconnect and
+            // schedule axes cannot change anything, so the grid
+            // collapses them to a single cell at nodes == 1 (same
+            // idea as the method collapse for non-sync modes).
+            const std::vector<std::string> cellNets =
+                nodes > 1 ? nets
+                          : std::vector<std::string>{
+                                base.interconnect};
+            const std::vector<comm::NetAlgo> cellAlgos =
+                nodes > 1 ? netAlgos
+                          : std::vector<comm::NetAlgo>{base.netAlgo};
+            for (const std::string &net : cellNets) {
+                for (comm::NetAlgo algo : cellAlgos) {
+                    for (core::ParallelismMode mode : modes) {
+                        // Collectives are inherently synchronous:
+                        // the non-sync strategies always use the P2P
+                        // fabric path, so the method axis collapses
+                        // to a single column for them. Clusters
+                        // support only sync_dp, so non-sync modes
+                        // contribute nothing at nodes > 1.
+                        const bool sync =
+                            mode == core::ParallelismMode::SyncDp;
+                        if (nodes > 1 && !sync)
+                            continue;
+                        const std::vector<comm::CommMethod>
+                            cellMethods =
+                                sync ? methods
+                                     : std::vector<comm::CommMethod>{
+                                           comm::CommMethod::P2P};
+                        for (const std::string &model : models) {
+                            for (int g : gpus) {
+                                for (int b : batches) {
+                                    for (comm::CommMethod m :
+                                         cellMethods) {
+                                        core::TrainConfig cfg = base;
+                                        cfg.platform = platform;
+                                        cfg.nodes = nodes;
+                                        cfg.interconnect = net;
+                                        cfg.netAlgo = algo;
+                                        cfg.mode = mode;
+                                        cfg.model = model;
+                                        cfg.numGpus = g;
+                                        cfg.batchPerGpu = b;
+                                        cfg.method = m;
+                                        configs.push_back(
+                                            std::move(cfg));
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -79,13 +124,16 @@ configKey(const core::TrainConfig &cfg)
     const auto format = [&cfg](char *out, std::size_t size) {
         return std::snprintf(
             out, size,
-            "%s|plat:%s|g%d|b%d|m%d|pm%d|ub%d|ai%d|i%" PRIu64
+            "%s|plat:%s|nd%d|ic:%s|na%d|g%d|b%d|m%d|pm%d|ub%d|ai%d"
+            "|i%" PRIu64
             "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
             "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
             "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
             "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
-            "|wi:%.17g,%.17g,%.17g",
-            cfg.model.c_str(), cfg.platform.c_str(), cfg.numGpus,
+            "|wi:%.17g,%.17g,%.17g,%.17g",
+            cfg.model.c_str(), cfg.platform.c_str(), cfg.nodes,
+            cfg.interconnect.c_str(),
+            static_cast<int>(cfg.netAlgo), cfg.numGpus,
             cfg.batchPerGpu,
             static_cast<int>(cfg.method), static_cast<int>(cfg.mode),
             cfg.microbatches, cfg.asyncItersPerWorker,
@@ -109,7 +157,7 @@ configKey(const core::TrainConfig &cfg)
             cfg.memoryModel.datasetBuffers,
             // What-if ablation knobs (analysis::WhatIf ground truth).
             cfg.gpuSpec.speedupFactor, cfg.nvlinkBwScale,
-            cfg.syncEntryUs);
+            cfg.ibBwScale, cfg.syncEntryUs);
     };
     char buf[768];
     const int n = format(buf, sizeof(buf));

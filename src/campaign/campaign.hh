@@ -53,14 +53,33 @@ struct CampaignSpec
      * grid.
      */
     std::vector<std::string> platforms;
+    /**
+     * Cluster node counts to sweep (hw/cluster.hh). The default {1}
+     * is the historical single-box grid. Multi-node cells exist only
+     * for the sync_dp mode (the cluster substrate's constraint), so
+     * non-sync modes contribute nothing at nodes > 1.
+     */
+    std::vector<int> nodeCounts = {1};
+    /**
+     * Inter-node networks to sweep (hw::interconnectNames). Empty
+     * means "whatever base.interconnect says". The axis collapses at
+     * nodes == 1, where no inter-node fabric exists.
+     */
+    std::vector<std::string> interconnects;
+    /**
+     * Inter-node all-reduce schedules to sweep. Collapses to a
+     * single column at nodes == 1 for the same reason.
+     */
+    std::vector<comm::NetAlgo> netAlgos = {comm::NetAlgo::Ring};
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
     /**
      * @return the grid expanded to configurations in deterministic
-     * platform-major order: platform, then mode, then model, then
-     * gpus, then batch, then method. Fatal when a platform is
-     * unknown or has fewer GPUs than the gpus axis requests.
+     * platform-major order: platform, then nodes, then interconnect,
+     * then net algo, then mode, then model, then gpus, then batch,
+     * then method. Fatal when a platform or interconnect is unknown
+     * or a platform has fewer GPUs than the gpus axis requests.
      */
     std::vector<core::TrainConfig> expand() const;
 };

@@ -69,6 +69,9 @@ compareRecords(const std::vector<RunRecord> &baseline,
             foldMetric(delta, "inter_gpu_bytes_per_iter",
                        b.interGpuBytesPerIter,
                        f.interGpuBytesPerIter);
+            foldMetric(delta, "inter_node_bytes_per_iter",
+                       b.interNodeBytesPerIter,
+                       f.interNodeBytesPerIter);
             foldMetric(delta, "mem_gpu0_bytes",
                        static_cast<double>(b.gpu0TrainingBytes),
                        static_cast<double>(f.gpu0TrainingBytes));

@@ -128,6 +128,11 @@ RunRecord::key() const
         out += " " + mode;
     if (platform != hw::kDefaultPlatform)
         out += " " + platform;
+    // Single-node baselines never carried the cluster axes.
+    if (nodes > 1) {
+        out += " n" + std::to_string(nodes) + " " + interconnect +
+               " " + netAlgo;
+    }
     return out;
 }
 
@@ -141,6 +146,9 @@ RunRecord::toConfig() const
     cfg.method = comm::parseCommMethod(method);
     cfg.mode = core::parseParallelismMode(mode);
     cfg.platform = platform;
+    cfg.nodes = nodes;
+    cfg.interconnect = interconnect;
+    cfg.netAlgo = comm::parseNetAlgo(netAlgo);
     cfg.microbatches = microbatches;
     cfg.datasetImages = images;
     return cfg;
@@ -156,6 +164,9 @@ recordFromReport(const core::TrainReport &report)
     r.method = comm::commMethodName(report.config.method);
     r.mode = core::parallelismModeName(report.config.mode);
     r.platform = report.config.platform;
+    r.nodes = report.config.nodes;
+    r.interconnect = report.config.interconnect;
+    r.netAlgo = comm::netAlgoName(report.config.netAlgo);
     r.images = report.config.datasetImages;
     r.oom = report.oom;
     r.iterations = report.iterations;
@@ -166,6 +177,7 @@ recordFromReport(const core::TrainReport &report)
     r.wuSeconds = report.wuSeconds;
     r.syncApiFraction = report.syncApiFraction;
     r.interGpuBytesPerIter = report.interGpuBytesPerIter;
+    r.interNodeBytesPerIter = report.interNodeBytesPerIter;
     r.gpu0TrainingBytes = report.gpu0.training;
     r.gpuxTrainingBytes = report.gpux.training;
     r.preTrainingBytes = report.gpu0.preTraining;
@@ -197,6 +209,15 @@ recordsToJson(const std::vector<RunRecord> &records)
         if (r.platform != hw::kDefaultPlatform)
             out += "\"platform\": \"" + jsonEscape(r.platform) +
                    "\", ";
+        // Cluster axes only when multi-node: single-node baselines
+        // predate clusters and must stay byte-identical.
+        if (r.nodes > 1) {
+            out += "\"nodes\": " + std::to_string(r.nodes) + ", ";
+            out += "\"interconnect\": \"" +
+                   jsonEscape(r.interconnect) + "\", ";
+            out += "\"net_algo\": \"" + jsonEscape(r.netAlgo) +
+                   "\", ";
+        }
         out += "\"images\": " + fmtU64(r.images) + ",\n     ";
         out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
                ", ";
@@ -211,6 +232,10 @@ recordsToJson(const std::vector<RunRecord> &records)
                fmtDouble(r.syncApiFraction) + ", ";
         out += "\"inter_gpu_bytes_per_iter\": " +
                fmtDouble(r.interGpuBytesPerIter) + ",\n     ";
+        if (r.nodes > 1) {
+            out += "\"inter_node_bytes_per_iter\": " +
+                   fmtDouble(r.interNodeBytesPerIter) + ",\n     ";
+        }
         if (r.mode == "async_ps") {
             out += "\"throughput_img_s\": " +
                    fmtDouble(r.throughputImagesPerSec) + ", ";
@@ -229,6 +254,10 @@ recordsToJson(const std::vector<RunRecord> &records)
                    fmtDouble(r.cpComputeSeconds) + ", ";
             out += "\"cp_comm_s\": " + fmtDouble(r.cpCommSeconds) +
                    ", ";
+            if (r.nodes > 1) {
+                out += "\"cp_inter_node_comm_s\": " +
+                       fmtDouble(r.cpInterNodeCommSeconds) + ", ";
+            }
             out += "\"cp_api_s\": " + fmtDouble(r.cpApiSeconds) +
                    ", ";
             out += "\"cp_idle_s\": " + fmtDouble(r.cpIdleSeconds) +
@@ -265,6 +294,12 @@ recordsFromJson(const std::string &text)
             r.mode = m->asString();
         if (const JsonValue *p = v.find("platform"))
             r.platform = p->asString();
+        if (const JsonValue *n = v.find("nodes"))
+            r.nodes = static_cast<int>(n->asNumber());
+        if (const JsonValue *ic = v.find("interconnect"))
+            r.interconnect = ic->asString();
+        if (const JsonValue *na = v.find("net_algo"))
+            r.netAlgo = na->asString();
         r.images = u64At(v, "images");
         r.oom = v.boolAt("oom");
         r.iterations = u64At(v, "iterations");
@@ -276,6 +311,8 @@ recordsFromJson(const std::string &text)
         r.syncApiFraction = v.numberAt("sync_api_fraction");
         r.interGpuBytesPerIter =
             v.numberAt("inter_gpu_bytes_per_iter");
+        if (const JsonValue *ib = v.find("inter_node_bytes_per_iter"))
+            r.interNodeBytesPerIter = ib->asNumber();
         r.preTrainingBytes = u64At(v, "mem_pre_bytes");
         r.gpu0TrainingBytes = u64At(v, "mem_gpu0_bytes");
         r.gpuxTrainingBytes = u64At(v, "mem_gpux_bytes");
@@ -294,6 +331,8 @@ recordsFromJson(const std::string &text)
             r.hasAnalysis = true;
             r.cpComputeSeconds = cp->asNumber();
             r.cpCommSeconds = v.numberAt("cp_comm_s");
+            if (const JsonValue *in = v.find("cp_inter_node_comm_s"))
+                r.cpInterNodeCommSeconds = in->asNumber();
             r.cpApiSeconds = v.numberAt("cp_api_s");
             r.cpIdleSeconds = v.numberAt("cp_idle_s");
         }
@@ -306,10 +345,12 @@ std::string
 recordsToCsv(const std::vector<RunRecord> &records)
 {
     std::string out =
-        "model,gpus,batch,method,mode,platform,images,oom,iterations,"
+        "model,gpus,batch,method,mode,platform,nodes,interconnect,"
+        "net_algo,images,oom,iterations,"
         "epoch_s,"
         "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
-        "inter_gpu_bytes_per_iter,mem_pre_bytes,mem_gpu0_bytes,"
+        "inter_gpu_bytes_per_iter,inter_node_bytes_per_iter,"
+        "mem_pre_bytes,mem_gpu0_bytes,"
         "mem_gpux_bytes,digest\n";
     for (const RunRecord &r : records) {
         out += csvEscape(r.model) + ",";
@@ -318,6 +359,9 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += csvEscape(r.method) + ",";
         out += csvEscape(r.mode) + ",";
         out += csvEscape(r.platform) + ",";
+        out += std::to_string(r.nodes) + ",";
+        out += csvEscape(r.interconnect) + ",";
+        out += csvEscape(r.netAlgo) + ",";
         out += fmtU64(r.images) + ",";
         out += std::string(r.oom ? "1" : "0") + ",";
         out += fmtU64(r.iterations) + ",";
@@ -328,6 +372,7 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += fmtDouble(r.wuSeconds) + ",";
         out += fmtDouble(r.syncApiFraction) + ",";
         out += fmtDouble(r.interGpuBytesPerIter) + ",";
+        out += fmtDouble(r.interNodeBytesPerIter) + ",";
         out += fmtU64(r.preTrainingBytes) + ",";
         out += fmtU64(r.gpu0TrainingBytes) + ",";
         out += fmtU64(r.gpuxTrainingBytes) + ",";

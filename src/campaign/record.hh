@@ -49,6 +49,16 @@ struct RunRecord
      * byte-identical.
      */
     std::string platform = "dgx1v";
+    /**
+     * Cluster nodes (hw/cluster.hh). JSON, CSV and key() carry the
+     * cluster axes (nodes, interconnect, net algo) only when
+     * nodes > 1 so every single-node baseline stays byte-identical.
+     */
+    int nodes = 1;
+    /** Inter-node network registry name (nodes > 1 only). */
+    std::string interconnect = "ib100";
+    /** Inter-node all-reduce schedule, "ring" or "tree". */
+    std::string netAlgo = "ring";
     std::uint64_t images = 256000;
 
     // --- outcome ---
@@ -61,6 +71,8 @@ struct RunRecord
     double wuSeconds = 0;
     double syncApiFraction = 0;
     double interGpuBytesPerIter = 0;
+    /** Bytes over inter-node IB links per iteration (nodes > 1). */
+    double interNodeBytesPerIter = 0;
     /** Peak training-time allocation on the root GPU (bytes). */
     std::uint64_t gpu0TrainingBytes = 0;
     /** Peak training-time allocation on a worker GPU (bytes). */
@@ -87,6 +99,9 @@ struct RunRecord
      * the four categories sum to the window makespan. */
     double cpComputeSeconds = 0;
     double cpCommSeconds = 0;
+    /** Inter-node share of the critical path; serialized only when
+     * nodes > 1 (always 0 on a single node). */
+    double cpInterNodeCommSeconds = 0;
     double cpApiSeconds = 0;
     double cpIdleSeconds = 0;
 

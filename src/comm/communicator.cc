@@ -5,6 +5,22 @@
 
 namespace dgxsim::comm {
 
+const char *
+netAlgoName(NetAlgo algo)
+{
+    return algo == NetAlgo::Ring ? "ring" : "tree";
+}
+
+NetAlgo
+parseNetAlgo(const std::string &name)
+{
+    if (name == "ring")
+        return NetAlgo::Ring;
+    if (name == "tree")
+        return NetAlgo::Tree;
+    sim::fatal("unknown net algo '", name, "' (want ring or tree)");
+}
+
 Communicator::Communicator(CommContext ctx, CommConfig cfg)
     : ctx_(std::move(ctx)), cfg_(cfg)
 {
@@ -145,6 +161,15 @@ void
 Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
                         double flops, double bytes, Callback done)
 {
+    runKernelOnLane(kernel_name, "comm", gpu, flops, bytes,
+                    std::move(done));
+}
+
+void
+Communicator::runKernelOnLane(const std::string &kernel_name,
+                              const std::string &lane, hw::NodeId gpu,
+                              double flops, double bytes, Callback done)
+{
     const sim::Tick dur = cuda::kernelDuration(
         ctx_.gpuSpec, cuda::KernelCost{flops, bytes, false});
     const sim::Tick start = ctx_.queue->now();
@@ -154,7 +179,7 @@ Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
     profiling::CauseToken issue =
         ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
     ctx_.queue->scheduleAfter(
-        dur, [this, kernel_name, gpu, start, dur,
+        dur, [this, kernel_name, lane, gpu, start, dur,
               issue = std::move(issue), done = std::move(done)]() {
             if (ctx_.profiler) {
                 std::vector<profiling::RecordId> deps;
@@ -162,14 +187,15 @@ Communicator::runKernel(const std::string &kernel_name, hw::NodeId gpu,
                     profiling::resolveCause(issue);
                 if (cause != profiling::kNoRecord)
                     deps.push_back(cause);
-                // All runKernel call sites serialize per device (the
-                // op queue for the parameter server, the local/all-
-                // reduce gates for NCCL), so one lane per device
-                // suffices for the audit.
+                // All runKernel call sites serialize per device and
+                // lane (the op queue for the parameter server, the
+                // local/all-reduce gates for NCCL, the lock-step
+                // rounds of the hierarchical inter phase), so one
+                // lane per device suffices for the audit.
                 const profiling::RecordId id =
                     ctx_.profiler->recordKernel(kernel_name, gpu,
                                                 start, start + dur,
-                                                "comm",
+                                                lane,
                                                 std::move(deps));
                 profiling::CauseScope scope(ctx_.profiler,
                                             profiling::makeCause(id));

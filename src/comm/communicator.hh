@@ -39,6 +39,22 @@ struct CommContext
     profiling::Profiler *profiler = nullptr; ///< optional
 };
 
+/**
+ * Inter-node all-reduce schedule used by the hierarchical
+ * communicator when the GPU set spans multiple cluster nodes.
+ */
+enum class NetAlgo
+{
+    Ring, ///< bandwidth-optimal ring reduce-scatter + all-gather
+    Tree, ///< latency-optimal binomial reduce + broadcast
+};
+
+/** @return a printable name ("ring"/"tree"). */
+const char *netAlgoName(NetAlgo algo);
+
+/** Parse "ring" or "tree" (fatal otherwise). */
+NetAlgo parseNetAlgo(const std::string &name);
+
 /** Tunables of the communication models. */
 struct CommConfig
 {
@@ -75,6 +91,15 @@ struct CommConfig
      * per-collective setup this is the "NCCL overhead" of Table II.
      */
     double ncclIterFixedUs = 250.0;
+    /**
+     * Number of cluster nodes the GPU set spans. When > 1 the
+     * factory wraps the selected method in the hierarchical
+     * communicator (intra-node collectives per node + inter-node
+     * phase between the node roots over the NIC fabric).
+     */
+    int clusterNodes = 1;
+    /** Inter-node schedule used when clusterNodes > 1. */
+    NetAlgo netAlgo = NetAlgo::Ring;
     /**
      * Attach the simulation invariant auditor (sim/auditor.hh) to
      * the fabric this communicator runs on: byte conservation, link
@@ -165,6 +190,15 @@ class Communicator
     /** Record + charge a device-side kernel of @p cost on @p gpu. */
     void runKernel(const std::string &kernel_name, hw::NodeId gpu,
                    double flops, double bytes, Callback done);
+
+    /**
+     * Like runKernel but recording on @p lane instead of "comm".
+     * Inter-node kernels use "ib."-prefixed lanes so the analysis
+     * engine attributes them to the inter_node_comm category.
+     */
+    void runKernelOnLane(const std::string &kernel_name,
+                         const std::string &lane, hw::NodeId gpu,
+                         double flops, double bytes, Callback done);
 
     CommContext ctx_;
     CommConfig cfg_;

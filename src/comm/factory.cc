@@ -1,5 +1,6 @@
 #include "comm/factory.hh"
 
+#include "comm/hierarchical_communicator.hh"
 #include "comm/nccl_communicator.hh"
 #include "comm/p2p_parameter_server.hh"
 #include "sim/logging.hh"
@@ -25,6 +26,13 @@ parseCommMethod(const std::string &name)
 std::unique_ptr<Communicator>
 makeCommunicator(CommMethod method, CommContext ctx, CommConfig cfg)
 {
+    if (cfg.clusterNodes > 1) {
+        // Multi-node GPU sets automatically get the two-level
+        // schedule: the selected method runs intra-node, the
+        // ring/tree inter phase runs between the node roots.
+        return std::make_unique<HierarchicalCommunicator>(
+            method, std::move(ctx), cfg);
+    }
     if (method == CommMethod::P2P) {
         return std::make_unique<P2pParameterServer>(std::move(ctx),
                                                     cfg);

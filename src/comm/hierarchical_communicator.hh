@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hierarchical collectives for multi-node clusters, the NCCL-style
+ * two-level schedule: every node first reduces over its own NVLink
+ * fabric with the configured intra-node method, then the node roots
+ * run an inter-node phase over the NIC/switch network (ring
+ * reduce-scatter + all-gather, or a binomial tree), and finally each
+ * node broadcasts the result back over NVLink.
+ *
+ * The inter-node transfers go through the ordinary Fabric::transfer
+ * path, which routes them GPU -> CPU -> NIC -> switch -> NIC -> CPU
+ * -> GPU (RouteKind::InterNode), so concurrent rounds contend
+ * max-min fairly on the per-NIC IB links — the mechanism that makes
+ * the inter-node link the bottleneck once enough nodes share it.
+ */
+
+#ifndef DGXSIM_COMM_HIERARCHICAL_COMMUNICATOR_HH
+#define DGXSIM_COMM_HIERARCHICAL_COMMUNICATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hh"
+#include "comm/factory.hh"
+
+namespace dgxsim::comm {
+
+/** Two-level (intra-node + inter-node) collectives. */
+class HierarchicalCommunicator : public Communicator
+{
+  public:
+    /**
+     * @param inner The intra-node method (p2p or nccl), instantiated
+     *        once per node over that node's GPU slice.
+     * @param ctx   Node-major GPU set: gpus[k*L .. (k+1)*L) is node
+     *        k's slice (L = gpus.size() / cfg.clusterNodes).
+     */
+    HierarchicalCommunicator(CommMethod inner, CommContext ctx,
+                             CommConfig cfg = {});
+
+    std::string name() const override;
+
+    sim::Tick
+    perCallHostOverhead() const override
+    {
+        // The kvstore issues one collective; the per-node inner
+        // collectives are internal fan-out, so the host-side issue
+        // cost is the inner method's.
+        return inner_[0]->perCallHostOverhead();
+    }
+
+    /** @return the per-node root GPUs, in node order. */
+    const std::vector<hw::NodeId> &roots() const { return roots_; }
+
+    /** @return GPUs per node. */
+    int gpusPerNode() const { return gpusPerNode_; }
+
+  protected:
+    void doReduce(sim::Bytes bytes, Callback done) override;
+    void doBroadcast(sim::Bytes bytes, Callback done) override;
+    void doAllReduce(sim::Bytes bytes, Callback done) override;
+
+  private:
+    /** Run one inner collective per node concurrently; barrier. */
+    enum class InnerOp { Reduce, Broadcast };
+    void innerPhase(InnerOp op, sim::Bytes bytes, Callback done);
+
+    /**
+     * One lock-step round of concurrent root-to-root transfers.
+     * Each pair moves @p bytes; when @p accumulate is set a
+     * gradient-accumulate kernel runs on the receiving root after
+     * its transfer lands. @p done fires when every pair (and
+     * kernel) completes.
+     */
+    struct Pair
+    {
+        hw::NodeId src;
+        hw::NodeId dst;
+    };
+    void interRound(const std::vector<Pair> &pairs, sim::Bytes bytes,
+                    bool accumulate, Callback done);
+
+    /** Record one inter-node copy (profiler kind "IB"). */
+    void interTransfer(hw::NodeId src, hw::NodeId dst,
+                       sim::Bytes bytes, bool accumulate,
+                       Callback done);
+
+    // Inter-node schedules over roots_ (N = nodes).
+    void interRingReduceScatter(sim::Bytes shard, int round,
+                                Callback done);
+    void interRingAllGather(sim::Bytes shard, int round, Callback done);
+    void interRingGatherToRoot(sim::Bytes shard, Callback done);
+    void interRingScatterFromRoot(sim::Bytes shard, Callback done);
+    void interTreeReduce(sim::Bytes bytes, int stride, Callback done);
+    void interTreeBroadcast(sim::Bytes bytes, int stride,
+                            Callback done);
+
+    void interReduce(sim::Bytes bytes, Callback done);
+    void interBroadcast(sim::Bytes bytes, Callback done);
+    void interAllReduce(sim::Bytes bytes, Callback done);
+
+    /** Complete after zero time, preserving the ambient cause. */
+    void skip(Callback done);
+
+    /** Ring shard size for @p bytes (ceil division by nodes). */
+    sim::Bytes shardOf(sim::Bytes bytes) const;
+
+    int nodes_ = 1;
+    int gpusPerNode_ = 1;
+    NetAlgo algo_ = NetAlgo::Ring;
+    std::vector<std::unique_ptr<Communicator>> inner_;
+    std::vector<hw::NodeId> roots_;
+};
+
+} // namespace dgxsim::comm
+
+#endif // DGXSIM_COMM_HIERARCHICAL_COMMUNICATOR_HH

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "hw/cluster.hh"
 #include "hw/platform.hh"
 #include "sim/logging.hh"
 
@@ -166,6 +167,18 @@ configFromArgs(const Args &args)
         cfg.mode = parseParallelismMode(args.get("mode"));
     if (args.has("platform"))
         cfg.platform = args.get("platform");
+    cfg.nodes = args.getInt("nodes", 1);
+    if (cfg.nodes < 1)
+        sim::fatal("--nodes must be positive, got ", cfg.nodes);
+    if (args.has("interconnect")) {
+        cfg.interconnect = args.get("interconnect");
+        if (!hw::isInterconnect(cfg.interconnect)) {
+            sim::fatal("unknown --interconnect '", cfg.interconnect,
+                       "' (run `dgxprof interconnects`)");
+        }
+    }
+    if (args.has("netalgo"))
+        cfg.netAlgo = comm::parseNetAlgo(args.get("netalgo"));
     // Validate up front: an unknown platform fatals inside
     // makePlatform, and a GPU count beyond the platform's capacity
     // gets a clear message here instead of indexing surprises later.

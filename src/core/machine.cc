@@ -18,7 +18,8 @@ gb(double v)
 } // namespace
 
 Machine::Machine(const TrainConfig &cfg, const hw::Platform &platform)
-    : Machine(cfg, platform.topology, platform.hostSpec)
+    : Machine(cfg,
+              hw::makeCluster(platform, cfg.nodes, cfg.interconnect))
 {
 }
 
@@ -28,28 +29,65 @@ Machine::Machine(const TrainConfig &cfg, hw::Topology topo,
       fabric_(std::make_unique<hw::Fabric>(queue_, std::move(topo),
                                            std::move(host)))
 {
+    if (cfg_.nodes != 1) {
+        sim::fatal("explicit-topology machines are single-node; use "
+                   "the platform or cluster constructor for nodes=",
+                   cfg_.nodes);
+    }
     if (cfg_.numGpus < 1 ||
         cfg_.numGpus > fabric_->topology().numGpus()) {
         sim::fatal("numGpus must be in [1, ",
                    fabric_->topology().numGpus(), "], got ",
                    cfg_.numGpus);
     }
-    if (cfg_.batchPerGpu < 1)
-        sim::fatal("batchPerGpu must be positive");
-    if (cfg_.datasetImages == 0)
-        sim::fatal("datasetImages must be positive");
-
-    // What-if ablation: widen (or narrow) every NVLink before any
-    // traffic flows. Guarded so default configs keep the untouched
-    // fabric object graph (and byte-identical baselines).
-    if (cfg_.nvlinkBwScale != 1.0)
-        fabric_->scaleNvlinkBandwidth(cfg_.nvlinkBwScale);
-
+    commonInit();
     gpus_ = fabric_->topology().gpuSet(cfg_.numGpus);
     for (hw::NodeId gpu : gpus_) {
         devices_.push_back(
             std::make_unique<cuda::Device>(gpu, cfg_.gpuSpec));
     }
+}
+
+Machine::Machine(const TrainConfig &cfg, const hw::Cluster &cluster)
+    : cfg_(cfg), fabric_(std::make_unique<hw::Fabric>(
+                     queue_, cluster.topology,
+                     cluster.platform.hostSpec))
+{
+    if (cfg_.nodes != cluster.nodes) {
+        sim::fatal("config says ", cfg_.nodes, " nodes but the "
+                   "cluster has ", cluster.nodes);
+    }
+    if (cfg_.numGpus < 1 || cfg_.numGpus > cluster.gpusPerNode) {
+        sim::fatal("numGpus must be in [1, ", cluster.gpusPerNode,
+                   "], got ", cfg_.numGpus);
+    }
+    if (cfg_.nodes > 1 && cfg_.mode != ParallelismMode::SyncDp) {
+        sim::fatal("multi-node clusters support only the sync_dp "
+                   "mode, got ", parallelismModeName(cfg_.mode));
+    }
+    commonInit();
+    gpus_ = cluster.gpuSet(cfg_.numGpus);
+    for (hw::NodeId gpu : gpus_) {
+        devices_.push_back(
+            std::make_unique<cuda::Device>(gpu, cfg_.gpuSpec));
+    }
+}
+
+void
+Machine::commonInit()
+{
+    if (cfg_.batchPerGpu < 1)
+        sim::fatal("batchPerGpu must be positive");
+    if (cfg_.datasetImages == 0)
+        sim::fatal("datasetImages must be positive");
+
+    // What-if ablations: widen (or narrow) every NVLink / IB link
+    // before any traffic flows. Guarded so default configs keep the
+    // untouched fabric object graph (and byte-identical baselines).
+    if (cfg_.nvlinkBwScale != 1.0)
+        fabric_->scaleNvlinkBandwidth(cfg_.nvlinkBwScale);
+    if (cfg_.ibBwScale != 1.0)
+        fabric_->scaleIbBandwidth(cfg_.ibBwScale);
 }
 
 Machine::~Machine() = default;
@@ -68,6 +106,22 @@ Machine::addHostThread(std::string name)
     threads_.push_back(std::make_unique<cuda::HostThread>(
         queue_, &profiler_, std::move(name)));
     return *threads_.back();
+}
+
+std::string
+Machine::laneName(std::size_t g, const std::string &base) const
+{
+    if (cfg_.nodes == 1)
+        return base + std::to_string(g);
+    return "n" + std::to_string(nodeOf(g)) + "." + base +
+           std::to_string(g % static_cast<std::size_t>(cfg_.numGpus));
+}
+
+int
+Machine::nodeOf(std::size_t g) const
+{
+    // gpus_ is node-major with cfg_.numGpus ranks per node.
+    return static_cast<int>(g / static_cast<std::size_t>(cfg_.numGpus));
 }
 
 sim::Tick
@@ -122,7 +176,12 @@ Machine::setupDataParallelMemory(const dnn::Network &net)
         mem.alloc(cuda::MemCategory::Activations, activations);
         mem.alloc(cuda::MemCategory::Workspace, workspace);
         mem.alloc(cuda::MemCategory::Dataset, dataset);
-        if (g == 0 && cfg_.numGpus > 1) {
+        // Node roots keep aggregation + master-weight copies; on a
+        // cluster every node's rank-0 GPU is such a root (it also
+        // terminates the inter-node phase). Reduces to "g == 0 &&
+        // numGpus > 1" on a single node.
+        if (g % static_cast<std::size_t>(cfg_.numGpus) == 0 &&
+            cfg_.totalGpus() > 1) {
             mem.alloc(cuda::MemCategory::CommBuffers,
                       static_cast<sim::Bytes>(
                           mm.rootCommFactor *

@@ -34,6 +34,7 @@
 #include "cuda/host_thread.hh"
 #include "cuda/stream.hh"
 #include "dnn/network.hh"
+#include "hw/cluster.hh"
 #include "hw/fabric.hh"
 #include "hw/platform.hh"
 #include "profiling/profiler.hh"
@@ -48,13 +49,23 @@ class Machine
     /**
      * Build the substrate: fabric over @p topo, the first
      * cfg.numGpus GPUs as devices. Validates numGpus, batchPerGpu
-     * and datasetImages (fatal on nonsense).
+     * and datasetImages (fatal on nonsense). Single-node only
+     * (cfg.nodes must be 1); cluster runs go through the Platform
+     * or Cluster constructors.
      */
     Machine(const TrainConfig &cfg, hw::Topology topo,
             hw::HostSpec host = hw::HostSpec::xeonE52698v4());
 
-    /** Build the substrate a registered platform describes. */
+    /**
+     * Build the substrate a registered platform describes. When
+     * cfg.nodes > 1 this stands up cfg.nodes replicas joined by
+     * cfg.interconnect (hw::makeCluster) with cfg.numGpus GPUs per
+     * node, selected node-major.
+     */
     Machine(const TrainConfig &cfg, const hw::Platform &platform);
+
+    /** Build the substrate over an explicit cluster. */
+    Machine(const TrainConfig &cfg, const hw::Cluster &cluster);
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
     ~Machine();
@@ -84,6 +95,16 @@ class Machine
 
     /** Create a host worker thread owned by the Machine. */
     cuda::HostThread &addHostThread(std::string name);
+
+    /**
+     * Per-node namespace for stream/thread names: rank @p g maps to
+     * "<base><g>" on a single node (byte-identical to the historical
+     * names) and to "n<node>.<base><local>" on a cluster.
+     */
+    std::string laneName(std::size_t g, const std::string &base) const;
+
+    /** @return the cluster node rank @p g lives on (0 if nodes==1). */
+    int nodeOf(std::size_t g) const;
 
     /** @return per-call kernel-launch overhead of the GPU spec. */
     sim::Tick launchOverhead() const;
@@ -142,6 +163,9 @@ class Machine
     std::uint64_t digest() const;
 
   private:
+    /** Shared validation + what-if link scaling for every ctor. */
+    void commonInit();
+
     const TrainConfig &cfg_;
     sim::EventQueue queue_;
     profiling::Profiler profiler_;

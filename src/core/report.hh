@@ -65,6 +65,10 @@ struct TrainReport
     /** Bytes moved GPU-to-GPU per iteration (all links). */
     double interGpuBytesPerIter = 0;
 
+    /** Bytes moved across inter-node IB links per iteration (0 on a
+     * single node). */
+    double interNodeBytesPerIter = 0;
+
     /**
      * Order-sensitive digest of the full profiler record stream plus
      * end-of-run simulation state. Two runs of the same configuration

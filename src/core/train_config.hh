@@ -13,6 +13,7 @@
 
 #include "comm/factory.hh"
 #include "core/parallelism.hh"
+#include "hw/cluster.hh"
 #include "hw/gpu_spec.hh"
 #include "hw/platform.hh"
 
@@ -51,8 +52,21 @@ struct TrainConfig
 {
     /** Zoo model name (see dnn::modelNames()). */
     std::string model = "resnet-50";
-    /** Number of data-parallel GPUs (1, 2, 4 or 8 in the paper). */
+    /** Number of data-parallel GPUs (1, 2, 4 or 8 in the paper).
+     * When nodes > 1 this is the per-node count; see totalGpus(). */
     int numGpus = 1;
+    /**
+     * Cluster nodes joined by the inter-node NIC/switch fabric
+     * (hw/cluster.hh). 1 is the paper's single box and leaves every
+     * digest and baseline byte-identical; > 1 stands up N platform
+     * replicas and switches the communicator to the hierarchical
+     * two-level schedule.
+     */
+    int nodes = 1;
+    /** Inter-node network, by registry name (nodes > 1 only). */
+    std::string interconnect = hw::kDefaultInterconnect;
+    /** Inter-node all-reduce schedule (nodes > 1 only). */
+    comm::NetAlgo netAlgo = comm::NetAlgo::Ring;
     /** Mini-batch size per GPU (16, 32 or 64 in the paper). */
     int batchPerGpu = 16;
     /** Inter-GPU communication method. */
@@ -139,6 +153,13 @@ struct TrainConfig
      */
     double nvlinkBwScale = 1.0;
     /**
+     * What-if ablation knob: scale the bandwidth of every inter-node
+     * IB link by this factor before the run (analysis::WhatIf
+     * "ib_bw" ground truth). 1.0 leaves the fabric untouched; only
+     * meaningful when nodes > 1.
+     */
+    double ibBwScale = 1.0;
+    /**
      * Host entry overhead of the iteration-end cudaStreamSynchronize
      * (us). Exposed so the analysis engine's "api_overhead" what-if
      * can scale it like every other modeled API cost.
@@ -162,8 +183,11 @@ struct TrainConfig
     /** Memory-model constants. */
     MemoryModel memoryModel;
 
+    /** @return GPUs across the whole cluster. */
+    int totalGpus() const { return nodes * numGpus; }
+
     /** @return global mini-batch size across all GPUs. */
-    int globalBatch() const { return numGpus * batchPerGpu; }
+    int globalBatch() const { return totalGpus() * batchPerGpu; }
 
     /** @return iterations in one epoch of datasetImages. */
     std::uint64_t

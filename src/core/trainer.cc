@@ -46,9 +46,9 @@ Trainer::setup()
     cfg_.mode = ParallelismMode::SyncDp; // reports describe what ran
     for (std::size_t g = 0; g < machine_.gpus().size(); ++g) {
         computeStreams_.push_back(
-            &machine_.addStream(g, "compute" + std::to_string(g)));
+            &machine_.addStream(g, machine_.laneName(g, "compute")));
         workers_.push_back(
-            &machine_.addHostThread("worker" + std::to_string(g)));
+            &machine_.addHostThread(machine_.laneName(g, "worker")));
     }
     updateStream_ = &machine_.addStream(0, "update");
     commThread_ = &machine_.addHostThread("kvstore");
@@ -60,8 +60,10 @@ Trainer::setup()
     cctx.gpus = machine_.gpus();
     cctx.gpuSpec = cfg_.gpuSpec;
     cctx.profiler = &machine_.profiler();
-    comm_ = comm::makeCommunicator(cfg_.method, std::move(cctx),
-                                   cfg_.commConfig);
+    comm::CommConfig ccfg = cfg_.commConfig;
+    ccfg.clusterNodes = cfg_.nodes;
+    ccfg.netAlgo = cfg_.netAlgo;
+    comm_ = comm::makeCommunicator(cfg_.method, std::move(cctx), ccfg);
 
     // After communicator construction so a commConfig.audit-enabled
     // auditor is seen and wired into the profiler and trackers.
@@ -76,11 +78,11 @@ Trainer::setup()
                           buckets_.back().bytes < fusion_bytes;
         if (fuse) {
             buckets_.back().bytes += bucket.bytes;
-            buckets_.back().expected += cfg_.numGpus;
+            buckets_.back().expected += cfg_.totalGpus();
         } else {
             buckets_.push_back(
                 Bucket{bucket.layerName, bucket.bytes, 0,
-                       cfg_.numGpus});
+                       cfg_.totalGpus()});
         }
         bucketOfWeighted_.push_back(buckets_.size() - 1);
     }
@@ -271,7 +273,7 @@ void
 Trainer::onWorkerBpDone(std::size_t /*g*/)
 {
     bpDoneMax_ = std::max(bpDoneMax_, machine_.queue().now());
-    if (++bpDoneCount_ == cfg_.numGpus && !cfg_.overlapBpWu) {
+    if (++bpDoneCount_ == cfg_.totalGpus() && !cfg_.overlapBpWu) {
         // Non-overlapped path: push every bucket only now, in BP
         // (reverse) order.
         for (std::size_t b = buckets_.size(); b-- > 0;)
@@ -282,7 +284,7 @@ Trainer::onWorkerBpDone(std::size_t /*g*/)
 void
 Trainer::onWorkerIterationDone(std::size_t /*g*/)
 {
-    if (++workersDone_ == cfg_.numGpus)
+    if (++workersDone_ == cfg_.totalGpus())
         finishIteration();
 }
 
@@ -353,6 +355,8 @@ Trainer::run()
         (static_cast<double>(prof.copiedBytes("PtoP")) +
          static_cast<double>(prof.copiedBytes("NCCL"))) /
         measured;
+    report.interNodeBytesPerIter =
+        static_cast<double>(prof.copiedBytes("IB")) / measured;
     return report;
 }
 

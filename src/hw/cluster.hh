@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-node cluster fabric: N instances of any registered platform
+ * joined by an inter-node network of per-node NICs and a top-of-rack
+ * switch, all modeled as first-class links in the one Topology (and
+ * therefore as max-min-fair channels in the one FlowNetwork).
+ *
+ * Topology shape for `nodes > 1`:
+ *
+ *   node k's replica of the platform graph occupies the id range
+ *   [k*stride, (k+1)*stride) with labels prefixed "n<k>."; after all
+ *   replicas come one NIC per node ("n<k>.NIC0", PCIe-attached to
+ *   that node's first CPU) and a single cluster switch ("IBSW0")
+ *   with one IB link per NIC.
+ *
+ * A 1-node cluster IS the platform: makeCluster(plat, 1, ...) returns
+ * the platform topology untouched — no NIC or switch nodes — so every
+ * digest, route, and attribution is byte-identical to the
+ * platform-only path (the degeneracy property the tests pin).
+ *
+ * Interconnects are a small named registry like the platform
+ * registry: ib100/ib200/ib400 (EDR/HDR/NDR-class InfiniBand) and
+ * roce100 (same wire rate, Ethernet-class latency).
+ */
+
+#ifndef DGXSIM_HW_CLUSTER_HH
+#define DGXSIM_HW_CLUSTER_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/platform.hh"
+#include "hw/topology.hh"
+
+namespace dgxsim::hw {
+
+/** The interconnect every cluster assumes unless told otherwise. */
+inline constexpr const char *kDefaultInterconnect = "ib100";
+
+/** A named inter-node network class. */
+struct Interconnect
+{
+    std::string name;
+    std::string description;
+    /** NIC<->switch bandwidth per direction, GB/s. */
+    double gbpsPerDir = 0;
+    /** One-way NIC<->switch latency, microseconds. */
+    double latencyUs = 0;
+};
+
+/**
+ * Build a registered interconnect by name. Fatal on unknown names,
+ * with the list of known ones in the message.
+ */
+Interconnect makeInterconnect(const std::string &name);
+
+/** @return true if @p name is a registered interconnect. */
+bool isInterconnect(const std::string &name);
+
+/** @return all registered interconnect names, in registration order. */
+std::vector<std::string> interconnectNames();
+
+/** N platform instances joined by NIC+switch IB links. */
+struct Cluster
+{
+    /** The per-node platform (topology field is the single-node
+     * graph; the combined graph lives in `topology`). */
+    Platform platform;
+    int nodes = 1;
+    Interconnect interconnect;
+    /** The combined cluster topology (== platform topology when
+     * nodes == 1). */
+    Topology topology;
+    /** Node-id stride between platform replicas. */
+    int nodeStride = 0;
+    /** GPUs available on each node. */
+    int gpusPerNode = 0;
+
+    /**
+     * Node-major device selection: the first @p gpus_per_node GPUs of
+     * every node, in node order. Degenerates to
+     * Topology::gpuSet(gpus_per_node) when nodes == 1.
+     */
+    std::vector<NodeId> gpuSet(int gpus_per_node) const;
+
+    /** @return the cluster node a topology node id belongs to
+     * (NICs/switch map to their node; the switch to -1). */
+    int clusterNodeOf(NodeId id) const;
+};
+
+/**
+ * Stand up @p nodes instances of @p platform joined by the named
+ * interconnect. `nodes == 1` returns the platform untouched (see
+ * file comment); fatal on nodes < 1 or unknown interconnects.
+ */
+Cluster makeCluster(const Platform &platform, int nodes,
+                    const std::string &interconnect);
+
+} // namespace dgxsim::hw
+
+#endif // DGXSIM_HW_CLUSTER_HH

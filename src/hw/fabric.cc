@@ -64,6 +64,20 @@ Fabric::scaleNvlinkBandwidth(double factor)
 }
 
 void
+Fabric::scaleIbBandwidth(double factor)
+{
+    topo_.scaleIbBandwidth(factor);
+    for (std::size_t i = 0; i < topo_.links().size(); ++i) {
+        const Link &link = topo_.links()[i];
+        if (link.type != LinkType::IB)
+            continue;
+        const double cap = sim::gbpsToBytesPerTick(link.gbpsPerDir());
+        flows_.setChannelCapacity(chans_[i][0], cap);
+        flows_.setChannelCapacity(chans_[i][1], cap);
+    }
+}
+
+void
 Fabric::scaleLinkBandwidth(std::size_t link_index, double factor)
 {
     topo_.scaleLinkBandwidth(link_index, factor);
@@ -103,9 +117,15 @@ Fabric::runLegs(std::shared_ptr<TransferRecord> rec, Route route,
     const Link &link = topo_.links()[hop.linkIndex];
     sim::Tick latency = sim::usToTicks(link.latencyUs);
     // Host-staged copies pay a software staging cost at each relay
-    // (pinned-buffer management in the driver).
-    if (route.kind == RouteKind::HostPcie && leg > 0)
+    // (pinned-buffer management in the driver). Inter-node routes pay
+    // it only at the host relays; the NIC and switch hops forward in
+    // hardware (RDMA) with just their link latency.
+    if (route.kind == RouteKind::HostPcie && leg > 0) {
         latency += sim::usToTicks(host_.stagingOverheadUs);
+    } else if (route.kind == RouteKind::InterNode && leg > 0 &&
+               topo_.nodeKind(hop.from) == NodeKind::Cpu) {
+        latency += sim::usToTicks(host_.stagingOverheadUs);
+    }
     flows_.startFlow(
         rec->bytes, {channelFor(hop.linkIndex, hop.from)},
         [this, rec, route = std::move(route), leg,

@@ -70,6 +70,9 @@ class Fabric
     /** Scale NVLink bandwidth (topology + live channels). Ablations. */
     void scaleNvlinkBandwidth(double factor);
 
+    /** Scale inter-node IB bandwidth (topology + live channels). */
+    void scaleIbBandwidth(double factor);
+
     /** Degrade (or boost) one link's bandwidth on the live fabric. */
     void scaleLinkBandwidth(std::size_t link_index, double factor);
 

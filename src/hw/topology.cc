@@ -14,6 +14,7 @@ linkTypeName(LinkType type)
       case LinkType::NVLink: return "NVLink";
       case LinkType::PCIe: return "PCIe";
       case LinkType::QPI: return "QPI";
+      case LinkType::IB: return "IB";
     }
     return "?";
 }
@@ -27,6 +28,7 @@ routeKindName(RouteKind kind)
       case RouteKind::SwitchNvlink: return "switch-nvlink";
       case RouteKind::StagedNvlink: return "staged-nvlink";
       case RouteKind::HostPcie: return "host-pcie";
+      case RouteKind::InterNode: return "inter-node";
     }
     return "?";
 }
@@ -89,6 +91,17 @@ Topology::scaleLinkBandwidth(std::size_t link_index, double factor)
         sim::fatal("bandwidth scale factor must be positive: ", factor);
     links_[link_index].gbpsPerLane =
         links_[link_index].baseGbpsPerLane * factor;
+}
+
+void
+Topology::scaleIbBandwidth(double factor)
+{
+    if (factor <= 0)
+        sim::fatal("bandwidth scale factor must be positive: ", factor);
+    for (Link &link : links_) {
+        if (link.type == LinkType::IB)
+            link.gbpsPerLane = link.baseGbpsPerLane * factor;
+    }
 }
 
 std::optional<std::size_t>
@@ -206,6 +219,82 @@ nvlinkPath(const Topology &topo, NodeId src, NodeId dst,
     return route;
 }
 
+/**
+ * Widest-shortest path across the host-side network (PCIe/QPI/IB
+ * links whose endpoints are not GPUs) from one CPU to another.
+ * Deterministic like nvlinkPath: minimize hop count, then maximize
+ * bottleneck bandwidth, breaking ties toward the smallest relay id
+ * and then the smallest link index. Used for inter-node routes where
+ * the CPUs have no direct QPI: the path runs CPU -> NIC -> (IB
+ * switch ->) NIC -> CPU.
+ */
+std::optional<Route>
+hostNetworkPath(const Topology &topo, NodeId src, NodeId dst)
+{
+    const int n = topo.numNodes();
+    std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(n);
+    for (std::size_t i = 0; i < topo.links().size(); ++i) {
+        const Link &link = topo.links()[i];
+        if (link.type == LinkType::NVLink ||
+            topo.nodeKind(link.a) == NodeKind::Gpu ||
+            topo.nodeKind(link.b) == NodeKind::Gpu) {
+            continue;
+        }
+        adj[link.a].push_back({link.b, i});
+        adj[link.b].push_back({link.a, i});
+    }
+
+    std::vector<int> dist(n, -1);
+    dist[src] = 0;
+    std::vector<NodeId> frontier{src};
+    while (!frontier.empty() && dist[dst] < 0) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+            for (const auto &[v, li] : adj[u]) {
+                if (dist[v] >= 0)
+                    continue;
+                dist[v] = dist[u] + 1;
+                next.push_back(v);
+            }
+        }
+        frontier = std::move(next);
+    }
+    if (dist[dst] < 0)
+        return std::nullopt;
+
+    std::vector<double> widest(n, -1.0);
+    std::vector<NodeId> pred(n, -1);
+    std::vector<std::size_t> pred_link(n, 0);
+    widest[src] = std::numeric_limits<double>::infinity();
+    for (int d = 1; d <= dist[dst]; ++d) {
+        for (NodeId v = 0; v < n; ++v) {
+            if (dist[v] != d)
+                continue;
+            for (const auto &[u, li] : adj[v]) {
+                if (dist[u] != d - 1 || widest[u] < 0)
+                    continue;
+                const double bw = std::min(
+                    widest[u], topo.links()[li].gbpsPerDir());
+                if (bw > widest[v] ||
+                    (bw == widest[v] && u < pred[v])) {
+                    widest[v] = bw;
+                    pred[v] = u;
+                    pred_link[v] = li;
+                }
+            }
+        }
+    }
+    if (widest[dst] < 0)
+        return std::nullopt;
+
+    Route route;
+    route.kind = RouteKind::InterNode;
+    for (NodeId v = dst; v != src; v = pred[v])
+        route.legs.push_back(RouteLeg{pred[v], v, pred_link[v]});
+    std::reverse(route.legs.begin(), route.legs.end());
+    return route;
+}
+
 } // namespace
 
 bool
@@ -276,10 +365,19 @@ Topology::findRoute(NodeId src, NodeId dst) const
     }
     if (src_host != dst_host) {
         auto qpi = directLink(src_host, dst_host, LinkType::QPI);
-        if (!qpi)
+        if (qpi) {
+            route.legs.push_back(RouteLeg{src_host, dst_host, *qpi});
+        } else if (auto inter =
+                       hostNetworkPath(*this, src_host, dst_host)) {
+            // CPUs on different cluster nodes: relay through the
+            // host network (PCIe to the NIC, IB to the peer NIC).
+            route.kind = RouteKind::InterNode;
+            for (const RouteLeg &leg : inter->legs)
+                route.legs.push_back(leg);
+        } else {
             sim::fatal("no QPI link between CPUs ", src_host, " and ",
                        dst_host);
-        route.legs.push_back(RouteLeg{src_host, dst_host, *qpi});
+        }
     }
     if (dst_gpu) {
         auto pcie = directLink(dst_host, dst, LinkType::PCIe);

@@ -33,10 +33,10 @@ namespace dgxsim::hw {
 using NodeId = int;
 
 /** What a node is. */
-enum class NodeKind { Gpu, Cpu, Switch };
+enum class NodeKind { Gpu, Cpu, Switch, Nic };
 
-/** Physical interconnect classes in a DGX-1. */
-enum class LinkType { NVLink, PCIe, QPI };
+/** Physical interconnect classes in a DGX-1 node or across a pod. */
+enum class LinkType { NVLink, PCIe, QPI, IB };
 
 /** @return a printable name for a link type. */
 const char *linkTypeName(LinkType type);
@@ -82,6 +82,7 @@ enum class RouteKind
     SwitchNvlink, ///< NVLink hops through switch (NVSwitch) nodes
     StagedNvlink, ///< NVLink hops staged through relay GPUs
     HostPcie,     ///< DtoH + (QPI) + HtoD through the CPUs
+    InterNode,    ///< host path crossing NIC + switch IB links
 };
 
 /** @return a printable name for a route kind. */
@@ -147,6 +148,13 @@ class Topology
      * Like scaleNvlinkBandwidth, relative to the base bandwidth.
      */
     void scaleLinkBandwidth(std::size_t link_index, double factor);
+
+    /**
+     * Scale every inter-node IB link's per-lane bandwidth (the
+     * cluster analogue of scaleNvlinkBandwidth; `ib_bw` what-ifs).
+     * Relative to the base bandwidth recorded at addLink time.
+     */
+    void scaleIbBandwidth(double factor);
 
     /**
      * @return the index of the direct link of type @p type between two

@@ -141,7 +141,14 @@ TEST(WhatIfTest, SpecParsing)
     EXPECT_DOUBLE_EQ(combo[0].params.nvlinkBw, 4.0);
     EXPECT_DOUBLE_EQ(combo[1].params.kernelSpeedup, 2.0);
 
+    const std::vector<analysis::WhatIfCase> ib =
+        analysis::parseWhatIfSpecs("ib_bw=2");
+    ASSERT_EQ(ib.size(), 1u);
+    EXPECT_DOUBLE_EQ(ib[0].params.ibBw, 2.0);
+
     EXPECT_THROW(analysis::parseWhatIfSpecs("warp_drive=9"),
+                 sim::FatalError);
+    EXPECT_THROW(analysis::parseWhatIfSpecs("ib_bw=0"),
                  sim::FatalError);
     EXPECT_THROW(analysis::parseWhatIfSpecs("nvlink_bw=0"),
                  sim::FatalError);

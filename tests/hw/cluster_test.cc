@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cluster fabric tests: the interconnect registry, the replicated
+ * topology shape (per-node graphs + NICs + switch), the 1-node
+ * degeneracy guarantee (bit-exact platform topology, no NIC/switch),
+ * node-major GPU selection, inter-node routing over the NIC/switch
+ * fabric, and base-relative IB bandwidth scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.hh"
+#include "hw/fabric.hh"
+#include "hw/platform.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using hw::makeCluster;
+using hw::makePlatform;
+
+TEST(Cluster, InterconnectRegistryListsTheKnownNetworks)
+{
+    EXPECT_EQ(hw::interconnectNames(),
+              (std::vector<std::string>{"ib100", "ib200", "ib400",
+                                        "roce100"}));
+    for (const std::string &name : hw::interconnectNames()) {
+        EXPECT_TRUE(hw::isInterconnect(name)) << name;
+        EXPECT_EQ(hw::makeInterconnect(name).name, name);
+        EXPECT_GT(hw::makeInterconnect(name).gbpsPerDir, 0.0) << name;
+    }
+    EXPECT_FALSE(hw::isInterconnect("omnipath"));
+    EXPECT_EQ(std::string(hw::kDefaultInterconnect), "ib100");
+    EXPECT_THROW(hw::makeInterconnect("omnipath"), sim::FatalError);
+}
+
+TEST(Cluster, OneNodeClusterIsThePlatformBitForBit)
+{
+    // The determinism digest folds per-link byte counters in link
+    // order, so a 1-node cluster must carry the platform topology
+    // untouched: same node count (no NIC/switch), same links.
+    const hw::Platform plat = makePlatform("dgx1v");
+    const hw::Cluster cluster = makeCluster(plat, 1, "ib100");
+    EXPECT_EQ(cluster.nodes, 1);
+    ASSERT_EQ(cluster.topology.numNodes(), plat.topology.numNodes());
+    ASSERT_EQ(cluster.topology.links().size(),
+              plat.topology.links().size());
+    for (hw::NodeId id = 0; id < plat.topology.numNodes(); ++id) {
+        EXPECT_EQ(cluster.topology.nodeKind(id),
+                  plat.topology.nodeKind(id));
+        EXPECT_EQ(cluster.topology.nodeLabel(id),
+                  plat.topology.nodeLabel(id));
+    }
+    for (std::size_t i = 0; i < plat.topology.links().size(); ++i) {
+        const hw::Link &a = cluster.topology.links()[i];
+        const hw::Link &b = plat.topology.links()[i];
+        EXPECT_EQ(a.a, b.a) << "link " << i;
+        EXPECT_EQ(a.b, b.b) << "link " << i;
+        EXPECT_EQ(a.type, b.type) << "link " << i;
+        EXPECT_DOUBLE_EQ(a.gbpsPerLane, b.gbpsPerLane) << "link " << i;
+    }
+    EXPECT_EQ(cluster.gpuSet(4), plat.topology.gpuSet(4));
+}
+
+TEST(Cluster, MultiNodeShapeReplicatesThePlatform)
+{
+    const hw::Platform plat = makePlatform("dgx1v");
+    const int nodes = 4;
+    const hw::Cluster cluster = makeCluster(plat, nodes, "ib200");
+    const int stride = plat.topology.numNodes();
+    EXPECT_EQ(cluster.nodeStride, stride);
+    EXPECT_EQ(cluster.gpusPerNode, plat.topology.numGpus());
+    // nodes*stride replicas + one NIC per node + one switch.
+    EXPECT_EQ(cluster.topology.numNodes(), nodes * stride + nodes + 1);
+    // Replicated labels carry the node prefix.
+    EXPECT_EQ(cluster.topology.nodeLabel(0),
+              "n0." + plat.topology.nodeLabel(0));
+    EXPECT_EQ(cluster.topology.nodeLabel(stride),
+              "n1." + plat.topology.nodeLabel(0));
+    EXPECT_EQ(cluster.topology.nodeLabel(nodes * stride), "n0.NIC0");
+    EXPECT_EQ(cluster.topology.nodeLabel(nodes * stride + nodes),
+              "IBSW0");
+    // One IB link per NIC at the registered rate.
+    int ib_links = 0;
+    for (const hw::Link &link : cluster.topology.links()) {
+        if (link.type == hw::LinkType::IB) {
+            ++ib_links;
+            EXPECT_DOUBLE_EQ(link.gbpsPerLane * link.lanes, 25.0);
+        }
+    }
+    EXPECT_EQ(ib_links, nodes);
+    // Node membership: replicas, NICs, then the unowned switch.
+    EXPECT_EQ(cluster.clusterNodeOf(0), 0);
+    EXPECT_EQ(cluster.clusterNodeOf(stride + 3), 1);
+    EXPECT_EQ(cluster.clusterNodeOf(nodes * stride + 2), 2);
+    EXPECT_EQ(cluster.clusterNodeOf(nodes * stride + nodes), -1);
+}
+
+TEST(Cluster, GpuSetIsNodeMajor)
+{
+    const hw::Platform plat = makePlatform("dgx1v");
+    const hw::Cluster cluster = makeCluster(plat, 2, "ib100");
+    const std::vector<hw::NodeId> one = plat.topology.gpuSet(2);
+    const std::vector<hw::NodeId> set = cluster.gpuSet(2);
+    ASSERT_EQ(set.size(), 4u);
+    // First the first two GPUs of node 0, then node 1's replicas.
+    EXPECT_EQ(set[0], one[0]);
+    EXPECT_EQ(set[1], one[1]);
+    EXPECT_EQ(set[2], one[0] + cluster.nodeStride);
+    EXPECT_EQ(set[3], one[1] + cluster.nodeStride);
+    EXPECT_THROW(cluster.gpuSet(0), sim::FatalError);
+    EXPECT_THROW(cluster.gpuSet(cluster.gpusPerNode + 1),
+                 sim::FatalError);
+}
+
+TEST(Cluster, CrossNodeRoutesUseTheInterNodeFabric)
+{
+    const hw::Platform plat = makePlatform("dgx1v");
+    const hw::Cluster cluster = makeCluster(plat, 2, "ib100");
+    const std::vector<hw::NodeId> gpus = cluster.gpuSet(1);
+    const hw::Route route =
+        cluster.topology.findRoute(gpus[0], gpus[1]);
+    EXPECT_EQ(route.kind, hw::RouteKind::InterNode);
+    // The route crosses exactly two IB hops (NIC->switch->NIC).
+    int ib_hops = 0;
+    for (const hw::RouteLeg &leg : route.legs) {
+        if (cluster.topology.links()[leg.linkIndex].type ==
+            hw::LinkType::IB)
+            ++ib_hops;
+    }
+    EXPECT_EQ(ib_hops, 2);
+    // Intra-node routes are untouched by the cluster build.
+    const std::vector<hw::NodeId> intra = cluster.gpuSet(2);
+    EXPECT_EQ(cluster.topology.findRoute(intra[0], intra[1]).kind,
+              plat.topology.findRoute(intra[0], intra[1]).kind);
+}
+
+TEST(Cluster, IbBandwidthScalingIsBaseRelative)
+{
+    const hw::Platform plat = makePlatform("dgx1v");
+    sim::EventQueue queue;
+    hw::Fabric fabric(queue, makeCluster(plat, 2, "ib100").topology,
+                      plat.hostSpec);
+    const auto ibGbps = [&fabric]() {
+        for (const hw::Link &link : fabric.topology().links()) {
+            if (link.type == hw::LinkType::IB)
+                return link.gbpsPerLane * link.lanes;
+        }
+        return 0.0;
+    };
+    const double base = ibGbps();
+    ASSERT_GT(base, 0.0);
+    fabric.scaleIbBandwidth(2.0);
+    EXPECT_DOUBLE_EQ(ibGbps(), 2.0 * base);
+    // Base-relative: repeated scales replace, never compound.
+    fabric.scaleIbBandwidth(2.0);
+    EXPECT_DOUBLE_EQ(ibGbps(), 2.0 * base);
+    fabric.scaleIbBandwidth(1.0);
+    EXPECT_DOUBLE_EQ(ibGbps(), base);
+}
+
+TEST(Cluster, BadArgumentsAreFatal)
+{
+    const hw::Platform plat = makePlatform("dgx1v");
+    EXPECT_THROW(makeCluster(plat, 0, "ib100"), sim::FatalError);
+    EXPECT_THROW(makeCluster(plat, 2, "omnipath"), sim::FatalError);
+}
+
+} // namespace

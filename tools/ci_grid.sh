@@ -1,0 +1,22 @@
+# Shared CI grid definitions, sourced (`. tools/ci_grid.sh`) by the
+# scripts that sweep the paper configuration space. Before this file
+# the model/method lists were maintained independently in
+# tools/run_audit.sh and inline in the determinism CI job, and the
+# two copies had no way to stay in sync when a model joined the zoo.
+#
+# POSIX sh has no arrays, so each grid is a whitespace-separated
+# word list meant for an unquoted `for x in $LIST` expansion, and
+# the spot-check specs are newline-separated "model gpus batch
+# method" rows consumed via `set -- $spec`.
+
+# The full sync-grid model zoo and both communication methods.
+DGXSIM_CI_MODELS="lenet alexnet googlenet inception-v3 resnet-50"
+DGXSIM_CI_METHODS="p2p nccl"
+
+# The reduced zoo used by the non-sync (async_ps / model_parallel)
+# sweeps.
+DGXSIM_CI_MODES_MODELS="lenet alexnet resnet-50"
+
+# Audited determinism spot checks: model gpus batch method.
+DGXSIM_CI_SPOT_SPECS="lenet 4 16 p2p
+alexnet 8 32 nccl"

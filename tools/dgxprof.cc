@@ -10,6 +10,7 @@
  *   check    re-run a campaign, diff against a golden baseline
  *   topo     show a platform's topology, routes and bandwidths
  *   platforms list the registered hardware platforms
+ *   interconnects list the registered inter-node networks
  *   advise   pick max batch size and best method for a model
  *   models   list the model zoo
  *   verify   determinism check: run a config twice, compare digests
@@ -18,7 +19,9 @@
  * sync_dp|async_ps|model_parallel to select the parallelization
  * strategy, and --platform to pick the hardware substrate from the
  * registry (campaign and check accept comma-separated lists of
- * both).
+ * both). --nodes N stands up an N-node cluster of the selected
+ * platform joined by --interconnect (hw/cluster.hh), with the
+ * inter-node all-reduce schedule picked by --netalgo ring|tree.
  *
  * Run `dgxprof help` (or any subcommand with --help) for usage.
  */
@@ -42,6 +45,7 @@
 #include "core/trainer_base.hh"
 #include "dnn/models.hh"
 #include "dnn/serialize.hh"
+#include "hw/cluster.hh"
 #include "hw/fabric.hh"
 #include "hw/platform.hh"
 #include "hw/topology.hh"
@@ -68,6 +72,9 @@ usage()
         "sync_dp|async_ps|model_parallel]\n"
         "                                   [--platform "
         "dgx1v|dgx1p|dgx2|... ]\n"
+        "                                   [--nodes N] "
+        "[--interconnect ib100|ib200|...]\n"
+        "                                   [--netalgo ring|tree]\n"
         "                                   [--microbatches N] "
         "[--async-iters N]\n"
         "                                   [--allreduce] [--fusion-mb "
@@ -94,6 +101,9 @@ usage()
         "[--method p2p,nccl]\n"
         "                                   [--mode M1,M2] "
         "[--platform P1,P2]\n"
+        "                                   [--nodes 1,2,4] "
+        "[--interconnect I1,I2]\n"
+        "                                   [--netalgo ring,tree]\n"
         "                                   [--jobs N] [--json FILE]\n"
         "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
@@ -104,11 +114,14 @@ usage()
         "[--batches ...]\n"
         "                                   [--method ...] [--mode "
         "...] [--platform ...]\n"
+        "                                   [--nodes ...] "
+        "[--interconnect ...] [--netalgo ...]\n"
         "                                   to filter the baseline "
         "grid)\n"
         "  topo      topology, routes, bandwidth matrix "
         "([--platform P])\n"
         "  platforms list the registered hardware platforms\n"
+        "  interconnects list the registered inter-node networks\n"
         "  advise    batch-size + method advice (--model [--gpus N] "
         "[--mode M])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
@@ -243,6 +256,8 @@ cmdAnalyze(const Args &args)
         rec.hasAnalysis = true;
         rec.cpComputeSeconds = sim::ticksToSec(attr.compute);
         rec.cpCommSeconds = sim::ticksToSec(attr.comm);
+        rec.cpInterNodeCommSeconds =
+            sim::ticksToSec(attr.interNodeComm);
         rec.cpApiSeconds = sim::ticksToSec(attr.api);
         rec.cpIdleSeconds = sim::ticksToSec(attr.idle);
         campaign::writeFile(path, campaign::recordsToJson({rec}));
@@ -295,6 +310,13 @@ campaignSpecFromArgs(const Args &args)
         spec.modes.push_back(core::parseParallelismMode(m));
     // Empty means "base.platform only" (the default machine).
     spec.platforms = args.getList("platform", {});
+    spec.nodeCounts = args.getIntList("nodes", {1});
+    // Empty means "base.interconnect only"; the axis only matters in
+    // multi-node cells anyway.
+    spec.interconnects = args.getList("interconnect", {});
+    spec.netAlgos.clear();
+    for (const std::string &a : args.getList("netalgo", {"ring"}))
+        spec.netAlgos.push_back(comm::parseNetAlgo(a));
     return spec;
 }
 
@@ -376,13 +398,21 @@ cmdCheck(const Args &args)
     if (args.has("model") || args.has("gpus") ||
         args.has("batches") || args.has("batch") ||
         args.has("method") || args.has("mode") ||
-        args.has("platform")) {
+        args.has("platform") || args.has("nodes") ||
+        args.has("interconnect") || args.has("netalgo")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
             args.getIntList("batches", args.getIntList("batch", {}));
         const auto methods = args.getList("method", {});
         const auto platforms = args.getList("platform", {});
+        const auto nodes = args.getIntList("nodes", {});
+        const auto interconnects = args.getList("interconnect", {});
+        std::vector<std::string> netAlgos;
+        for (const std::string &a : args.getList("netalgo", {})) {
+            netAlgos.push_back(
+                comm::netAlgoName(comm::parseNetAlgo(a)));
+        }
         std::vector<std::string> modes;
         for (const std::string &m : args.getList("mode", {})) {
             // Canonicalize aliases ("async" -> "async_ps") so the
@@ -397,7 +427,12 @@ cmdCheck(const Args &args)
                    (!methods.empty() && !contains(methods, r.method)) ||
                    (!modes.empty() && !contains(modes, r.mode)) ||
                    (!platforms.empty() &&
-                    !contains(platforms, r.platform));
+                    !contains(platforms, r.platform)) ||
+                   (!nodes.empty() && !contains(nodes, r.nodes)) ||
+                   (!interconnects.empty() &&
+                    !contains(interconnects, r.interconnect)) ||
+                   (!netAlgos.empty() &&
+                    !contains(netAlgos, r.netAlgo));
         });
     }
     if (baseline.empty()) {
@@ -510,6 +545,21 @@ cmdPlatforms()
         table.addRow({plat.name,
                       std::to_string(plat.topology.numGpus()),
                       plat.gpuSpec.name, plat.description});
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
+cmdInterconnects()
+{
+    TextTable table({"name", "GB/s per dir", "latency (us)",
+                     "description"});
+    for (const std::string &name : hw::interconnectNames()) {
+        const hw::Interconnect ic = hw::makeInterconnect(name);
+        table.addRow({ic.name, TextTable::num(ic.gbpsPerDir, 1),
+                      TextTable::num(ic.latencyUs, 1),
+                      ic.description});
     }
     std::printf("%s", table.str().c_str());
     return 0;
@@ -633,6 +683,8 @@ main(int argc, char **argv)
             return cmdTopo(args);
         if (command == "platforms")
             return cmdPlatforms();
+        if (command == "interconnects")
+            return cmdInterconnects();
         if (command == "advise")
             return cmdAdvise(args);
         if (command == "analyze")

@@ -9,6 +9,10 @@
 #   results/baseline_platforms.json — a non-default-platform grid
 #       (dgx1p,dgx2 x lenet,alexnet x {1,4} GPUs x b16 x {p2p,nccl})
 #       gating the platform registry
+#   results/baseline_cluster.json — the multi-node grid
+#       (lenet,alexnet,resnet-50 x {2,4,8} nodes x 4 GPUs x b16 x
+#       nccl x {ring,tree}) gating the cluster fabric and the
+#       hierarchical collectives
 # Both are serialized with deterministic formatting so the diff
 # against the old baseline is reviewable like code.
 #
@@ -51,3 +55,11 @@ echo "results/baseline_modes.json refreshed ($count records)"
 
 count=$(grep -c '"model"' "$repo/results/baseline_platforms.json")
 echo "results/baseline_platforms.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet,resnet-50 --gpus 4 --batches 16 \
+    --method nccl --nodes 2,4,8 --netalgo ring,tree \
+    --json "$repo/results/baseline_cluster.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_cluster.json")
+echo "results/baseline_cluster.json refreshed ($count records)"

@@ -22,6 +22,10 @@ fi
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo"
 
+# Grid lists shared with tools/run_determinism.sh (the CI
+# determinism job) so the audited spot checks track the same specs.
+. "$repo/tools/ci_grid.sh"
+
 builddir=build-asan
 if cmake --list-presets >/dev/null 2>&1; then
     cmake --preset asan-ubsan
@@ -44,9 +48,8 @@ echo "== determinism spot checks (audited) =="
 # Run every spot check even after a failure so one broken
 # configuration does not hide another; fail at the end if any did.
 failures=0
-for spec in \
-    "lenet 4 16 p2p" \
-    "alexnet 8 32 nccl"; do
+while IFS= read -r spec; do
+    [ -n "$spec" ] || continue
     set -- $spec
     if ! DGXSIM_AUDIT=1 ./tools/dgxprof verify --model "$1" \
         --gpus "$2" --batch "$3" --method "$4"; then
@@ -54,7 +57,9 @@ for spec in \
              "--batch $3 --method $4" >&2
         failures=$((failures + 1))
     fi
-done
+done <<EOF
+$DGXSIM_CI_SPOT_SPECS
+EOF
 
 echo "== analysis spot check (audited) =="
 # One audited critical-path analysis: attribution must partition the

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Determinism sweep: `dgxprof verify` (run twice, compare digests)
+# across the paper grid, the busy dual-ring configuration, and the
+# non-sync strategies. This is the body of the CI determinism job;
+# the grid lists live in tools/ci_grid.sh, shared with run_audit.sh.
+#
+# Usage: tools/run_determinism.sh [build-dir]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+builddir=${1:-"$repo/build"}
+dgxprof="$builddir/tools/dgxprof"
+
+if [ ! -x "$dgxprof" ]; then
+    echo "error: $dgxprof not built" >&2
+    exit 1
+fi
+
+. "$repo/tools/ci_grid.sh"
+
+echo "== sync grid =="
+for model in $DGXSIM_CI_MODELS; do
+    for method in $DGXSIM_CI_METHODS; do
+        "$dgxprof" verify --model "$model" --gpus 4 --batch 16 \
+            --method "$method"
+    done
+done
+"$dgxprof" verify --model resnet-50 --gpus 8 --batch 32 \
+    --method nccl --allreduce --rings 2
+
+echo "== async + pipeline strategies =="
+for model in $DGXSIM_CI_MODES_MODELS; do
+    "$dgxprof" verify --model "$model" --gpus 4 --batch 16 \
+        --mode async_ps
+    "$dgxprof" verify --model "$model" --gpus 4 --batch 16 \
+        --mode model_parallel
+done
+"$dgxprof" verify --model alexnet --gpus 8 --batch 16 \
+    --mode model_parallel --microbatches 16
+
+echo "determinism sweep passed"
