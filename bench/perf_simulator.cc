@@ -43,6 +43,7 @@
 
 #include "campaign/benchfile.hh"
 #include "campaign/campaign.hh"
+#include "comm/scheduler.hh"
 #include "core/trainer_base.hh"
 #include "sim/event_queue.hh"
 #include "sim/flow_network.hh"
@@ -77,6 +78,7 @@ struct Sizes
     int stormEvents = 400000;
     int churnRounds = 6000;
     int flowChurn = 20000;
+    int schedRounds = 20000;
     int singleReps = 5;
     int passes = 3; ///< best-of passes per metric
 };
@@ -88,6 +90,7 @@ smokeSizes()
     s.stormEvents = 50000;
     s.churnRounds = 800;
     s.flowChurn = 2500;
+    s.schedRounds = 2000;
     s.singleReps = 1;
     s.passes = 1;
     return s;
@@ -171,6 +174,40 @@ measureFlowChurn(int churn)
         }
     }
     return churn / secondsSince(t0);
+}
+
+/**
+ * The partitioned policy's worst case: every round submits one jumbo
+ * gradient (256 MiB -> 64 chunks) plus 63 small urgent buckets that
+ * must all overtake it, then drains the queue chunk by chunk. This
+ * exercises the priority heap, the credit window and the reassembly
+ * audit on every admitted chunk.
+ */
+double
+measureSchedStorm(int rounds)
+{
+    auto sched =
+        comm::makeScheduler(comm::SchedulerPolicy::Partitioned,
+                            comm::kDefaultPartitionBytes,
+                            comm::kDefaultCreditBytes, {});
+    long done = 0;
+    long chunks = 0;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        sched->submit(comm::OpKind::Reduce, sim::Bytes(256) << 20, 0,
+                      [&done] { ++done; }, nullptr);
+        for (int i = 0; i < 63; ++i) {
+            sched->submit(comm::OpKind::Reduce, sim::Bytes(64) << 10,
+                          1 + i, [&done] { ++done; }, nullptr);
+        }
+        comm::SchedChunk chunk;
+        while (sched->next(chunk)) {
+            ++chunks;
+            if (sched->finishChunk(chunk))
+                chunk.op->done();
+        }
+    }
+    return chunks / secondsSince(t0);
 }
 
 core::TrainConfig
@@ -282,6 +319,8 @@ measureAll(const Sizes &sizes)
                measureEqChurn(sizes.churnRounds));
         record("flow_churn_flows_per_sec", "flows/s", true,
                measureFlowChurn(sizes.flowChurn));
+        record("sched_storm_chunks_per_sec", "chunks/s", true,
+               measureSchedStorm(sizes.schedRounds));
         for (const std::string &model : paperModels()) {
             for (int gpus : {1, 8}) {
                 for (auto method : {comm::CommMethod::P2P,
@@ -336,6 +375,37 @@ preChangePoint()
     return p;
 }
 
+/**
+ * The measurement taken just before profiler records switched from
+ * owned std::strings to interned Names (profiling/interner.hh), same
+ * loops, full size, jobs=1. Kept as a fixed trajectory point so the
+ * committed file always shows the before/after of that change; the
+ * run-to-run delta must be read against the eq_storm calibration
+ * metric, which does not touch the profiler.
+ */
+campaign::BenchPoint
+preInterningPoint()
+{
+    campaign::BenchPoint p;
+    p.label = "pre-interning";
+    p.note = "before interned profiler record names: records owned "
+             "four std::strings each; full-size run, jobs=1, best "
+             "of 3 (no sched_storm metric yet)";
+    p.values = {
+        {"eq_storm_events_per_sec", 2966228.76},
+        {"eq_churn_resched_per_sec", 8234596.45},
+        {"flow_churn_flows_per_sec", 46357.4211},
+        {"grid120_cold_sims_per_sec", 213.640394},
+        {"grid120_warm_sims_per_sec", 346159.505},
+        {"single_run_lenet_g1_p2p_ms", 0.0936508},
+        {"single_run_alexnet_g8_nccl_ms", 4.9657778},
+        {"single_run_googlenet_g8_nccl_ms", 11.4277164},
+        {"single_run_inception_v3_g8_nccl_ms", 36.6487954},
+        {"single_run_resnet_50_g8_nccl_ms", 29.8834656},
+    };
+    return p;
+}
+
 campaign::BenchFile
 buildBenchFile(const Sizes &sizes, const std::string &label,
                bool smoke)
@@ -344,6 +414,7 @@ buildBenchFile(const Sizes &sizes, const std::string &label,
     file.suite = "simulator";
     file.metrics = measureAll(sizes);
     file.trajectory.push_back(preChangePoint());
+    file.trajectory.push_back(preInterningPoint());
     campaign::BenchPoint now;
     now.label = label;
     now.note = smoke ? "smoke run: reduced workloads, values NOT "
@@ -469,6 +540,17 @@ registerBenchmarks()
                                      state.SetItemsProcessed(
                                          state.iterations() *
                                          s.flowChurn);
+                                 });
+    benchmark::RegisterBenchmark("BM_SchedStorm",
+                                 [](benchmark::State &state) {
+                                     const Sizes s;
+                                     for (auto _ : state)
+                                         benchmark::DoNotOptimize(
+                                             measureSchedStorm(
+                                                 s.schedRounds));
+                                     state.SetItemsProcessed(
+                                         state.iterations() *
+                                         s.schedRounds * 127);
                                  });
     for (const std::string &model : paperModels()) {
         for (int gpus : {1, 8}) {

@@ -120,7 +120,7 @@ Dag::Dag(const profiling::Profiler &prof, const hw::Topology &topo)
           default: {
             const profiling::CopyRecord &c = prof.copies()[ref.index];
             node.name = c.kind;
-            node.lane = c.kind + " " + std::to_string(c.src) + ">" +
+            node.lane = c.kind.str() + " " + std::to_string(c.src) + ">" +
                         std::to_string(c.dst);
             node.start = c.start;
             node.end = c.end;

@@ -14,6 +14,7 @@
 #include "hw/cluster.hh"
 #include "hw/platform.hh"
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::campaign {
 
@@ -29,8 +30,9 @@ CampaignSpec::expand() const
             : interconnects;
     for (const std::string &name : nets) {
         if (!hw::isInterconnect(name)) {
-            sim::fatal("unknown interconnect '", name,
-                       "' in campaign grid");
+            sim::fatal("unknown interconnect '", name, "'",
+                       sim::didYouMean(name, hw::interconnectNames()),
+                       " in campaign grid");
         }
     }
     for (int n : nodeCounts) {
@@ -54,7 +56,7 @@ CampaignSpec::expand() const
     std::vector<core::TrainConfig> configs;
     configs.reserve(plats.size() * nodeCounts.size() * modes.size() *
                     models.size() * gpus.size() * batches.size() *
-                    methods.size());
+                    methods.size() * schedulers.size());
     for (const std::string &platform : plats) {
         for (int nodes : nodeCounts) {
             // Without an inter-node fabric the interconnect and
@@ -86,23 +88,41 @@ CampaignSpec::expand() const
                                 sync ? methods
                                      : std::vector<comm::CommMethod>{
                                            comm::CommMethod::P2P};
+                        // The non-sync strategies bypass the
+                        // collective queue entirely, so the
+                        // scheduler axis collapses alongside the
+                        // method axis.
+                        const std::vector<comm::SchedulerPolicy>
+                            cellScheds =
+                                sync
+                                    ? schedulers
+                                    : std::vector<
+                                          comm::SchedulerPolicy>{
+                                          comm::SchedulerPolicy::
+                                              Fifo};
                         for (const std::string &model : models) {
                             for (int g : gpus) {
                                 for (int b : batches) {
                                     for (comm::CommMethod m :
                                          cellMethods) {
-                                        core::TrainConfig cfg = base;
-                                        cfg.platform = platform;
-                                        cfg.nodes = nodes;
-                                        cfg.interconnect = net;
-                                        cfg.netAlgo = algo;
-                                        cfg.mode = mode;
-                                        cfg.model = model;
-                                        cfg.numGpus = g;
-                                        cfg.batchPerGpu = b;
-                                        cfg.method = m;
-                                        configs.push_back(
-                                            std::move(cfg));
+                                        for (comm::SchedulerPolicy s :
+                                             cellScheds) {
+                                            core::TrainConfig cfg =
+                                                base;
+                                            cfg.platform = platform;
+                                            cfg.nodes = nodes;
+                                            cfg.interconnect = net;
+                                            cfg.netAlgo = algo;
+                                            cfg.mode = mode;
+                                            cfg.model = model;
+                                            cfg.numGpus = g;
+                                            cfg.batchPerGpu = b;
+                                            cfg.method = m;
+                                            cfg.commConfig
+                                                .scheduler = s;
+                                            configs.push_back(
+                                                std::move(cfg));
+                                        }
                                     }
                                 }
                             }
@@ -129,6 +149,7 @@ configKey(const core::TrainConfig &cfg)
             "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
             "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
             "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
+            "|sch%d|pb%" PRIu64 "|cb%" PRIu64
             "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
             "|wi:%.17g,%.17g,%.17g,%.17g",
             cfg.model.c_str(), cfg.platform.c_str(), cfg.nodes,
@@ -149,6 +170,9 @@ configKey(const core::TrainConfig &cfg)
             cfg.commConfig.ringHopLatencyUs,
             cfg.commConfig.ncclIterFixedUs, cfg.commConfig.ncclSetupUs,
             cfg.commConfig.memcpyIssueUs, cfg.commConfig.maxChunks,
+            static_cast<int>(cfg.commConfig.scheduler),
+            static_cast<std::uint64_t>(cfg.commConfig.partitionBytes),
+            static_cast<std::uint64_t>(cfg.commConfig.creditBytes),
             cfg.memoryModel.contextGB,
             cfg.memoryModel.activationFactor,
             cfg.memoryModel.workspaceFactor,

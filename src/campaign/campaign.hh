@@ -71,6 +71,14 @@ struct CampaignSpec
      * single column at nodes == 1 for the same reason.
      */
     std::vector<comm::NetAlgo> netAlgos = {comm::NetAlgo::Ring};
+    /**
+     * Gradient-bucket schedulers to sweep (comm/scheduler.hh). The
+     * default {Fifo} is the historical per-layer queue. Non-sync
+     * modes never issue collectives, so the axis collapses to a
+     * single fifo column for them.
+     */
+    std::vector<comm::SchedulerPolicy> schedulers = {
+        comm::SchedulerPolicy::Fifo};
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
@@ -78,8 +86,9 @@ struct CampaignSpec
      * @return the grid expanded to configurations in deterministic
      * platform-major order: platform, then nodes, then interconnect,
      * then net algo, then mode, then model, then gpus, then batch,
-     * then method. Fatal when a platform or interconnect is unknown
-     * or a platform has fewer GPUs than the gpus axis requests.
+     * then method, then scheduler. Fatal when a platform or
+     * interconnect is unknown or a platform has fewer GPUs than the
+     * gpus axis requests.
      */
     std::vector<core::TrainConfig> expand() const;
 };

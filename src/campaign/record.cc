@@ -133,6 +133,12 @@ RunRecord::key() const
         out += " n" + std::to_string(nodes) + " " + interconnect +
                " " + netAlgo;
     }
+    // Pre-scheduler baselines never carried the scheduler axes.
+    if (scheduler != "fifo") {
+        out += " " + scheduler + " pb" +
+               std::to_string(partitionBytes) + " cb" +
+               std::to_string(creditBytes);
+    }
     return out;
 }
 
@@ -149,6 +155,9 @@ RunRecord::toConfig() const
     cfg.nodes = nodes;
     cfg.interconnect = interconnect;
     cfg.netAlgo = comm::parseNetAlgo(netAlgo);
+    cfg.commConfig.scheduler = comm::parseScheduler(scheduler);
+    cfg.commConfig.partitionBytes = partitionBytes;
+    cfg.commConfig.creditBytes = creditBytes;
     cfg.microbatches = microbatches;
     cfg.datasetImages = images;
     return cfg;
@@ -167,6 +176,10 @@ recordFromReport(const core::TrainReport &report)
     r.nodes = report.config.nodes;
     r.interconnect = report.config.interconnect;
     r.netAlgo = comm::netAlgoName(report.config.netAlgo);
+    r.scheduler =
+        comm::schedulerName(report.config.commConfig.scheduler);
+    r.partitionBytes = report.config.commConfig.partitionBytes;
+    r.creditBytes = report.config.commConfig.creditBytes;
     r.images = report.config.datasetImages;
     r.oom = report.oom;
     r.iterations = report.iterations;
@@ -217,6 +230,16 @@ recordsToJson(const std::vector<RunRecord> &records)
                    jsonEscape(r.interconnect) + "\", ";
             out += "\"net_algo\": \"" + jsonEscape(r.netAlgo) +
                    "\", ";
+        }
+        // Scheduler axes only when not fifo: every baseline written
+        // before the scheduler existed must stay byte-identical.
+        if (r.scheduler != "fifo") {
+            out += "\"scheduler\": \"" + jsonEscape(r.scheduler) +
+                   "\", ";
+            out += "\"partition_bytes\": " +
+                   fmtU64(r.partitionBytes) + ", ";
+            out += "\"credit_bytes\": " + fmtU64(r.creditBytes) +
+                   ", ";
         }
         out += "\"images\": " + fmtU64(r.images) + ",\n     ";
         out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
@@ -300,6 +323,11 @@ recordsFromJson(const std::string &text)
             r.interconnect = ic->asString();
         if (const JsonValue *na = v.find("net_algo"))
             r.netAlgo = na->asString();
+        if (const JsonValue *s = v.find("scheduler")) {
+            r.scheduler = s->asString();
+            r.partitionBytes = u64At(v, "partition_bytes");
+            r.creditBytes = u64At(v, "credit_bytes");
+        }
         r.images = u64At(v, "images");
         r.oom = v.boolAt("oom");
         r.iterations = u64At(v, "iterations");
@@ -346,7 +374,8 @@ recordsToCsv(const std::vector<RunRecord> &records)
 {
     std::string out =
         "model,gpus,batch,method,mode,platform,nodes,interconnect,"
-        "net_algo,images,oom,iterations,"
+        "net_algo,scheduler,partition_bytes,credit_bytes,"
+        "images,oom,iterations,"
         "epoch_s,"
         "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
         "inter_gpu_bytes_per_iter,inter_node_bytes_per_iter,"
@@ -362,6 +391,9 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += std::to_string(r.nodes) + ",";
         out += csvEscape(r.interconnect) + ",";
         out += csvEscape(r.netAlgo) + ",";
+        out += csvEscape(r.scheduler) + ",";
+        out += fmtU64(r.partitionBytes) + ",";
+        out += fmtU64(r.creditBytes) + ",";
         out += fmtU64(r.images) + ",";
         out += std::string(r.oom ? "1" : "0") + ",";
         out += fmtU64(r.iterations) + ",";

@@ -59,6 +59,17 @@ struct RunRecord
     std::string interconnect = "ib100";
     /** Inter-node all-reduce schedule, "ring" or "tree". */
     std::string netAlgo = "ring";
+    /**
+     * Gradient-bucket scheduler (comm::schedulerName). JSON and
+     * key() carry the scheduler axes (scheduler, partition_bytes,
+     * credit_bytes) only when the scheduler is not "fifo" so every
+     * pre-scheduler baseline stays byte-identical.
+     */
+    std::string scheduler = "fifo";
+    /** Partitioned-chunk size (serialized for non-fifo only). */
+    std::uint64_t partitionBytes = comm::kDefaultPartitionBytes;
+    /** Priority credit window (serialized for non-fifo only). */
+    std::uint64_t creditBytes = comm::kDefaultCreditBytes;
     std::uint64_t images = 256000;
 
     // --- outcome ---

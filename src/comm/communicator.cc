@@ -2,6 +2,7 @@
 
 #include "cuda/kernel_model.hh"
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::comm {
 
@@ -18,7 +19,9 @@ parseNetAlgo(const std::string &name)
         return NetAlgo::Ring;
     if (name == "tree")
         return NetAlgo::Tree;
-    sim::fatal("unknown net algo '", name, "' (want ring or tree)");
+    sim::fatal("unknown net algo '", name, "'",
+               sim::didYouMean(name, {"ring", "tree"}),
+               " (want ring or tree)");
 }
 
 Communicator::Communicator(CommContext ctx, CommConfig cfg)
@@ -39,31 +42,64 @@ Communicator::Communicator(CommContext ctx, CommConfig cfg)
     }
 }
 
+Scheduler &
+Communicator::scheduler()
+{
+    if (!sched_) {
+        SchedulerLimits limits;
+        limits.pipelined = pipelined();
+        limits.maxInFlightChunks = maxInFlightChunks();
+        sched_ = makeScheduler(cfg_.scheduler, cfg_.partitionBytes,
+                               cfg_.creditBytes, limits);
+    }
+    return *sched_;
+}
+
 void
-Communicator::enqueue(OpKind kind, sim::Bytes bytes, Callback done)
+Communicator::enqueue(OpKind kind, sim::Bytes bytes, int priority,
+                      Callback done)
 {
     profiling::CauseToken cause =
         ctx_.profiler ? ctx_.profiler->currentCause() : nullptr;
-    ops_.push_back(Op{kind, bytes, std::move(done), std::move(cause)});
+    scheduler().submit(kind, bytes, priority, std::move(done),
+                       std::move(cause));
     pump();
 }
 
 void
 Communicator::reduce(sim::Bytes bytes, Callback done)
 {
-    enqueue(OpKind::Reduce, bytes, std::move(done));
+    enqueue(OpKind::Reduce, bytes, 0, std::move(done));
+}
+
+void
+Communicator::reduce(sim::Bytes bytes, int priority, Callback done)
+{
+    enqueue(OpKind::Reduce, bytes, priority, std::move(done));
 }
 
 void
 Communicator::broadcast(sim::Bytes bytes, Callback done)
 {
-    enqueue(OpKind::Broadcast, bytes, std::move(done));
+    enqueue(OpKind::Broadcast, bytes, 0, std::move(done));
+}
+
+void
+Communicator::broadcast(sim::Bytes bytes, int priority, Callback done)
+{
+    enqueue(OpKind::Broadcast, bytes, priority, std::move(done));
 }
 
 void
 Communicator::allReduce(sim::Bytes bytes, Callback done)
 {
-    enqueue(OpKind::AllReduce, bytes, std::move(done));
+    enqueue(OpKind::AllReduce, bytes, 0, std::move(done));
+}
+
+void
+Communicator::allReduce(sim::Bytes bytes, int priority, Callback done)
+{
+    enqueue(OpKind::AllReduce, bytes, priority, std::move(done));
 }
 
 void
@@ -101,49 +137,46 @@ Communicator::onIdle(Callback fn)
     idleWaiters_.push_back(std::move(fn));
 }
 
-void
-Communicator::pump()
+std::string
+Communicator::chunkLane(const std::string &base) const
 {
-    if (pipelined()) {
-        // Dispatch everything immediately; the implementation keeps
-        // per-hop ordering itself, so consecutive collectives stream
-        // back to back through the ring.
-        while (!ops_.empty()) {
-            Op op = std::move(ops_.front());
-            ops_.pop_front();
-            ++outstanding_;
-            auto finish = [this, done = std::move(op.done)]() mutable {
-                --outstanding_;
-                if (done)
-                    done();
-                notifyIfIdle();
-            };
-            profiling::CauseScope scope(ctx_.profiler,
-                                        std::move(op.cause));
-            dispatch(op.kind, op.bytes, std::move(finish));
-        }
-        return;
-    }
-    if (running_ || ops_.empty())
-        return;
-    running_ = true;
-    Op op = std::move(ops_.front());
-    ops_.pop_front();
-    auto finish = [this, done = std::move(op.done)]() mutable {
-        opDone(std::move(done));
-    };
-    profiling::CauseScope scope(ctx_.profiler, std::move(op.cause));
-    dispatch(op.kind, op.bytes, std::move(finish));
+    return chunkLaneSuffix_.empty() ? base : base + chunkLaneSuffix_;
 }
 
 void
-Communicator::opDone(Callback done)
+Communicator::pump()
 {
-    running_ = false;
-    if (done)
-        done();
-    pump();
-    notifyIfIdle();
+    // Admit as many chunks as the policy's window allows. Under FIFO
+    // this replays the legacy pump loop bit-exactly: serial
+    // communicators admit one whole op at a time (the next pump runs
+    // from its completion), pipelined ones drain the queue
+    // immediately.
+    SchedChunk chunk;
+    while (scheduler().next(chunk)) {
+        auto finish = [this, chunk]() mutable {
+            const bool opComplete = sched_->finishChunk(chunk);
+            Callback done;
+            if (opComplete)
+                done = std::move(chunk.op->done);
+            if (done)
+                done();
+            pump();
+            notifyIfIdle();
+        };
+        // The chunk runs under the op's enqueue-time cause, so the
+        // implementation's first hops inherit the issuing kvstore
+        // API as their causal parent.
+        profiling::CauseScope scope(ctx_.profiler, chunk.op->cause);
+        // FIFO keeps the legacy lane names (they are folded into the
+        // determinism digest); the concurrent policies give every
+        // chunk its own serialized lane.
+        if (cfg_.scheduler != SchedulerPolicy::Fifo)
+            chunkLaneSuffix_ = ".c" + std::to_string(chunk.tag);
+        dispatchPriority_ = chunk.op->priority;
+        dispatch(chunk.op->kind, chunk.bytes, std::move(finish));
+        chunkLaneSuffix_.clear();
+        dispatchPriority_ = 0;
+    }
 }
 
 void

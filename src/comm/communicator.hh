@@ -16,11 +16,12 @@
 #ifndef DGXSIM_COMM_COMMUNICATOR_HH
 #define DGXSIM_COMM_COMMUNICATOR_HH
 
-#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "comm/scheduler.hh"
 #include "hw/fabric.hh"
 #include "hw/gpu_spec.hh"
 #include "profiling/profiler.hh"
@@ -101,6 +102,17 @@ struct CommConfig
     /** Inter-node schedule used when clusterNodes > 1. */
     NetAlgo netAlgo = NetAlgo::Ring;
     /**
+     * Gradient-bucket scheduling policy (comm/scheduler.hh). The
+     * default `fifo` replays the legacy op queue bit-exactly;
+     * `priority` and `partitioned` reorder/split collectives under a
+     * credit window.
+     */
+    SchedulerPolicy scheduler = SchedulerPolicy::Fifo;
+    /** Chunk size of the `partitioned` policy. */
+    sim::Bytes partitionBytes = kDefaultPartitionBytes;
+    /** In-flight byte window of the non-FIFO policies. */
+    sim::Bytes creditBytes = kDefaultCreditBytes;
+    /**
      * Attach the simulation invariant auditor (sim/auditor.hh) to
      * the fabric this communicator runs on: byte conservation, link
      * capacity and record-ordering invariants are then validated
@@ -132,14 +144,18 @@ class Communicator
 
     /**
      * Enqueue a gradient reduction: after completion the root GPU
-     * (gpus[0]) holds the sum of all workers' buffers.
+     * (gpus[0]) holds the sum of all workers' buffers. @p priority
+     * steers the non-FIFO schedulers (higher = more urgent); the
+     * default FIFO policy ignores it.
      */
     void reduce(sim::Bytes bytes, Callback done);
+    void reduce(sim::Bytes bytes, int priority, Callback done);
 
     /**
      * Enqueue a weight broadcast from the root GPU to all workers.
      */
     void broadcast(sim::Bytes bytes, Callback done);
+    void broadcast(sim::Bytes bytes, int priority, Callback done);
 
     /**
      * Enqueue a fused all-reduce: after completion every GPU holds
@@ -148,13 +164,10 @@ class Communicator
      * provided here as the extension the ablation benchmarks study.
      */
     void allReduce(sim::Bytes bytes, Callback done);
+    void allReduce(sim::Bytes bytes, int priority, Callback done);
 
     /** @return true when no collective is queued or in flight. */
-    bool
-    idle() const
-    {
-        return !running_ && outstanding_ == 0 && ops_.empty();
-    }
+    bool idle() const { return !sched_ || sched_->idle(); }
 
     /** Invoke @p fn once the op queue drains (now if idle). */
     void onIdle(Callback fn);
@@ -187,6 +200,32 @@ class Communicator
      */
     virtual bool pipelined() const { return false; }
 
+    /**
+     * Hard cap on concurrently dispatched scheduler chunks (0 =
+     * unlimited). Implementations whose internal schedule assumes
+     * one collective at a time (the hierarchical lock-step rounds)
+     * override this with 1; the scheduler then reorders only at
+     * chunk boundaries.
+     */
+    virtual int maxInFlightChunks() const { return 0; }
+
+    /**
+     * @return @p base suffixed with the per-chunk lane tag. Valid
+     * only during the synchronous part of a dispatch (capture the
+     * result at do*() entry). Empty suffix — the legacy lane name —
+     * under FIFO, where at most one chunk of a non-pipelined
+     * communicator is ever in flight; non-FIFO policies may overlap
+     * chunks, so each gets its own serialized lane.
+     */
+    std::string chunkLane(const std::string &base) const;
+
+    /**
+     * The priority of the op being dispatched, for forwarding to
+     * nested communicators. Valid only during the synchronous part
+     * of a dispatch.
+     */
+    int dispatchPriority() const { return dispatchPriority_; }
+
     /** Record + charge a device-side kernel of @p cost on @p gpu. */
     void runKernel(const std::string &kernel_name, hw::NodeId gpu,
                    double flops, double bytes, Callback done);
@@ -204,30 +243,19 @@ class Communicator
     CommConfig cfg_;
 
   private:
-    enum class OpKind { Reduce, Broadcast, AllReduce };
-
-    struct Op
-    {
-        OpKind kind;
-        sim::Bytes bytes;
-        Callback done;
-        /**
-         * Ambient cause at enqueue time — the kvstore API call that
-         * issued the collective. The op is dispatched under this
-         * cause so the implementation's first hops inherit it.
-         */
-        profiling::CauseToken cause;
-    };
-
-    void enqueue(OpKind kind, sim::Bytes bytes, Callback done);
+    void enqueue(OpKind kind, sim::Bytes bytes, int priority,
+                 Callback done);
     void dispatch(OpKind kind, sim::Bytes bytes, Callback finish);
     void pump();
-    void opDone(Callback done);
     void notifyIfIdle();
+    /** Lazily build the scheduler (pipelined() is virtual, so the
+     * constructor cannot ask for the limits). */
+    Scheduler &scheduler();
 
-    std::deque<Op> ops_;
-    bool running_ = false;
-    int outstanding_ = 0;
+    std::unique_ptr<Scheduler> sched_;
+    /** Lane suffix of the chunk being dispatched (see chunkLane). */
+    std::string chunkLaneSuffix_;
+    int dispatchPriority_ = 0;
     std::vector<Callback> idleWaiters_;
 };
 

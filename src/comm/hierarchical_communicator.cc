@@ -68,7 +68,7 @@ HierarchicalCommunicator::shardOf(sim::Bytes bytes) const
 
 void
 HierarchicalCommunicator::innerPhase(InnerOp op, sim::Bytes bytes,
-                                     Callback done)
+                                     int priority, Callback done)
 {
     auto pending = std::make_shared<int>(nodes_);
     auto phase_done = [pending, done = std::move(done)]() mutable {
@@ -77,9 +77,9 @@ HierarchicalCommunicator::innerPhase(InnerOp op, sim::Bytes bytes,
     };
     for (auto &comm : inner_) {
         if (op == InnerOp::Reduce)
-            comm->reduce(bytes, phase_done);
+            comm->reduce(bytes, priority, phase_done);
         else
-            comm->broadcast(bytes, phase_done);
+            comm->broadcast(bytes, priority, phase_done);
     }
 }
 
@@ -315,7 +315,10 @@ HierarchicalCommunicator::interAllReduce(sim::Bytes bytes,
 void
 HierarchicalCommunicator::doReduce(sim::Bytes bytes, Callback done)
 {
-    innerPhase(InnerOp::Reduce, bytes,
+    // Capture the chunk's priority synchronously; the continuations
+    // run long after the dispatch window closed.
+    const int priority = dispatchPriority();
+    innerPhase(InnerOp::Reduce, bytes, priority,
                [this, bytes, done = std::move(done)]() mutable {
                    interReduce(bytes, std::move(done));
                });
@@ -324,22 +327,27 @@ HierarchicalCommunicator::doReduce(sim::Bytes bytes, Callback done)
 void
 HierarchicalCommunicator::doBroadcast(sim::Bytes bytes, Callback done)
 {
-    interBroadcast(bytes,
-                   [this, bytes, done = std::move(done)]() mutable {
-                       innerPhase(InnerOp::Broadcast, bytes,
-                                  std::move(done));
-                   });
+    const int priority = dispatchPriority();
+    interBroadcast(
+        bytes,
+        [this, bytes, priority, done = std::move(done)]() mutable {
+            innerPhase(InnerOp::Broadcast, bytes, priority,
+                       std::move(done));
+        });
 }
 
 void
 HierarchicalCommunicator::doAllReduce(sim::Bytes bytes, Callback done)
 {
+    const int priority = dispatchPriority();
     innerPhase(
-        InnerOp::Reduce, bytes,
-        [this, bytes, done = std::move(done)]() mutable {
+        InnerOp::Reduce, bytes, priority,
+        [this, bytes, priority, done = std::move(done)]() mutable {
             interAllReduce(
-                bytes, [this, bytes, done = std::move(done)]() mutable {
-                    innerPhase(InnerOp::Broadcast, bytes,
+                bytes,
+                [this, bytes, priority,
+                 done = std::move(done)]() mutable {
+                    innerPhase(InnerOp::Broadcast, bytes, priority,
                                std::move(done));
                 });
         });

@@ -60,10 +60,22 @@ class HierarchicalCommunicator : public Communicator
     void doBroadcast(sim::Bytes bytes, Callback done) override;
     void doAllReduce(sim::Bytes bytes, Callback done) override;
 
+    /**
+     * The lock-step inter-node rounds assume one collective on the
+     * NIC fabric at a time, so the scheduler reorders only at chunk
+     * boundaries here.
+     */
+    int maxInFlightChunks() const override { return 1; }
+
   private:
-    /** Run one inner collective per node concurrently; barrier. */
+    /**
+     * Run one inner collective per node concurrently; barrier.
+     * @p priority is forwarded to every inner communicator's own
+     * scheduler.
+     */
     enum class InnerOp { Reduce, Broadcast };
-    void innerPhase(InnerOp op, sim::Bytes bytes, Callback done);
+    void innerPhase(InnerOp op, sim::Bytes bytes, int priority,
+                    Callback done);
 
     /**
      * One lock-step round of concurrent root-to-root transfers.

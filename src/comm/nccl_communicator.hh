@@ -18,6 +18,7 @@
 #ifndef DGXSIM_COMM_NCCL_COMMUNICATOR_HH
 #define DGXSIM_COMM_NCCL_COMMUNICATOR_HH
 
+#include <deque>
 #include <memory>
 #include <vector>
 

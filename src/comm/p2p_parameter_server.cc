@@ -13,7 +13,7 @@ P2pParameterServer::P2pParameterServer(CommContext ctx, CommConfig cfg)
 
 void
 P2pParameterServer::reduceLevel(sim::Bytes bytes, std::size_t stride,
-                                Callback done)
+                                std::string lane, Callback done)
 {
     const std::size_t n = ctx_.gpus.size();
     if (stride >= n) {
@@ -26,16 +26,18 @@ P2pParameterServer::reduceLevel(sim::Bytes bytes, std::size_t stride,
     // the destination buffer of the next level is the result of this
     // one).
     auto pending = std::make_shared<int>(0);
-    auto level_done = [this, bytes, stride, pending,
+    auto level_done = [this, bytes, stride, lane, pending,
                        done = std::move(done)]() mutable {
         if (--*pending == 0)
-            reduceLevel(bytes, stride * 2, std::move(done));
+            reduceLevel(bytes, stride * 2, std::move(lane),
+                        std::move(done));
     };
 
     for (std::size_t i = 0; i + stride < n; i += 2 * stride)
         ++*pending;
     if (*pending == 0) {
-        reduceLevel(bytes, stride * 2, std::move(done));
+        reduceLevel(bytes, stride * 2, std::move(lane),
+                    std::move(done));
         return;
     }
 
@@ -50,7 +52,8 @@ P2pParameterServer::reduceLevel(sim::Bytes bytes, std::size_t stride,
         const sim::Tick start = ctx_.queue->now();
         ctx_.fabric->transfer(
             src, dst, bytes,
-            [this, src, dst, bytes, start, cause, level_done]() {
+            [this, src, dst, bytes, start, cause, lane,
+             level_done]() {
                 profiling::RecordId copy_id = profiling::kNoRecord;
                 if (ctx_.profiler) {
                     std::vector<profiling::RecordId> deps;
@@ -69,8 +72,8 @@ P2pParameterServer::reduceLevel(sim::Bytes bytes, std::size_t stride,
                     copy_id == profiling::kNoRecord ? nullptr
                                                     : ctx_.profiler,
                     profiling::makeCause(copy_id));
-                runKernel("gradAccumulate", dst, bytes / 4.0,
-                          3.0 * bytes, level_done);
+                runKernelOnLane("gradAccumulate", lane, dst,
+                                bytes / 4.0, 3.0 * bytes, level_done);
             });
     }
 }
@@ -93,7 +96,9 @@ P2pParameterServer::doReduce(sim::Bytes bytes, Callback done)
             });
         return;
     }
-    reduceLevel(bytes, 1, std::move(done));
+    // Capture the per-chunk lane now: this is the synchronous part
+    // of the dispatch, the only window where chunkLane() is valid.
+    reduceLevel(bytes, 1, chunkLane("comm"), std::move(done));
 }
 
 void

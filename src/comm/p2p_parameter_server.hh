@@ -60,10 +60,13 @@ class P2pParameterServer : public Communicator
     /**
      * Run one tree level: transfers src->dst for every pair at the
      * given stride, each followed by an accumulate kernel at dst;
-     * continue with the next stride once the level joins.
+     * continue with the next stride once the level joins. @p lane
+     * names the kernel lane — per-chunk under the concurrent
+     * schedulers so overlapping chunks keep the lane-serialization
+     * invariant.
      */
     void reduceLevel(sim::Bytes bytes, std::size_t stride,
-                     Callback done);
+                     std::string lane, Callback done);
 };
 
 } // namespace dgxsim::comm

@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 
+#include "comm/scheduler.hh"
 #include "hw/cluster.hh"
 #include "hw/platform.hh"
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::core::cli {
 
@@ -74,6 +76,31 @@ Args::getDouble(const std::string &name, double fallback) const
         sim::fatal("--", name, " expects a number, got '", it->second,
                    "'");
     return value;
+}
+
+std::uint64_t
+Args::getBytes(const std::string &name, std::uint64_t fallback) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(it->second.c_str(), &end, 10);
+    std::uint64_t scale = 1;
+    if (*end == 'k' || *end == 'K')
+        scale = std::uint64_t(1) << 10, ++end;
+    else if (*end == 'm' || *end == 'M')
+        scale = std::uint64_t(1) << 20, ++end;
+    else if (*end == 'g' || *end == 'G')
+        scale = std::uint64_t(1) << 30, ++end;
+    if (end == it->second.c_str() || *end != '\0') {
+        sim::fatal("--", name,
+                   " expects a byte count (optionally with a k/m/g "
+                   "suffix), got '",
+                   it->second, "'");
+    }
+    return static_cast<std::uint64_t>(value) * scale;
 }
 
 std::vector<int>
@@ -150,6 +177,17 @@ baseConfigFromArgs(const Args &args)
     cfg.asyncItersPerWorker = args.getInt("async-iters", 30);
     if (args.has("rings"))
         cfg.commConfig.ncclRings = args.getInt("rings", 1);
+    // --scheduler is parsed by configFromArgs (scalar commands) or
+    // by the grid commands (campaign sweeps list-valued schedulers);
+    // the chunk/credit knobs are non-grid template values.
+    cfg.commConfig.partitionBytes = args.getBytes(
+        "partition-bytes", comm::kDefaultPartitionBytes);
+    if (cfg.commConfig.partitionBytes == 0)
+        sim::fatal("--partition-bytes must be positive");
+    cfg.commConfig.creditBytes =
+        args.getBytes("credit-bytes", comm::kDefaultCreditBytes);
+    if (cfg.commConfig.creditBytes == 0)
+        sim::fatal("--credit-bytes must be positive");
     if (args.has("p100"))
         cfg.gpuSpec = hw::GpuSpec::pascalP100();
     return cfg;
@@ -174,11 +212,18 @@ configFromArgs(const Args &args)
         cfg.interconnect = args.get("interconnect");
         if (!hw::isInterconnect(cfg.interconnect)) {
             sim::fatal("unknown --interconnect '", cfg.interconnect,
-                       "' (run `dgxprof interconnects`)");
+                       "'",
+                       sim::didYouMean(cfg.interconnect,
+                                       hw::interconnectNames()),
+                       " (run `dgxprof interconnects`)");
         }
     }
     if (args.has("netalgo"))
         cfg.netAlgo = comm::parseNetAlgo(args.get("netalgo"));
+    if (args.has("scheduler")) {
+        cfg.commConfig.scheduler =
+            comm::parseScheduler(args.get("scheduler"));
+    }
     // Validate up front: an unknown platform fatals inside
     // makePlatform, and a GPU count beyond the platform's capacity
     // gets a clear message here instead of indexing surprises later.

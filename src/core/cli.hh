@@ -8,6 +8,7 @@
 #ifndef DGXSIM_CORE_CLI_HH
 #define DGXSIM_CORE_CLI_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,13 @@ class Args
     double getDouble(const std::string &name, double fallback) const;
 
     /**
+     * @return the option parsed as a byte count. Accepts a plain
+     * integer or a k/m/g suffix (powers of 1024), e.g. "4m" -> 4 MiB.
+     */
+    std::uint64_t getBytes(const std::string &name,
+                           std::uint64_t fallback) const;
+
+    /**
      * @return a comma-separated option as an int list, e.g.
      * "--gpus 1,2,4" -> {1,2,4}.
      */
@@ -66,19 +74,21 @@ class Args
 /**
  * Build a TrainConfig from the non-grid options only: --images
  * --tensor-cores --overlap --allreduce --fusion-mb --audit
- * --microbatches --async-iters --rings --p100. Model, gpus, batch,
- * method, mode and platform keep their defaults; grid commands
- * (campaign, sweep) fill them per cell, so list-valued
- * --gpus/--batches/--method/--mode/--platform never hit the scalar
- * parsers.
+ * --microbatches --async-iters --rings --partition-bytes
+ * --credit-bytes --p100. Model, gpus, batch, method, mode, platform
+ * and scheduler keep their defaults; grid commands (campaign, sweep)
+ * fill them per cell, so list-valued
+ * --gpus/--batches/--method/--mode/--platform/--scheduler never hit
+ * the scalar parsers.
  */
 TrainConfig baseConfigFromArgs(const Args &args);
 
 /**
  * Build a TrainConfig from common options: --model --gpus --batch
- * --method --mode --platform --images --tensor-cores --overlap
- * --allreduce --fusion-mb --microbatches --async-iters. Fatal when
- * --platform is unknown or --gpus exceeds the platform's GPU count.
+ * --method --mode --platform --scheduler --images --tensor-cores
+ * --overlap --allreduce --fusion-mb --microbatches --async-iters.
+ * Fatal when --platform is unknown or --gpus exceeds the platform's
+ * GPU count.
  */
 TrainConfig configFromArgs(const Args &args);
 

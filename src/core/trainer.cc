@@ -208,18 +208,24 @@ Trainer::pushBucket(std::size_t bucket_idx)
         commThread_->call(
             api, comm_->perCallHostOverhead(),
             [this, bucket_idx, bytes]() {
-                comm_->allReduce(bytes, [this, bucket_idx]() {
-                    onBucketReduced(bucket_idx);
-                });
+                // Later buckets retire from BP first and nothing
+                // downstream waits per-bucket, so priority follows
+                // BP retirement order (fifo ignores it).
+                comm_->allReduce(bytes, static_cast<int>(bucket_idx),
+                                 [this, bucket_idx]() {
+                                     onBucketReduced(bucket_idx);
+                                 });
             });
         return;
     }
     const char *api = nccl ? "ncclReduce" : "cudaMemcpyPeerAsync";
     commThread_->call(api, comm_->perCallHostOverhead(),
                       [this, bucket_idx, bytes]() {
-                          comm_->reduce(bytes, [this, bucket_idx]() {
-                              onBucketReduced(bucket_idx);
-                          });
+                          comm_->reduce(bytes,
+                                        static_cast<int>(bucket_idx),
+                                        [this, bucket_idx]() {
+                                            onBucketReduced(bucket_idx);
+                                        });
                       });
 }
 
@@ -249,10 +255,15 @@ Trainer::onBucketReduced(std::size_t bucket_idx)
                         ? "ncclBcast"
                         : "cudaMemcpyPeerAsync";
                 const sim::Bytes bytes = buckets_[bucket_idx].bytes;
+                // Broadcasts outrank every pending reduce: the
+                // weights they carry gate the iteration barrier,
+                // while a reduce still has the update ahead of it.
+                const int prio =
+                    static_cast<int>(buckets_.size() + bucket_idx);
                 commThread_->call(
                     api, comm_->perCallHostOverhead(),
-                    [this, bucket_idx, bytes]() {
-                        comm_->broadcast(bytes,
+                    [this, bucket_idx, bytes, prio]() {
+                        comm_->broadcast(bytes, prio,
                                          [this, bucket_idx]() {
                                              onBucketBroadcast(
                                                  bucket_idx);

@@ -1,0 +1,90 @@
+#include "profiling/interner.hh"
+
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dgxsim::profiling {
+
+namespace {
+
+/** Heterogeneous hashing so lookups never build a temporary string. */
+struct StringHash {
+    using is_transparent = void;
+
+    std::size_t
+    operator()(std::string_view s) const
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+struct StringEq {
+    using is_transparent = void;
+
+    bool
+    operator()(std::string_view a, std::string_view b) const
+    {
+        return a == b;
+    }
+};
+
+struct Table {
+    std::mutex mutex;
+    // Node-based storage: element addresses survive rehashing, so
+    // handing out `const std::string *` is safe for the process
+    // lifetime.
+    std::unordered_set<std::string, StringHash, StringEq> entries;
+};
+
+Table &
+table()
+{
+    static Table t;
+    return t;
+}
+
+} // namespace
+
+const std::string &
+internString(std::string_view s)
+{
+    // Per-thread cache of resolved names: after the first sight of a
+    // name on a thread, the hot record path never takes the mutex.
+    // Campaign workers each build their own cache; the canonical
+    // storage below is shared.
+    thread_local std::unordered_map<std::string, const std::string *,
+                                    StringHash, StringEq>
+        cache;
+    if (auto it = cache.find(s); it != cache.end())
+        return *it->second;
+
+    Table &t = table();
+    const std::string *canonical = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(t.mutex);
+        auto it = t.entries.find(s);
+        if (it == t.entries.end())
+            it = t.entries.emplace(s).first;
+        canonical = &*it;
+    }
+    cache.emplace(*canonical, canonical);
+    return *canonical;
+}
+
+std::size_t
+internedStringCount()
+{
+    Table &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    return t.entries.size();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Name &name)
+{
+    return os << name.str();
+}
+
+} // namespace dgxsim::profiling

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Process-wide string interning for profiler records.
+ *
+ * Every simulated kernel launch used to copy its name (and lane, and
+ * host-thread label) into a fresh std::string inside the record —
+ * and names like "cudaLaunchKernel" sit just past the small-string
+ * capacity, so the hottest record path in the simulator allocated on
+ * every event. A Name canonicalizes the string once in a shared
+ * table and stores only the pointer; records shrink and the record
+ * path stops touching the heap for repeated names.
+ *
+ * Digest safety: the determinism digest and every summary/report
+ * hash or compare string *contents*, never addresses, so
+ * canonicalizing the storage cannot change any baseline. Name
+ * deliberately exposes no ordering — nothing may sort by pointer.
+ *
+ * The table is shared by all threads (campaign workers intern
+ * concurrently) behind a mutex, with a thread-local cache keeping
+ * the hot path lock-free after first use of a name on that thread.
+ * Interned strings live for the process lifetime, which is the
+ * right trade for a bounded vocabulary of kernel/API/lane names.
+ */
+
+#ifndef DGXSIM_PROFILING_INTERNER_HH
+#define DGXSIM_PROFILING_INTERNER_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace dgxsim::profiling {
+
+/**
+ * @return the canonical std::string equal to @p s, interning it on
+ * first sight. The reference is stable for the process lifetime.
+ */
+const std::string &internString(std::string_view s);
+
+/** @return how many distinct strings the table holds (tests). */
+std::size_t internedStringCount();
+
+/**
+ * An interned string: one pointer into the shared table. Converts
+ * implicitly to const std::string& so existing consumers (summary
+ * maps, digest folding, comparisons against literals) keep working;
+ * construction is explicit so nothing interns by accident.
+ */
+class Name
+{
+  public:
+    Name() : str_(&internString({})) {}
+    explicit Name(std::string_view s) : str_(&internString(s)) {}
+
+    operator const std::string &() const { return *str_; }
+    const std::string &str() const { return *str_; }
+    const char *c_str() const { return str_->c_str(); }
+    bool empty() const { return str_->empty(); }
+    std::size_t size() const { return str_->size(); }
+
+    std::size_t
+    find(std::string_view s, std::size_t pos = 0) const
+    {
+        return str_->find(s, pos);
+    }
+
+    std::size_t
+    rfind(std::string_view s, std::size_t pos = std::string::npos) const
+    {
+        return str_->rfind(s, pos);
+    }
+
+    /** Content equality (pointer compare: the table canonicalizes). */
+    friend bool
+    operator==(const Name &a, const Name &b)
+    {
+        return a.str_ == b.str_;
+    }
+
+    /** Content comparison against any string-ish value. */
+    friend bool
+    operator==(const Name &a, std::string_view b)
+    {
+        return *a.str_ == b;
+    }
+
+  private:
+    const std::string *str_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Name &name);
+
+} // namespace dgxsim::profiling
+
+#endif // DGXSIM_PROFILING_INTERNER_HH

@@ -316,7 +316,7 @@ Profiler::chromeTrace() const
     }
     for (const CopyRecord &c : copies_) {
         emitEvent(os, first,
-                  c.kind + " " + std::to_string(c.bytes) + "B",
+                  c.kind.str() + " " + std::to_string(c.bytes) + "B",
                   "fabric",
                   "gpu" + std::to_string(c.src) + ">gpu" +
                       std::to_string(c.dst),

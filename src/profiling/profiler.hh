@@ -36,9 +36,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "profiling/interner.hh"
 #include "sim/auditor.hh"
 #include "sim/types.hh"
 
@@ -92,7 +94,8 @@ struct RecordRef
 /** One executed GPU kernel. */
 struct KernelRecord
 {
-    std::string name;
+    /** Interned (see interner.hh): one pointer per record. */
+    Name name;
     int device = -1;
     sim::Tick start = 0;
     sim::Tick end = 0;
@@ -103,7 +106,7 @@ struct KernelRecord
      * like concurrent streams on real hardware. Empty when the
      * issuer is unknown.
      */
-    std::string stream;
+    Name stream;
     /** Stable id (not folded into the digest). */
     RecordId id = kNoRecord;
     /** Causal predecessors (record ids), deduplicated. */
@@ -115,8 +118,9 @@ struct KernelRecord
 /** One host-side CUDA API call (including blocked time). */
 struct ApiRecord
 {
-    std::string name;
-    std::string thread;
+    /** Interned (see interner.hh): one pointer per record. */
+    Name name;
+    Name thread;
     sim::Tick start = 0;
     sim::Tick end = 0;
     /**
@@ -152,7 +156,7 @@ struct ApiRecord
 /** One DMA copy between devices / host. */
 struct CopyRecord
 {
-    std::string kind; ///< e.g. "PtoP", "DtoH", "HtoD"
+    Name kind; ///< interned; e.g. "PtoP", "DtoH", "HtoD"
     int src = -1;
     int dst = -1;
     sim::Bytes bytes = 0;
@@ -202,15 +206,16 @@ class Profiler
      * @return the new record's id.
      */
     RecordId
-    recordKernel(std::string name, int device, sim::Tick start,
-                 sim::Tick end, std::string stream = "",
+    recordKernel(std::string_view name, int device, sim::Tick start,
+                 sim::Tick end, std::string_view stream = {},
                  std::vector<RecordId> deps = {})
     {
+        const Name n(name);
+        const Name lane(stream);
         if (auditor_)
-            auditor_->onKernelRecord(device, stream, start, end);
+            auditor_->onKernelRecord(device, lane.str(), start, end);
         const RecordId id = nextId();
-        kernels_.push_back({std::move(name), device, start, end,
-                            std::move(stream), id,
+        kernels_.push_back({n, device, start, end, lane, id,
                             normalizeDeps(std::move(deps), id)});
         refs_.push_back({RecordKind::Kernel,
                          static_cast<std::uint32_t>(kernels_.size() - 1)});
@@ -224,15 +229,17 @@ class Profiler
      * @p start. @return the new record's id.
      */
     RecordId
-    recordApi(std::string name, std::string thread, sim::Tick start,
-              sim::Tick end, sim::Tick overhead = kUnknownOverhead,
+    recordApi(std::string_view name, std::string_view thread,
+              sim::Tick start, sim::Tick end,
+              sim::Tick overhead = kUnknownOverhead,
               bool blocking = false, std::vector<RecordId> deps = {})
     {
+        const Name n(name);
+        const Name host(thread);
         if (auditor_)
-            auditor_->onApiRecord(thread, start, end);
+            auditor_->onApiRecord(host.str(), start, end);
         const RecordId id = nextId();
-        apis_.push_back({std::move(name), std::move(thread), start, end,
-                         overhead, blocking, id,
+        apis_.push_back({n, host, start, end, overhead, blocking, id,
                          normalizeDeps(std::move(deps), id)});
         refs_.push_back({RecordKind::Api,
                          static_cast<std::uint32_t>(apis_.size() - 1)});
@@ -245,16 +252,17 @@ class Profiler
      * @return the new record's id.
      */
     RecordId
-    recordCopy(std::string kind, int src, int dst, sim::Bytes bytes,
+    recordCopy(std::string_view kind, int src, int dst, sim::Bytes bytes,
                sim::Tick start, sim::Tick end, sim::Bytes wire_bytes = 0,
                std::vector<RecordId> deps = {})
     {
+        const Name route(kind);
         const sim::Bytes wire = wire_bytes ? wire_bytes : bytes;
         if (auditor_)
             auditor_->onCopyRecord(start, end, bytes, wire);
         const RecordId id = nextId();
-        copies_.push_back({std::move(kind), src, dst, bytes, start, end,
-                           wire, id, normalizeDeps(std::move(deps), id)});
+        copies_.push_back({route, src, dst, bytes, start, end, wire, id,
+                           normalizeDeps(std::move(deps), id)});
         refs_.push_back({RecordKind::Copy,
                          static_cast<std::uint32_t>(copies_.size() - 1)});
         return id;

@@ -1,0 +1,61 @@
+#include "sim/suggest.hh"
+
+#include <algorithm>
+
+namespace dgxsim::sim {
+
+namespace {
+
+/** Classic two-row Levenshtein distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::string
+closestName(const std::string &got,
+            const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t bestDist = 0;
+    for (const std::string &c : candidates) {
+        const std::size_t d = editDistance(got, c);
+        if (best.empty() || d < bestDist) {
+            best = c;
+            bestDist = d;
+        }
+    }
+    // A suggestion further away than half the candidate is more
+    // likely to mislead than to help.
+    if (best.empty() || bestDist * 2 > std::max<std::size_t>(best.size(), 1))
+        return "";
+    return best;
+}
+
+std::string
+didYouMean(const std::string &got,
+           const std::vector<std::string> &candidates)
+{
+    const std::string best = closestName(got, candidates);
+    if (best.empty())
+        return "";
+    return " (did you mean '" + best + "'?)";
+}
+
+} // namespace dgxsim::sim

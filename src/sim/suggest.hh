@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Did-you-mean suggestions for CLI name lookups. Registry-backed
+ * names (schedulers, net algos, interconnects) fail fast on a typo;
+ * attaching the closest candidate turns "unknown name" into an
+ * actionable message.
+ */
+
+#ifndef DGXSIM_SIM_SUGGEST_HH
+#define DGXSIM_SIM_SUGGEST_HH
+
+#include <string>
+#include <vector>
+
+namespace dgxsim::sim {
+
+/**
+ * @return the candidate closest to @p got by edit distance, or ""
+ * when nothing is close enough to be a plausible typo (distance
+ * greater than half the candidate's length).
+ */
+std::string closestName(const std::string &got,
+                        const std::vector<std::string> &candidates);
+
+/**
+ * @return " (did you mean 'X'?)" for the closest candidate, or ""
+ * when no candidate is plausible. Append to fatal messages.
+ */
+std::string didYouMean(const std::string &got,
+                       const std::vector<std::string> &candidates);
+
+} // namespace dgxsim::sim
+
+#endif // DGXSIM_SIM_SUGGEST_HH

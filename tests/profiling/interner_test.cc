@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests of the profiler's string interner: canonical storage, Name
+ * semantics, and pointer sharing across records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "profiling/interner.hh"
+#include "profiling/profiler.hh"
+
+namespace {
+
+using namespace dgxsim;
+using profiling::Name;
+
+TEST(Interner, SameContentsResolveToOneString)
+{
+    const std::string &a = profiling::internString("conv2d_fwd");
+    const std::string b = "conv2d_" + std::string("fwd");
+    const std::string &c = profiling::internString(b);
+    EXPECT_EQ(&a, &c);
+    EXPECT_EQ(a, "conv2d_fwd");
+}
+
+TEST(Interner, DistinctContentsStayDistinct)
+{
+    const std::size_t before = profiling::internedStringCount();
+    const std::string &a = profiling::internString("interner_test_x");
+    const std::string &b = profiling::internString("interner_test_y");
+    EXPECT_NE(&a, &b);
+    EXPECT_GE(profiling::internedStringCount(), before + 2);
+}
+
+TEST(Interner, NameComparesByContents)
+{
+    const Name a("gemm");
+    const Name b(std::string_view("gemm"));
+    const Name c("gemm2");
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(a, "gemm");
+    EXPECT_NE(a.find("mm"), std::string::npos);
+    EXPECT_EQ(Name("nccl.ring0").rfind("nccl.", 0), 0u);
+    EXPECT_TRUE(Name().empty());
+    EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(Interner, RecordsShareCanonicalStorage)
+{
+    profiling::Profiler prof;
+    prof.recordKernel("interned_kernel", 0, 0, 10, "stream0");
+    prof.recordKernel(std::string("interned_kernel"), 1, 10, 20,
+                      "stream0");
+    ASSERT_EQ(prof.kernels().size(), 2u);
+    const std::string &first = prof.kernels()[0].name;
+    const std::string &second = prof.kernels()[1].name;
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(&prof.kernels()[0].stream.str(),
+              &prof.kernels()[1].stream.str());
+    EXPECT_EQ(first, "interned_kernel");
+}
+
+} // namespace

@@ -17,6 +17,10 @@ DGXSIM_CI_METHODS="p2p nccl"
 # sweeps.
 DGXSIM_CI_MODES_MODELS="lenet alexnet resnet-50"
 
+# Every comm-layer gradient-scheduling policy (comm/scheduler.hh);
+# the sched-smoke job and the audit script sweep this axis.
+DGXSIM_CI_SCHEDULERS="fifo priority partitioned"
+
 # Audited determinism spot checks: model gpus batch method.
 DGXSIM_CI_SPOT_SPECS="lenet 4 16 p2p
 alexnet 8 32 nccl"

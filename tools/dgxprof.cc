@@ -36,6 +36,7 @@
 #include "campaign/campaign.hh"
 #include "campaign/check.hh"
 #include "campaign/thread_pool.hh"
+#include "comm/scheduler.hh"
 #include "core/cli.hh"
 #include "core/determinism.hh"
 #include "core/layer_profile.hh"
@@ -75,6 +76,10 @@ usage()
         "                                   [--nodes N] "
         "[--interconnect ib100|ib200|...]\n"
         "                                   [--netalgo ring|tree]\n"
+        "                                   [--scheduler "
+        "fifo|priority|partitioned]\n"
+        "                                   [--partition-bytes N[kmg]] "
+        "[--credit-bytes N[kmg]]\n"
         "                                   [--microbatches N] "
         "[--async-iters N]\n"
         "                                   [--allreduce] [--fusion-mb "
@@ -85,6 +90,10 @@ usage()
         "FILE] [--report] [--audit])\n"
         "  analyze   critical-path + what-if (same config options as "
         "train, plus\n"
+        "                                   [--schedulers S1,S2,...] "
+        "to compare comm\n"
+        "                                   scheduling policies "
+        "side by side,\n"
         "                                   [--what-if K=V,...|"
         "standard] [--no-validate]\n"
         "                                   [--max-error PCT] [--top "
@@ -104,6 +113,8 @@ usage()
         "                                   [--nodes 1,2,4] "
         "[--interconnect I1,I2]\n"
         "                                   [--netalgo ring,tree]\n"
+        "                                   [--scheduler "
+        "fifo,priority,partitioned]\n"
         "                                   [--jobs N] [--json FILE]\n"
         "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
@@ -116,12 +127,13 @@ usage()
         "...] [--platform ...]\n"
         "                                   [--nodes ...] "
         "[--interconnect ...] [--netalgo ...]\n"
-        "                                   to filter the baseline "
-        "grid)\n"
+        "                                   [--scheduler ...] to "
+        "filter the baseline grid)\n"
         "  topo      topology, routes, bandwidth matrix "
         "([--platform P])\n"
         "  platforms list the registered hardware platforms\n"
         "  interconnects list the registered inter-node networks\n"
+        "  schedulers list the registered gradient-bucket schedulers\n"
         "  advise    batch-size + method advice (--model [--gpus N] "
         "[--mode M])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
@@ -241,6 +253,51 @@ cmdAnalyze(const Args &args)
     if (!results.empty())
         std::printf("%s", analysis::WhatIf::report(results).c_str());
 
+    if (args.has("schedulers")) {
+        // Re-run the identical configuration under each listed
+        // gradient-scheduling policy and attribute its critical path:
+        // "cp comm" is the comm-exposed (non-overlapped) time, the
+        // quantity a scheduler can actually shrink.
+        std::printf("\ngradient scheduler comparison:\n");
+        TextTable sched({"scheduler", "iteration (s)", "cp comm (s)",
+                         "cp compute (s)", "cp idle (s)",
+                         "comm vs fifo"});
+        double fifo_comm = -1;
+        for (const std::string &name :
+             args.getList("schedulers", {})) {
+            core::TrainConfig scfg = cfg;
+            scfg.commConfig.scheduler = comm::parseScheduler(name);
+            auto srun = core::TrainerBase::make(scfg);
+            const core::TrainReport sr = srun->run();
+            if (sr.oom) {
+                sched.addRow({name, "OOM", "-", "-", "-", "-"});
+                continue;
+            }
+            const analysis::Dag sdag(srun->profiler(),
+                                     srun->fabric().topology());
+            const analysis::Attribution sattr = sdag.attribute();
+            const double comm_s = sim::ticksToSec(sattr.comm);
+            const bool is_fifo = scfg.commConfig.scheduler ==
+                                 comm::SchedulerPolicy::Fifo;
+            if (is_fifo && fifo_comm < 0)
+                fifo_comm = comm_s;
+            std::string delta = "-";
+            if (!is_fifo && fifo_comm > 0) {
+                delta = TextTable::num(
+                            100.0 * (comm_s - fifo_comm) / fifo_comm,
+                            1) +
+                        "%";
+            }
+            sched.addRow(
+                {name, TextTable::num(sr.iterationSeconds, 6),
+                 TextTable::num(comm_s, 6),
+                 TextTable::num(sim::ticksToSec(sattr.compute), 6),
+                 TextTable::num(sim::ticksToSec(sattr.idle), 6),
+                 delta});
+        }
+        std::printf("%s", sched.str().c_str());
+    }
+
     if (args.has("json")) {
         const std::string path = args.get("json", "analysis.json");
         campaign::writeFile(
@@ -317,6 +374,9 @@ campaignSpecFromArgs(const Args &args)
     spec.netAlgos.clear();
     for (const std::string &a : args.getList("netalgo", {"ring"}))
         spec.netAlgos.push_back(comm::parseNetAlgo(a));
+    spec.schedulers.clear();
+    for (const std::string &s : args.getList("scheduler", {"fifo"}))
+        spec.schedulers.push_back(comm::parseScheduler(s));
     return spec;
 }
 
@@ -399,7 +459,8 @@ cmdCheck(const Args &args)
         args.has("batches") || args.has("batch") ||
         args.has("method") || args.has("mode") ||
         args.has("platform") || args.has("nodes") ||
-        args.has("interconnect") || args.has("netalgo")) {
+        args.has("interconnect") || args.has("netalgo") ||
+        args.has("scheduler")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
@@ -420,6 +481,11 @@ cmdCheck(const Args &args)
             modes.push_back(core::parallelismModeName(
                 core::parseParallelismMode(m)));
         }
+        std::vector<std::string> schedulers;
+        for (const std::string &s : args.getList("scheduler", {})) {
+            schedulers.push_back(
+                comm::schedulerName(comm::parseScheduler(s)));
+        }
         std::erase_if(baseline, [&](const campaign::RunRecord &r) {
             return (!models.empty() && !contains(models, r.model)) ||
                    (!gpus.empty() && !contains(gpus, r.gpus)) ||
@@ -432,7 +498,9 @@ cmdCheck(const Args &args)
                    (!interconnects.empty() &&
                     !contains(interconnects, r.interconnect)) ||
                    (!netAlgos.empty() &&
-                    !contains(netAlgos, r.netAlgo));
+                    !contains(netAlgos, r.netAlgo)) ||
+                   (!schedulers.empty() &&
+                    !contains(schedulers, r.scheduler));
         });
     }
     if (baseline.empty()) {
@@ -566,6 +634,16 @@ cmdInterconnects()
 }
 
 int
+cmdSchedulers()
+{
+    TextTable table({"name", "description"});
+    for (const comm::SchedulerInfo &info : comm::schedulerRegistry())
+        table.addRow({info.name, info.description});
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
 cmdAdvise(const Args &args)
 {
     core::TrainConfig cfg = core::cli::configFromArgs(args);
@@ -685,6 +763,8 @@ main(int argc, char **argv)
             return cmdPlatforms();
         if (command == "interconnects")
             return cmdInterconnects();
+        if (command == "schedulers")
+            return cmdSchedulers();
         if (command == "advise")
             return cmdAdvise(args);
         if (command == "analyze")

@@ -9,6 +9,10 @@
 #   results/baseline_platforms.json — a non-default-platform grid
 #       (dgx1p,dgx2 x lenet,alexnet x {1,4} GPUs x b16 x {p2p,nccl})
 #       gating the platform registry
+#   results/baseline_sched.json — the gradient-scheduler grid
+#       (lenet,alexnet x {2,4,8} GPUs x b16 x {p2p,nccl} x
+#       {fifo,priority,partitioned}) gating the comm scheduling
+#       policies
 #   results/baseline_cluster.json — the multi-node grid
 #       (lenet,alexnet,resnet-50 x {2,4,8} nodes x 4 GPUs x b16 x
 #       nccl x {ring,tree}) gating the cluster fabric and the
@@ -63,3 +67,11 @@ echo "results/baseline_platforms.json refreshed ($count records)"
 
 count=$(grep -c '"model"' "$repo/results/baseline_cluster.json")
 echo "results/baseline_cluster.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet --gpus 2,4,8 --batches 16 \
+    --method p2p,nccl --scheduler fifo,priority,partitioned \
+    --json "$repo/results/baseline_sched.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_sched.json")
+echo "results/baseline_sched.json refreshed ($count records)"
