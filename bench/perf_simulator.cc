@@ -43,6 +43,7 @@
 
 #include "campaign/benchfile.hh"
 #include "campaign/campaign.hh"
+#include "comm/compression.hh"
 #include "comm/scheduler.hh"
 #include "core/trainer_base.hh"
 #include "sim/event_queue.hh"
@@ -210,6 +211,54 @@ measureSchedStorm(int rounds)
     return chunks / secondsSince(t0);
 }
 
+/**
+ * The compressed wire's hot path: the sched-storm drain with the
+ * per-chunk codec math (wire shrink + encode/decode kernel costs for
+ * a 4-GPU all-reduce) computed for every admitted chunk, the way
+ * Communicator::dispatchCompressed does. Jumbo 256 MiB gradients
+ * through the partitioned policy give the highest chunk rate and the
+ * biggest shrink, so codec arithmetic dominates the loop.
+ */
+double
+measureCompressStorm(int rounds)
+{
+    auto sched =
+        comm::makeScheduler(comm::SchedulerPolicy::Partitioned,
+                            comm::kDefaultPartitionBytes,
+                            comm::kDefaultCreditBytes, {});
+    long done = 0;
+    long chunks = 0;
+    double wireSink = 0;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        sched->submit(comm::OpKind::Reduce, sim::Bytes(256) << 20, 0,
+                      [&done] { ++done; }, nullptr);
+        for (int i = 0; i < 63; ++i) {
+            sched->submit(comm::OpKind::Reduce, sim::Bytes(64) << 10,
+                          1 + i, [&done] { ++done; }, nullptr);
+        }
+        comm::SchedChunk chunk;
+        while (sched->next(chunk)) {
+            ++chunks;
+            const sim::Bytes wire = comm::compressedWireBytes(
+                comm::Compressor::Dgc, chunk.bytes, 0.01);
+            const auto enc = comm::compressKernelCost(
+                comm::Compressor::Dgc, chunk.bytes, wire);
+            const auto dec = comm::decompressKernelCost(
+                comm::Compressor::Dgc, chunk.bytes, wire);
+            // 4 senders encode + 4 receivers decode per all-reduce.
+            wireSink += static_cast<double>(wire) +
+                        4 * (enc.flops + dec.flops) +
+                        4 * (enc.bytes + dec.bytes);
+            if (sched->finishChunk(chunk))
+                chunk.op->done();
+        }
+    }
+    if (wireSink < 0) // defeat optimizing the codec math away
+        std::fprintf(stderr, "%f\n", wireSink);
+    return chunks / secondsSince(t0);
+}
+
 core::TrainConfig
 cellConfig(const std::string &model, int gpus, comm::CommMethod method)
 {
@@ -321,6 +370,8 @@ measureAll(const Sizes &sizes)
                measureFlowChurn(sizes.flowChurn));
         record("sched_storm_chunks_per_sec", "chunks/s", true,
                measureSchedStorm(sizes.schedRounds));
+        record("compress_storm_chunks_per_sec", "chunks/s", true,
+               measureCompressStorm(sizes.schedRounds));
         for (const std::string &model : paperModels()) {
             for (int gpus : {1, 8}) {
                 for (auto method : {comm::CommMethod::P2P,
@@ -547,6 +598,17 @@ registerBenchmarks()
                                      for (auto _ : state)
                                          benchmark::DoNotOptimize(
                                              measureSchedStorm(
+                                                 s.schedRounds));
+                                     state.SetItemsProcessed(
+                                         state.iterations() *
+                                         s.schedRounds * 127);
+                                 });
+    benchmark::RegisterBenchmark("BM_CompressStorm",
+                                 [](benchmark::State &state) {
+                                     const Sizes s;
+                                     for (auto _ : state)
+                                         benchmark::DoNotOptimize(
+                                             measureCompressStorm(
                                                  s.schedRounds));
                                      state.SetItemsProcessed(
                                          state.iterations() *

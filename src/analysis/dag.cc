@@ -29,11 +29,14 @@ categoryName(Category c)
 
 namespace {
 
-/** Communication kernels run on the "comm" lane or NCCL hop lanes. */
+/** Communication kernels run on the "comm" lane, its per-chunk
+ * variants ("comm.c<tag>" scheduler chunks, "comm.z<tag>"
+ * compression codecs), or NCCL hop lanes. */
 bool
 isCommLane(const std::string &lane)
 {
-    return lane == "comm" || lane.rfind("nccl.", 0) == 0;
+    return lane == "comm" || lane.rfind("comm.", 0) == 0 ||
+           lane.rfind("nccl.", 0) == 0;
 }
 
 /** Inter-node collective kernels run on "ib." lanes
@@ -406,6 +409,43 @@ Dag::topContributors(const Attribution &attr, std::size_t k) const
     return out;
 }
 
+std::vector<CodecKernelStats>
+Dag::codecKernelStats(const Attribution &attr) const
+{
+    const auto isCodec = [](const std::string &name) {
+        return name.rfind("gradCompress_", 0) == 0 ||
+               name.rfind("gradDecompress_", 0) == 0;
+    };
+    std::map<std::string, CodecKernelStats> acc;
+    for (const Node &node : nodes_) {
+        if (node.kind != profiling::RecordKind::Kernel ||
+            !isCodec(node.name))
+            continue;
+        CodecKernelStats &s = acc[node.name];
+        s.name = node.name;
+        s.busy += node.duration();
+        ++s.launches;
+    }
+    if (acc.empty())
+        return {};
+    for (const Segment &seg : attr.segments) {
+        if (seg.node < 0)
+            continue;
+        const Node &node = nodes_[seg.node];
+        if (node.kind != profiling::RecordKind::Kernel ||
+            !isCodec(node.name))
+            continue;
+        acc[node.name].critical += seg.end - seg.start;
+    }
+    std::vector<CodecKernelStats> out;
+    out.reserve(acc.size());
+    for (const auto &[name, s] : acc) {
+        (void)name;
+        out.push_back(s);
+    }
+    return out;
+}
+
 std::string
 Dag::report(const Attribution &attr, std::size_t top_k) const
 {
@@ -460,6 +500,25 @@ Dag::report(const Attribution &attr, std::size_t top_k) const
                 {c.name, categoryName(c.category),
                  core::TextTable::num(sim::ticksToMs(c.critical), 3),
                  std::to_string(c.segments)});
+        }
+        os << table.str();
+    }
+
+    // Compression codec attribution: only compressed runs launch
+    // gradCompress_/gradDecompress_ kernels, so uncompressed reports
+    // are byte-identical to the pre-compression format.
+    const std::vector<CodecKernelStats> codecs =
+        codecKernelStats(attr);
+    if (!codecs.empty()) {
+        os << "==== Gradient-compression kernels ====\n";
+        core::TextTable table(
+            {"kernel", "busy_ms", "critical_ms", "launches"});
+        for (const CodecKernelStats &s : codecs) {
+            table.addRow(
+                {s.name,
+                 core::TextTable::num(sim::ticksToMs(s.busy), 3),
+                 core::TextTable::num(sim::ticksToMs(s.critical), 3),
+                 std::to_string(s.launches)});
         }
         os << table.str();
     }

@@ -153,6 +153,18 @@ struct Contributor
     std::uint64_t segments = 0;
 };
 
+/** Aggregate view of one gradient-compression codec kernel
+ * (comm/compression.hh names them gradCompress_* / gradDecompress_*). */
+struct CodecKernelStats
+{
+    std::string name;
+    /** Total busy ticks across all devices and lanes. */
+    sim::Tick busy = 0;
+    /** Ticks of the critical path bound to this kernel name. */
+    sim::Tick critical = 0;
+    std::uint64_t launches = 0;
+};
+
 /** The causal DAG of one finished run. */
 class Dag
 {
@@ -192,6 +204,15 @@ class Dag
     /** Top-@p k critical-path contributors by aggregated name. */
     std::vector<Contributor> topContributors(const Attribution &attr,
                                              std::size_t k) const;
+
+    /**
+     * Busy/critical totals of the gradient-compression codec kernels
+     * (gradCompress_* and gradDecompress_*), in name order. Empty when
+     * the run used no compressor, so report() only prints the codec
+     * section for compressed runs.
+     */
+    std::vector<CodecKernelStats>
+    codecKernelStats(const Attribution &attr) const;
 
     /** Render attribution + breakdowns as an aligned text report. */
     std::string report(const Attribution &attr, std::size_t top_k = 10) const;

@@ -56,7 +56,8 @@ CampaignSpec::expand() const
     std::vector<core::TrainConfig> configs;
     configs.reserve(plats.size() * nodeCounts.size() * modes.size() *
                     models.size() * gpus.size() * batches.size() *
-                    methods.size() * schedulers.size());
+                    methods.size() * schedulers.size() *
+                    compressors.size());
     for (const std::string &platform : plats) {
         for (int nodes : nodeCounts) {
             // Without an inter-node fabric the interconnect and
@@ -100,6 +101,14 @@ CampaignSpec::expand() const
                                           comm::SchedulerPolicy>{
                                           comm::SchedulerPolicy::
                                               Fifo};
+                        // Compression also rides the collective
+                        // queue, so its axis collapses with the
+                        // scheduler's for non-sync modes.
+                        const std::vector<comm::Compressor>
+                            cellComps =
+                                sync ? compressors
+                                     : std::vector<comm::Compressor>{
+                                           comm::Compressor::None};
                         for (const std::string &model : models) {
                             for (int g : gpus) {
                                 for (int b : batches) {
@@ -107,21 +116,28 @@ CampaignSpec::expand() const
                                          cellMethods) {
                                         for (comm::SchedulerPolicy s :
                                              cellScheds) {
-                                            core::TrainConfig cfg =
-                                                base;
-                                            cfg.platform = platform;
-                                            cfg.nodes = nodes;
-                                            cfg.interconnect = net;
-                                            cfg.netAlgo = algo;
-                                            cfg.mode = mode;
-                                            cfg.model = model;
-                                            cfg.numGpus = g;
-                                            cfg.batchPerGpu = b;
-                                            cfg.method = m;
-                                            cfg.commConfig
-                                                .scheduler = s;
-                                            configs.push_back(
-                                                std::move(cfg));
+                                            for (comm::Compressor z :
+                                                 cellComps) {
+                                                core::TrainConfig
+                                                    cfg = base;
+                                                cfg.platform =
+                                                    platform;
+                                                cfg.nodes = nodes;
+                                                cfg.interconnect =
+                                                    net;
+                                                cfg.netAlgo = algo;
+                                                cfg.mode = mode;
+                                                cfg.model = model;
+                                                cfg.numGpus = g;
+                                                cfg.batchPerGpu = b;
+                                                cfg.method = m;
+                                                cfg.commConfig
+                                                    .scheduler = s;
+                                                cfg.commConfig
+                                                    .compression = z;
+                                                configs.push_back(
+                                                    std::move(cfg));
+                                            }
                                         }
                                     }
                                 }
@@ -149,7 +165,7 @@ configKey(const core::TrainConfig &cfg)
             "|it%d|ov%d|tc%d|ar%d|fu%.17g|au%d|disp%.17g|setup%.17g"
             "|gpu:%s|rings%d|chunk%" PRIu64 "|eff%.17g|hop%.17g"
             "|nfix%.17g|nset%.17g|mcpy%.17g|mq%d"
-            "|sch%d|pb%" PRIu64 "|cb%" PRIu64
+            "|sch%d|pb%" PRIu64 "|cb%" PRIu64 "|zc%d|zr%.17g"
             "|mm:%.17g,%.17g,%.17g,%.17g,%.17g,%.17g"
             "|wi:%.17g,%.17g,%.17g,%.17g",
             cfg.model.c_str(), cfg.platform.c_str(), cfg.nodes,
@@ -173,6 +189,8 @@ configKey(const core::TrainConfig &cfg)
             static_cast<int>(cfg.commConfig.scheduler),
             static_cast<std::uint64_t>(cfg.commConfig.partitionBytes),
             static_cast<std::uint64_t>(cfg.commConfig.creditBytes),
+            static_cast<int>(cfg.commConfig.compression),
+            cfg.commConfig.compressRatio,
             cfg.memoryModel.contextGB,
             cfg.memoryModel.activationFactor,
             cfg.memoryModel.workspaceFactor,

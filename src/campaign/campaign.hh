@@ -79,6 +79,14 @@ struct CampaignSpec
      */
     std::vector<comm::SchedulerPolicy> schedulers = {
         comm::SchedulerPolicy::Fifo};
+    /**
+     * Gradient compressors to sweep (comm/compression.hh). The
+     * default {None} is the historical raw-fp32 wire. Non-sync modes
+     * never issue collectives, so the axis collapses to a single
+     * none column for them, like the scheduler axis.
+     */
+    std::vector<comm::Compressor> compressors = {
+        comm::Compressor::None};
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
@@ -86,7 +94,8 @@ struct CampaignSpec
      * @return the grid expanded to configurations in deterministic
      * platform-major order: platform, then nodes, then interconnect,
      * then net algo, then mode, then model, then gpus, then batch,
-     * then method, then scheduler. Fatal when a platform or
+     * then method, then scheduler, then compressor. Fatal when a
+     * platform or
      * interconnect is unknown or a platform has fewer GPUs than the
      * gpus axis requests.
      */

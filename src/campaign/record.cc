@@ -139,6 +139,9 @@ RunRecord::key() const
                std::to_string(partitionBytes) + " cb" +
                std::to_string(creditBytes);
     }
+    // Pre-compression baselines never carried the compression axes.
+    if (compression != "none")
+        out += " " + compression + " r" + fmtDouble(compressRatio);
     return out;
 }
 
@@ -158,6 +161,8 @@ RunRecord::toConfig() const
     cfg.commConfig.scheduler = comm::parseScheduler(scheduler);
     cfg.commConfig.partitionBytes = partitionBytes;
     cfg.commConfig.creditBytes = creditBytes;
+    cfg.commConfig.compression = comm::parseCompressor(compression);
+    cfg.commConfig.compressRatio = compressRatio;
     cfg.microbatches = microbatches;
     cfg.datasetImages = images;
     return cfg;
@@ -180,6 +185,9 @@ recordFromReport(const core::TrainReport &report)
         comm::schedulerName(report.config.commConfig.scheduler);
     r.partitionBytes = report.config.commConfig.partitionBytes;
     r.creditBytes = report.config.commConfig.creditBytes;
+    r.compression =
+        comm::compressorName(report.config.commConfig.compression);
+    r.compressRatio = report.config.commConfig.compressRatio;
     r.images = report.config.datasetImages;
     r.oom = report.oom;
     r.iterations = report.iterations;
@@ -240,6 +248,14 @@ recordsToJson(const std::vector<RunRecord> &records)
                    fmtU64(r.partitionBytes) + ", ";
             out += "\"credit_bytes\": " + fmtU64(r.creditBytes) +
                    ", ";
+        }
+        // Compression axes only when not none: every baseline written
+        // before the compressor existed must stay byte-identical.
+        if (r.compression != "none") {
+            out += "\"compression\": \"" + jsonEscape(r.compression) +
+                   "\", ";
+            out += "\"compress_ratio\": " +
+                   fmtDouble(r.compressRatio) + ", ";
         }
         out += "\"images\": " + fmtU64(r.images) + ",\n     ";
         out += "\"oom\": " + std::string(r.oom ? "true" : "false") +
@@ -328,6 +344,10 @@ recordsFromJson(const std::string &text)
             r.partitionBytes = u64At(v, "partition_bytes");
             r.creditBytes = u64At(v, "credit_bytes");
         }
+        if (const JsonValue *z = v.find("compression")) {
+            r.compression = z->asString();
+            r.compressRatio = v.numberAt("compress_ratio");
+        }
         r.images = u64At(v, "images");
         r.oom = v.boolAt("oom");
         r.iterations = u64At(v, "iterations");
@@ -375,6 +395,7 @@ recordsToCsv(const std::vector<RunRecord> &records)
     std::string out =
         "model,gpus,batch,method,mode,platform,nodes,interconnect,"
         "net_algo,scheduler,partition_bytes,credit_bytes,"
+        "compression,compress_ratio,"
         "images,oom,iterations,"
         "epoch_s,"
         "iteration_s,setup_s,fpbp_s,wu_s,sync_api_fraction,"
@@ -394,6 +415,8 @@ recordsToCsv(const std::vector<RunRecord> &records)
         out += csvEscape(r.scheduler) + ",";
         out += fmtU64(r.partitionBytes) + ",";
         out += fmtU64(r.creditBytes) + ",";
+        out += csvEscape(r.compression) + ",";
+        out += fmtDouble(r.compressRatio) + ",";
         out += fmtU64(r.images) + ",";
         out += std::string(r.oom ? "1" : "0") + ",";
         out += fmtU64(r.iterations) + ",";

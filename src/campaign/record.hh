@@ -70,6 +70,15 @@ struct RunRecord
     std::uint64_t partitionBytes = comm::kDefaultPartitionBytes;
     /** Priority credit window (serialized for non-fifo only). */
     std::uint64_t creditBytes = comm::kDefaultCreditBytes;
+    /**
+     * Gradient compressor (comm::compressorName). JSON and key()
+     * carry the compression axes (compression, compress_ratio) only
+     * when the compressor is not "none" so every pre-compression
+     * baseline stays byte-identical.
+     */
+    std::string compression = "none";
+    /** Kept-element fraction (serialized for non-none only). */
+    double compressRatio = 0.01;
     std::uint64_t images = 256000;
 
     // --- outcome ---

@@ -173,9 +173,98 @@ Communicator::pump()
         if (cfg_.scheduler != SchedulerPolicy::Fifo)
             chunkLaneSuffix_ = ".c" + std::to_string(chunk.tag);
         dispatchPriority_ = chunk.op->priority;
-        dispatch(chunk.op->kind, chunk.bytes, std::move(finish));
+        // Compression needs at least two GPUs to have a wire to
+        // shrink; `none` and single-GPU sets take the legacy path
+        // untouched (zero new events, bit-exact digests).
+        if (cfg_.compression == Compressor::None ||
+            ctx_.gpus.size() < 2) {
+            dispatch(chunk.op->kind, chunk.bytes, std::move(finish));
+        } else {
+            dispatchCompressed(chunk.op->kind, chunk.bytes, chunk.tag,
+                               std::move(finish));
+        }
         chunkLaneSuffix_.clear();
         dispatchPriority_ = 0;
+    }
+}
+
+void
+Communicator::dispatchCompressed(OpKind kind, sim::Bytes bytes,
+                                 std::uint64_t tag, Callback finish)
+{
+    const Compressor comp = cfg_.compression;
+    const sim::Bytes wire =
+        compressedWireBytes(comp, bytes, cfg_.compressRatio);
+    // Encode/decode kernels get their own per-chunk lane: pipelined
+    // communicators (NCCL under FIFO) may have many chunks' encode
+    // kernels in flight at once, and per-device lanes must stay
+    // serialized for the audit.
+    const std::string lane = "comm.z" + std::to_string(tag);
+    // The dispatch window closes synchronously; save what the
+    // deferred wire dispatch must restore.
+    const std::string suffix = chunkLaneSuffix_;
+    const int priority = dispatchPriority_;
+
+    // Encode runs wherever a gradient enters the wire, decode
+    // wherever a compressed buffer leaves it: workers -> root for a
+    // reduce, root -> workers for a broadcast, everyone for a fused
+    // all-reduce.
+    std::vector<hw::NodeId> senders, receivers;
+    switch (kind) {
+      case OpKind::Reduce:
+        senders.assign(ctx_.gpus.begin() + 1, ctx_.gpus.end());
+        receivers.assign(ctx_.gpus.begin(), ctx_.gpus.begin() + 1);
+        break;
+      case OpKind::Broadcast:
+        senders.assign(ctx_.gpus.begin(), ctx_.gpus.begin() + 1);
+        receivers.assign(ctx_.gpus.begin() + 1, ctx_.gpus.end());
+        break;
+      case OpKind::AllReduce:
+        senders = ctx_.gpus;
+        receivers = ctx_.gpus;
+        break;
+    }
+
+    const CompressionKernelCost enc =
+        compressKernelCost(comp, bytes, wire);
+    const CompressionKernelCost dec =
+        decompressKernelCost(comp, bytes, wire);
+
+    auto decompress = [this, comp, lane, dec,
+                       receivers = std::move(receivers),
+                       finish = std::move(finish)]() mutable {
+        auto pending =
+            std::make_shared<int>(static_cast<int>(receivers.size()));
+        auto fin = std::make_shared<Callback>(std::move(finish));
+        for (hw::NodeId gpu : receivers) {
+            runKernelOnLane(decompressKernelName(comp), lane, gpu,
+                            dec.flops, dec.bytes, [pending, fin]() {
+                                if (--*pending == 0)
+                                    (*fin)();
+                            });
+        }
+    };
+
+    auto transmit = [this, kind, wire, suffix, priority,
+                     decompress = std::move(decompress)]() mutable {
+        // Reopen the dispatch window for the implementation's
+        // synchronous part, exactly as pump() would have.
+        chunkLaneSuffix_ = suffix;
+        dispatchPriority_ = priority;
+        dispatch(kind, wire, std::move(decompress));
+        chunkLaneSuffix_.clear();
+        dispatchPriority_ = 0;
+    };
+
+    auto pending =
+        std::make_shared<int>(static_cast<int>(senders.size()));
+    auto next = std::make_shared<Callback>(std::move(transmit));
+    for (hw::NodeId gpu : senders) {
+        runKernelOnLane(compressKernelName(comp), lane, gpu, enc.flops,
+                        enc.bytes, [pending, next]() {
+                            if (--*pending == 0)
+                                (*next)();
+                        });
     }
 }
 

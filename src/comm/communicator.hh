@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/compression.hh"
 #include "comm/scheduler.hh"
 #include "hw/fabric.hh"
 #include "hw/gpu_spec.hh"
@@ -112,6 +113,16 @@ struct CommConfig
     sim::Bytes partitionBytes = kDefaultPartitionBytes;
     /** In-flight byte window of the non-FIFO policies. */
     sim::Bytes creditBytes = kDefaultCreditBytes;
+    /**
+     * Gradient compressor applied to every scheduler chunk
+     * (comm/compression.hh): encode kernels on the sender GPUs,
+     * shrunk bytes on the wire, decode kernels on the receivers. The
+     * default `none` replays the uncompressed event stream
+     * bit-exactly (no extra events, original wire bytes).
+     */
+    Compressor compression = Compressor::None;
+    /** Kept-element fraction of the sparsifiers (randomk/dgc). */
+    double compressRatio = 0.01;
     /**
      * Attach the simulation invariant auditor (sim/auditor.hh) to
      * the fabric this communicator runs on: byte conservation, link
@@ -246,6 +257,15 @@ class Communicator
     void enqueue(OpKind kind, sim::Bytes bytes, int priority,
                  Callback done);
     void dispatch(OpKind kind, sim::Bytes bytes, Callback finish);
+    /**
+     * Compressed dispatch of one admitted chunk: encode kernels on
+     * the senders, the shrunk wire bytes through dispatch(), decode
+     * kernels on the receivers, then @p finish (which still accounts
+     * the chunk's original payload bytes to the scheduler, keeping
+     * its flow-conservation audit intact).
+     */
+    void dispatchCompressed(OpKind kind, sim::Bytes bytes,
+                            std::uint64_t tag, Callback finish);
     void pump();
     void notifyIfIdle();
     /** Lazily build the scheduler (pipelined() is virtual, so the

@@ -26,6 +26,10 @@ HierarchicalCommunicator::HierarchicalCommunicator(CommMethod inner,
     // so their collectives run concurrently.
     CommConfig icfg = cfg;
     icfg.clusterNodes = 1;
+    // Gradients are compressed once, at this (outer) layer: the inner
+    // per-node collectives and the IB inter phase already carry the
+    // shrunk wire bytes, so the inner comms must not encode again.
+    icfg.compression = Compressor::None;
     for (int k = 0; k < nodes_; ++k) {
         CommContext ictx;
         ictx.queue = ctx_.queue;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "comm/compression.hh"
 #include "comm/scheduler.hh"
 #include "hw/cluster.hh"
 #include "hw/platform.hh"
@@ -188,6 +189,15 @@ baseConfigFromArgs(const Args &args)
         args.getBytes("credit-bytes", comm::kDefaultCreditBytes);
     if (cfg.commConfig.creditBytes == 0)
         sim::fatal("--credit-bytes must be positive");
+    // --compression is parsed by configFromArgs / the grid commands;
+    // the kept-element ratio is a non-grid template value.
+    cfg.commConfig.compressRatio =
+        args.getDouble("compress-ratio", 0.01);
+    if (cfg.commConfig.compressRatio <= 0.0 ||
+        cfg.commConfig.compressRatio > 1.0) {
+        sim::fatal("--compress-ratio must be in (0, 1], got ",
+                   cfg.commConfig.compressRatio);
+    }
     if (args.has("p100"))
         cfg.gpuSpec = hw::GpuSpec::pascalP100();
     return cfg;
@@ -223,6 +233,10 @@ configFromArgs(const Args &args)
     if (args.has("scheduler")) {
         cfg.commConfig.scheduler =
             comm::parseScheduler(args.get("scheduler"));
+    }
+    if (args.has("compression")) {
+        cfg.commConfig.compression =
+            comm::parseCompressor(args.get("compression"));
     }
     // Validate up front: an unknown platform fatals inside
     // makePlatform, and a GPU count beyond the platform's capacity

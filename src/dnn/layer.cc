@@ -20,6 +20,10 @@ layerKindName(LayerKind kind)
       case LayerKind::EltwiseAdd: return "eltwise-add";
       case LayerKind::Dropout: return "dropout";
       case LayerKind::Softmax: return "softmax";
+      case LayerKind::Attention: return "attention";
+      case LayerKind::LayerNorm: return "layernorm";
+      case LayerKind::Embedding: return "embedding";
+      case LayerKind::Lstm: return "lstm";
     }
     return "?";
 }
@@ -139,6 +143,125 @@ Pool2d::forwardFlops(int batch) const
 {
     return static_cast<double>(outputShape().elements()) * batch *
            kernel_ * kernel_;
+}
+
+MultiHeadAttention::MultiHeadAttention(std::string name, TensorShape in,
+                                       int heads)
+    : Layer(LayerKind::Attention, std::move(name), in, in),
+      heads_(heads)
+{
+    if (heads_ < 1)
+        sim::fatal("attention needs >= 1 head, got ", heads_);
+    if (in.c % heads_ != 0) {
+        sim::fatal("attention model dim ", in.c,
+                   " does not split over ", heads_, " heads");
+    }
+}
+
+std::uint64_t
+MultiHeadAttention::paramCount() const
+{
+    // Q/K/V/output projection weights + biases.
+    const std::uint64_t d = inputShape().c;
+    return 4 * d * d + 4 * d;
+}
+
+double
+MultiHeadAttention::forwardFlops(int batch) const
+{
+    const double d = inputShape().c;
+    const double s = inputShape().h;
+    return (8.0 * s * d * d + 4.0 * s * s * d +
+            3.0 * heads_ * s * s) *
+           batch;
+}
+
+double
+MultiHeadAttention::forwardBytes(int batch) const
+{
+    // Stream + parameters (the base default) plus the H S x S
+    // attention matrices, each written once by QK^T and read once by
+    // the softmax(.)V contraction.
+    const double scores =
+        2.0 * heads_ * static_cast<double>(inputShape().h) *
+        inputShape().h * 4.0;
+    return Layer::forwardBytes(batch) + scores * batch;
+}
+
+sim::Bytes
+MultiHeadAttention::activationBytes(int batch) const
+{
+    // Output stream plus the attention probabilities, both needed by
+    // the backward pass.
+    const sim::Bytes scores = static_cast<sim::Bytes>(heads_) *
+                              inputShape().h * inputShape().h * 4;
+    return (outputShape().bytes() + scores) * batch;
+}
+
+Embedding::Embedding(std::string name, TensorShape in, int vocab,
+                     int dim)
+    : Layer(LayerKind::Embedding, std::move(name), in,
+            TensorShape{dim, in.h, in.w}),
+      vocab_(vocab)
+{
+    if (vocab_ < 1 || dim < 1)
+        sim::fatal("embedding needs positive vocab and dim, got ",
+                   vocab_, "x", dim);
+}
+
+std::uint64_t
+Embedding::paramCount() const
+{
+    return static_cast<std::uint64_t>(vocab_) * outputShape().c;
+}
+
+double
+Embedding::forwardFlops(int batch) const
+{
+    return static_cast<double>(outputShape().elements()) * batch;
+}
+
+double
+Embedding::forwardBytes(int batch) const
+{
+    // Read the ids, read the gathered rows, write the output stream.
+    return (static_cast<double>(inputShape().bytes()) +
+            2.0 * outputShape().bytes()) *
+           batch;
+}
+
+Lstm::Lstm(std::string name, TensorShape in, int hidden)
+    : Layer(LayerKind::Lstm, std::move(name), in,
+            TensorShape{hidden, in.h, in.w})
+{
+    if (hidden < 1)
+        sim::fatal("lstm needs a positive hidden size, got ", hidden);
+}
+
+std::uint64_t
+Lstm::paramCount() const
+{
+    // Four gates, each with input + recurrent weights and a bias.
+    const std::uint64_t in = inputShape().c;
+    const std::uint64_t n = outputShape().c;
+    return 4 * (in * n + n * n + n);
+}
+
+double
+Lstm::forwardFlops(int batch) const
+{
+    const double in = inputShape().c;
+    const double n = outputShape().c;
+    const double s = inputShape().h;
+    return s * (8.0 * n * (in + n) + 10.0 * n) * batch;
+}
+
+sim::Bytes
+Lstm::activationBytes(int batch) const
+{
+    // Hidden and cell state per timestep, both needed by backprop
+    // through time.
+    return 2 * outputShape().bytes() * batch;
 }
 
 Concat::Concat(std::string name, const std::vector<TensorShape> &ins)

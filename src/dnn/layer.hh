@@ -36,6 +36,10 @@ enum class LayerKind
     EltwiseAdd,
     Dropout,
     Softmax,
+    Attention,
+    LayerNorm,
+    Embedding,
+    Lstm,
 };
 
 /** @return a printable name for a layer kind. */
@@ -367,6 +371,114 @@ class Softmax : public Layer
     {
         return 3.0 * inputShape().elements() * batch;
     }
+};
+
+/**
+ * Multi-head self-attention over a {model_dim, seq_len, 1} stream:
+ * the fused QKV/output projections plus the seq-length-quadratic
+ * softmax(QK^T)V core. Closed-form FLOPs per sample with
+ * S = seq_len, d = model_dim, H = heads:
+ *
+ *   8*S*d^2            Q/K/V/output projections (four [S,d]x[d,d])
+ * + 4*S^2*d            QK^T and softmax(.)V
+ * + 3*H*S^2            the softmax itself (max, exp, normalize)
+ */
+class MultiHeadAttention : public Layer
+{
+  public:
+    MultiHeadAttention(std::string name, TensorShape in, int heads);
+
+    int heads() const { return heads_; }
+    int seqLen() const { return inputShape().h; }
+    int modelDim() const { return inputShape().c; }
+
+    std::uint64_t paramCount() const override;
+    double forwardFlops(int batch) const override;
+    double forwardBytes(int batch) const override;
+    sim::Bytes activationBytes(int batch) const override;
+    bool tensorEligible() const override { return true; }
+
+  private:
+    int heads_;
+};
+
+/** Layer normalization (gain/bias learnable over model_dim). */
+class LayerNorm : public Layer
+{
+  public:
+    LayerNorm(std::string name, TensorShape in)
+        : Layer(LayerKind::LayerNorm, std::move(name), in, in)
+    {
+    }
+
+    std::uint64_t
+    paramCount() const override
+    {
+        return 2ull * inputShape().c;
+    }
+
+    /** Mean, variance, normalize, scale-shift: ~8 ops/element. */
+    double
+    forwardFlops(int batch) const override
+    {
+        return 8.0 * inputShape().elements() * batch;
+    }
+
+    bool tensorEligible() const override { return false; }
+};
+
+/**
+ * Token-embedding gather: {1, seq_len, 1} int ids in, a
+ * {dim, seq_len, 1} dense stream out. Pure data movement forward, a
+ * scatter-add into the (large) embedding table backward.
+ */
+class Embedding : public Layer
+{
+  public:
+    Embedding(std::string name, TensorShape in, int vocab, int dim);
+
+    int vocab() const { return vocab_; }
+    int dim() const { return outputShape().c; }
+
+    std::uint64_t paramCount() const override;
+    /** One gathered element per output element. */
+    double forwardFlops(int batch) const override;
+    /**
+     * The gather touches the ids and the gathered rows, not the whole
+     * table (the base-class default would charge all vocab*dim
+     * parameter bytes to every kernel).
+     */
+    double forwardBytes(int batch) const override;
+
+  private:
+    int vocab_;
+};
+
+/**
+ * Unrolled LSTM stack of one layer: per timestep, the four gate GEMMs
+ * against the input and the recurrent state plus the pointwise cell
+ * update. Per sample with S = seq_len, I = input_dim, N = hidden:
+ *
+ *   S * 8*N*(I+N)      gate GEMMs (2 flops/MAC, 4 gates)
+ * + S * 10*N           pointwise activations and cell arithmetic
+ */
+class Lstm : public Layer
+{
+  public:
+    Lstm(std::string name, TensorShape in, int hidden);
+
+    int hidden() const { return outputShape().c; }
+    int seqLen() const { return inputShape().h; }
+
+    std::uint64_t paramCount() const override;
+    double forwardFlops(int batch) const override;
+    sim::Bytes activationBytes(int batch) const override;
+    bool tensorEligible() const override { return true; }
+    /**
+     * The recurrent GEMMs have M = batch — the same skinny-matrix
+     * regime as training-time fully connected layers.
+     */
+    double efficiencyScale() const override { return 0.15; }
 };
 
 } // namespace dgxsim::dnn

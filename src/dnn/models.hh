@@ -40,6 +40,18 @@ Network buildVgg16();
 /** ResNet-152 (extended zoo): 151 convs in 50 blocks, ~60M. */
 Network buildResNet152();
 
+/** ResNet-101 (modern zoo): 100 convs in 33 blocks, ~44.5M. */
+Network buildResNet101();
+
+/** BERT-Base (modern zoo): 12 x 768 x 12-head encoder, ~108M. */
+Network buildBertBase();
+
+/** GPT-2 small (modern zoo): 12 x 768 x 12-head decoder, ~124M. */
+Network buildGpt2Small();
+
+/** 2-layer 650-hidden LSTM word LM (modern zoo), ~20M. */
+Network buildLstm();
+
 /**
  * @return the canonical lower-case names of the paper's five
  * workloads (Table I order).
@@ -50,8 +62,16 @@ const std::vector<std::string> &modelNames();
 const std::vector<std::string> &extendedModelNames();
 
 /**
+ * @return the five networks the gradient-compression literature
+ * sweeps (the ByteScheduler grid): vgg-16, resnet-101, bert-base,
+ * gpt2-small, lstm.
+ */
+const std::vector<std::string> &modernModelNames();
+
+/**
  * Build a zoo model by name ("lenet", "alexnet", "googlenet",
- * "inception-v3", "resnet-50"). Fatal on unknown names.
+ * "inception-v3", "resnet-50"). Fatal on unknown names, with a
+ * did-you-mean suggestion.
  */
 Network buildByName(const std::string &name);
 

@@ -6,6 +6,7 @@
 #include "dnn/models.hh"
 
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::dnn {
 
@@ -22,8 +23,18 @@ const std::vector<std::string> &
 extendedModelNames()
 {
     static const std::vector<std::string> names = {
-        "lenet",      "alexnet",   "googlenet", "inception-v3",
-        "resnet-50",  "vgg-16",    "resnet-152",
+        "lenet",      "alexnet",    "googlenet", "inception-v3",
+        "resnet-50",  "vgg-16",     "resnet-152", "resnet-101",
+        "bert-base",  "gpt2-small", "lstm",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+modernModelNames()
+{
+    static const std::vector<std::string> names = {
+        "vgg-16", "resnet-101", "bert-base", "gpt2-small", "lstm",
     };
     return names;
 }
@@ -45,9 +56,23 @@ buildByName(const std::string &name)
         return buildVgg16();
     if (name == "resnet-152" || name == "resnet152")
         return buildResNet152();
-    sim::fatal("unknown model '", name,
-               "'; known: lenet alexnet googlenet inception-v3 "
-               "resnet-50 vgg-16 resnet-152");
+    if (name == "resnet-101" || name == "resnet101")
+        return buildResNet101();
+    if (name == "bert-base" || name == "bert")
+        return buildBertBase();
+    if (name == "gpt2-small" || name == "gpt2")
+        return buildGpt2Small();
+    if (name == "lstm")
+        return buildLstm();
+    std::string known;
+    for (const std::string &n : extendedModelNames()) {
+        if (!known.empty())
+            known += " ";
+        known += n;
+    }
+    sim::fatal("unknown model '", name, "'",
+               sim::didYouMean(name, extendedModelNames()),
+               "; known: ", known);
 }
 
 } // namespace dgxsim::dnn

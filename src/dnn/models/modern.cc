@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Modern model zoo: the transformer- and LSTM-dominated workloads a
+ * planning tool serves today, alongside ResNet-101 (the mid-depth
+ * residual network the distributed-training literature sweeps most).
+ * Together with VGG-16 these are the five networks the
+ * gradient-compression studies (ByteScheduler, DGC) benchmark:
+ * vgg16 / resnet101 / bert / gpt2 / lstm.
+ *
+ * Sequence tensors ride the CHW shape as {model_dim, seq_len, 1}:
+ * channels carry the hidden dimension, height the sequence.
+ */
+
+#include "dnn/models.hh"
+
+namespace dgxsim::dnn {
+
+namespace {
+
+/** Shared bottleneck builder (mirrors extended.cc / resnet50.cc). */
+void
+bottleneck101(NetworkBuilder &b, const std::string &n, int mid, int out,
+              int stride, bool project)
+{
+    const TensorShape shortcut = b.markResidual();
+    b.conv(n + "_1x1a", mid, 1, 1, 0)
+        .bn(n + "_1x1a_bn")
+        .relu(n + "_1x1a_r");
+    b.conv(n + "_3x3", mid, 3, stride, 1)
+        .bn(n + "_3x3_bn")
+        .relu(n + "_3x3_r");
+    b.conv(n + "_1x1b", out, 1, 1, 0).bn(n + "_1x1b_bn");
+    const TensorShape identity =
+        project ? b.sideConvBn(n + "_proj", shortcut, out, stride)
+                : shortcut;
+    b.residualAdd(n + "_add", identity)
+        .relu(n + "_out_r")
+        .countResidualBlock();
+}
+
+/**
+ * Pre-LN-free encoder block shared by BERT and GPT-2: self-attention
+ * with a residual, then the position-wise feed-forward with a
+ * residual, each followed by a layer norm.
+ */
+void
+transformerBlock(NetworkBuilder &b, const std::string &n, int heads,
+                 int ffn, int model_dim)
+{
+    TensorShape res = b.markResidual();
+    b.attention(n + "_attn", heads);
+    b.residualAdd(n + "_attn_add", res).layerNorm(n + "_attn_ln");
+    res = b.markResidual();
+    b.tokenLinear(n + "_ffn1", ffn).relu(n + "_ffn_act");
+    b.tokenLinear(n + "_ffn2", model_dim);
+    b.residualAdd(n + "_ffn_add", res).layerNorm(n + "_ffn_ln");
+}
+
+} // namespace
+
+Network
+buildResNet101()
+{
+    NetworkBuilder b("ResNet-101", TensorShape{3, 224, 224});
+    b.conv("conv1", 64, 7, 2, 3)
+        .bn("conv1_bn")
+        .relu("conv1_r")
+        .maxPool("pool1", 3, 2, 1);
+    const int blocks[] = {3, 4, 23, 3};
+    const int mids[] = {64, 128, 256, 512};
+    for (int s = 0; s < 4; ++s) {
+        for (int i = 0; i < blocks[s]; ++i) {
+            bottleneck101(b,
+                          "conv" + std::to_string(s + 2) + "_" +
+                              std::to_string(i + 1),
+                          mids[s], mids[s] * 4,
+                          (i == 0 && s > 0) ? 2 : 1, i == 0);
+        }
+    }
+    b.globalAvgPool("pool5").fc("fc", 1000).softmax("softmax");
+    return b.build();
+}
+
+Network
+buildBertBase()
+{
+    // 12 layers x 768 hidden x 12 heads over 128-token sequences,
+    // with a small classification head: ~108M weights, dominated by
+    // the 23M-parameter embedding table and the encoder stack.
+    NetworkBuilder b("BERT-Base", TensorShape{1, 128, 1});
+    b.embedding("embeddings", 30522, 768)
+        .layerNorm("embeddings_ln");
+    for (int l = 0; l < 12; ++l)
+        transformerBlock(b, "layer" + std::to_string(l + 1), 12, 3072,
+                         768);
+    b.globalAvgPool("pool").fc("classifier", 2).softmax("softmax");
+    return b.build();
+}
+
+Network
+buildGpt2Small()
+{
+    // 12 layers x 768 hidden x 12 heads over 256-token sequences with
+    // a weight-tied LM head (no separate decoder matrix): ~124M
+    // weights, the published gpt2-small size.
+    NetworkBuilder b("GPT2-Small", TensorShape{1, 256, 1});
+    b.embedding("wte", 50257, 768);
+    for (int l = 0; l < 12; ++l)
+        transformerBlock(b, "h" + std::to_string(l + 1), 12, 3072,
+                         768);
+    b.layerNorm("ln_f").softmax("lm_softmax");
+    return b.build();
+}
+
+Network
+buildLstm()
+{
+    // 2-layer 650-hidden word LM over 35-token sequences (the
+    // classic medium PTB configuration): ~20M weights, two-thirds of
+    // them in the embedding and decoder matrices.
+    NetworkBuilder b("LSTM", TensorShape{1, 35, 1});
+    b.embedding("embed", 10000, 650)
+        .lstm("lstm1", 650)
+        .dropout("lstm1_drop")
+        .lstm("lstm2", 650)
+        .dropout("lstm2_drop")
+        .tokenLinear("decoder", 10000)
+        .softmax("softmax");
+    return b.build();
+}
+
+} // namespace dgxsim::dnn

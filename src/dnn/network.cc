@@ -203,6 +203,49 @@ NetworkBuilder::softmax(const std::string &name)
 }
 
 NetworkBuilder &
+NetworkBuilder::attention(const std::string &name, int heads)
+{
+    cur_ = net_.add(std::make_unique<MultiHeadAttention>(name, cur_,
+                                                         heads))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::layerNorm(const std::string &name)
+{
+    cur_ = net_.add(std::make_unique<LayerNorm>(name, cur_))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::embedding(const std::string &name, int vocab, int dim)
+{
+    cur_ = net_.add(std::make_unique<Embedding>(name, cur_, vocab,
+                                                dim))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::lstm(const std::string &name, int hidden)
+{
+    cur_ = net_.add(std::make_unique<Lstm>(name, cur_, hidden))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
+NetworkBuilder::tokenLinear(const std::string &name, int out_features)
+{
+    cur_ = net_.add(std::make_unique<Conv2d>(name, cur_, out_features,
+                                             1, 1, 1, 0, 0))
+               .outputShape();
+    return *this;
+}
+
+NetworkBuilder &
 NetworkBuilder::beginModule()
 {
     if (inModule_)

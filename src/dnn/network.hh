@@ -131,6 +131,22 @@ class NetworkBuilder
     NetworkBuilder &fc(const std::string &name, int out_features);
     NetworkBuilder &dropout(const std::string &name);
     NetworkBuilder &softmax(const std::string &name);
+    /** Multi-head self-attention over the running sequence stream. */
+    NetworkBuilder &attention(const std::string &name, int heads);
+    NetworkBuilder &layerNorm(const std::string &name);
+    /** Token-embedding gather: ids in, a dim-wide stream out. */
+    NetworkBuilder &embedding(const std::string &name, int vocab,
+                              int dim);
+    /** One unrolled LSTM layer over the running sequence stream. */
+    NetworkBuilder &lstm(const std::string &name, int hidden);
+    /**
+     * Position-wise linear map (a 1x1 convolution over the sequence
+     * stream): the transformer feed-forward and the tied LM decoder,
+     * applied per token without flattening the sequence the way fc()
+     * would. Not counted as a Table-I conv layer.
+     */
+    NetworkBuilder &tokenLinear(const std::string &name,
+                                int out_features);
 
     /**
      * Begin a multi-branch module. Subsequent layers form the first

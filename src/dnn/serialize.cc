@@ -159,6 +159,30 @@ serialize(const Network &net)
             os << "softmax name=" << layer.name() << " in=" << in
                << "\n";
             break;
+          case LayerKind::Attention: {
+            const auto &attn =
+                static_cast<const MultiHeadAttention &>(layer);
+            os << "attention name=" << attn.name() << " in=" << in
+               << " heads=" << attn.heads() << "\n";
+            break;
+          }
+          case LayerKind::LayerNorm:
+            os << "layernorm name=" << layer.name() << " in=" << in
+               << "\n";
+            break;
+          case LayerKind::Embedding: {
+            const auto &emb = static_cast<const Embedding &>(layer);
+            os << "embedding name=" << emb.name() << " in=" << in
+               << " vocab=" << emb.vocab() << " dim=" << emb.dim()
+               << "\n";
+            break;
+          }
+          case LayerKind::Lstm: {
+            const auto &lstm = static_cast<const Lstm &>(layer);
+            os << "lstm name=" << lstm.name() << " in=" << in
+               << " hidden=" << lstm.hidden() << "\n";
+            break;
+          }
         }
     }
     return os.str();
@@ -256,6 +280,18 @@ deserialize(const std::string &text)
             net->add(std::make_unique<Dropout>(name, in));
         } else if (keyword == "softmax") {
             net->add(std::make_unique<Softmax>(name, in));
+        } else if (keyword == "attention") {
+            net->add(std::make_unique<MultiHeadAttention>(
+                name, in, needInt(fields, "heads", line)));
+        } else if (keyword == "layernorm") {
+            net->add(std::make_unique<LayerNorm>(name, in));
+        } else if (keyword == "embedding") {
+            net->add(std::make_unique<Embedding>(
+                name, in, needInt(fields, "vocab", line),
+                needInt(fields, "dim", line)));
+        } else if (keyword == "lstm") {
+            net->add(std::make_unique<Lstm>(
+                name, in, needInt(fields, "hidden", line)));
         } else {
             sim::fatal("unknown layer keyword '", keyword, "'");
         }

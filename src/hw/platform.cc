@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::hw {
 
@@ -129,7 +130,9 @@ makePlatform(const std::string &name)
             known += ", ";
         known += b.name;
     }
-    sim::fatal("unknown platform '", name, "' (known: ", known, ")");
+    sim::fatal("unknown platform '", name, "'",
+               sim::didYouMean(name, platformNames()),
+               " (known: ", known, ")");
 }
 
 bool

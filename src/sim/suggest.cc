@@ -6,10 +6,15 @@ namespace dgxsim::sim {
 
 namespace {
 
-/** Classic two-row Levenshtein distance. */
+/**
+ * Damerau-Levenshtein distance (three-row, adjacent transpositions
+ * count 1): `dcg` is one edit from `dgc`, so the most common typo
+ * class still earns a suggestion on short names.
+ */
 std::size_t
 editDistance(const std::string &a, const std::string &b)
 {
+    std::vector<std::size_t> prev2(b.size() + 1);
     std::vector<std::size_t> prev(b.size() + 1);
     std::vector<std::size_t> cur(b.size() + 1);
     for (std::size_t j = 0; j <= b.size(); ++j)
@@ -20,7 +25,11 @@ editDistance(const std::string &a, const std::string &b)
             const std::size_t sub =
                 prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
             cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+            if (i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+                a[i - 2] == b[j - 1])
+                cur[j] = std::min(cur[j], prev2[j - 2] + 1);
         }
+        std::swap(prev2, prev);
         std::swap(prev, cur);
     }
     return prev[b.size()];

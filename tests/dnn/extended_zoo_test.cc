@@ -51,7 +51,9 @@ TEST(ExtendedZooTest, NamesIncludePaperFivePlusExtensions)
     const auto &paper = modelNames();
     const auto &all = extendedModelNames();
     EXPECT_EQ(paper.size(), 5u);
-    EXPECT_EQ(all.size(), 7u);
+    // Paper five + resnet-152 + inception-v3 + the modern additions
+    // (resnet-101, bert-base, gpt2-small, lstm).
+    EXPECT_EQ(all.size(), 11u);
     for (const auto &name : all)
         EXPECT_NO_THROW(buildByName(name)) << name;
 }

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Closed-form pins on the modern layer cost models (attention,
+ * layernorm, embedding, LSTM) and published-parameter ballparks for
+ * the modern zoo networks (resnet-101, bert-base, gpt2-small, lstm),
+ * plus serialization round-trips for the new layer kinds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.hh"
+#include "dnn/models.hh"
+#include "dnn/network.hh"
+#include "dnn/serialize.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace dgxsim;
+using namespace dgxsim::dnn;
+
+TEST(AttentionLayer, ClosedFormCosts)
+{
+    // BERT-base geometry: d = 768, S = 128, H = 12.
+    const TensorShape in{768, 128, 1};
+    MultiHeadAttention attn("attn", in, 12);
+    // Q/K/V/output projections: 4 d^2 weights + 4 d biases.
+    EXPECT_EQ(attn.paramCount(), 4ull * 768 * 768 + 4ull * 768);
+    // 8 S d^2 (projections) + 4 S^2 d (QK^T and softmax(.)V) +
+    // 3 H S^2 (softmax), per sample.
+    const double d = 768, s = 128, h = 12;
+    EXPECT_DOUBLE_EQ(attn.forwardFlops(1),
+                     8 * s * d * d + 4 * s * s * d + 3 * h * s * s);
+    EXPECT_DOUBLE_EQ(attn.forwardFlops(4), 4 * attn.forwardFlops(1));
+    // Sequence-length-quadratic: doubling S must more than double
+    // the flops (the S^2 terms), unlike any conv/fc layer.
+    MultiHeadAttention longer("attn", TensorShape{768, 256, 1}, 12);
+    EXPECT_GT(longer.forwardFlops(1), 2 * attn.forwardFlops(1));
+    // The H S x S score matrices ride in activations for backprop.
+    EXPECT_EQ(attn.activationBytes(1),
+              in.bytes() + sim::Bytes(12) * 128 * 128 * 4);
+}
+
+TEST(AttentionLayer, RejectsIndivisibleHeads)
+{
+    EXPECT_THROW(
+        MultiHeadAttention("bad", TensorShape{768, 128, 1}, 7),
+        sim::FatalError);
+    EXPECT_THROW(
+        MultiHeadAttention("bad", TensorShape{768, 128, 1}, 0),
+        sim::FatalError);
+}
+
+TEST(LayerNormLayer, ClosedFormCosts)
+{
+    const TensorShape in{768, 128, 1};
+    LayerNorm ln("ln", in);
+    EXPECT_EQ(ln.paramCount(), 2ull * 768); // gain + bias
+    EXPECT_DOUBLE_EQ(ln.forwardFlops(2),
+                     8.0 * 768 * 128 * 2); // ~8 ops/element
+    EXPECT_FALSE(ln.tensorEligible());
+}
+
+TEST(EmbeddingLayer, GatherCostsNotTableCosts)
+{
+    const TensorShape ids{1, 128, 1};
+    Embedding emb("emb", ids, 30522, 768);
+    EXPECT_EQ(emb.paramCount(), 30522ull * 768);
+    EXPECT_EQ(emb.outputShape(), (TensorShape{768, 128, 1}));
+    // One gathered element per output element.
+    EXPECT_DOUBLE_EQ(emb.forwardFlops(1), 768.0 * 128);
+    // The kernel streams ids + gathered rows + output — NOT the whole
+    // 30522 x 768 table (≈ 94 MB, which would swamp the roofline).
+    const double expect =
+        static_cast<double>(ids.bytes()) + 2.0 * 768 * 128 * 4;
+    EXPECT_DOUBLE_EQ(emb.forwardBytes(1), expect);
+    EXPECT_LT(emb.forwardBytes(1), 1e6);
+}
+
+TEST(LstmLayer, ClosedFormCosts)
+{
+    const TensorShape in{650, 35, 1};
+    Lstm lstm("lstm", in, 650);
+    // 4 gates x (input weights + recurrent weights + bias).
+    EXPECT_EQ(lstm.paramCount(),
+              4ull * (650 * 650 + 650 * 650 + 650));
+    const double s = 35, i = 650, n = 650;
+    EXPECT_DOUBLE_EQ(lstm.forwardFlops(1),
+                     s * (8 * n * (i + n) + 10 * n));
+    // Skinny recurrent GEMMs run far off roofline peak.
+    EXPECT_DOUBLE_EQ(lstm.efficiencyScale(), 0.15);
+}
+
+TEST(ModernZoo, NamesAndDispatch)
+{
+    const auto modern = modernModelNames();
+    ASSERT_EQ(modern.size(), 5u);
+    for (const auto &name : modern) {
+        Network net = buildByName(name);
+        EXPECT_GT(net.paramCount(), 0u) << name;
+        EXPECT_GT(net.forwardFlops(1), 0.0) << name;
+    }
+    // Aliases resolve to the canonical builds.
+    EXPECT_EQ(buildByName("bert").paramCount(),
+              buildByName("bert-base").paramCount());
+    EXPECT_EQ(buildByName("gpt2").paramCount(),
+              buildByName("gpt2-small").paramCount());
+    EXPECT_EQ(buildByName("resnet101").paramCount(),
+              buildByName("resnet-101").paramCount());
+}
+
+TEST(ModernZoo, ResNet101PublishedBallpark)
+{
+    Network net = buildResNet101();
+    // torchvision: 44.55M parameters, ~7.8 GMACs.
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 44.55e6,
+                0.25e6);
+    EXPECT_EQ(net.structure.residualBlocks, 33);
+    // conv1 + 33 x 3 + 4 projections.
+    EXPECT_EQ(net.structure.convLayers, 104);
+    EXPECT_NEAR(net.forwardFlops(1) / 1e9, 15.7, 1.0);
+}
+
+TEST(ModernZoo, BertBasePublishedBallpark)
+{
+    Network net = buildBertBase();
+    // BERT-base: ~110M with the token-type/position embeddings this
+    // cost model folds away; the word embeddings + 12 encoder layers
+    // land at ~108.5M.
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 108.5e6,
+                2.0e6);
+    // ~11.2 GMACs at S = 128 -> ~22.4 GFLOPs.
+    EXPECT_NEAR(net.forwardFlops(1) / 1e9, 22.4, 1.5);
+}
+
+TEST(ModernZoo, Gpt2SmallPublishedBallpark)
+{
+    Network net = buildGpt2Small();
+    // GPT-2 small: 124M (tied LM head, so the 50257 x 768 table is
+    // counted once).
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 124.0e6,
+                2.0e6);
+}
+
+TEST(ModernZoo, LstmPublishedBallpark)
+{
+    Network net = buildLstm();
+    // Zaremba et al. medium LM: 650 hidden x 2 layers over a 10K
+    // vocab — ~20M parameters.
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 19.8e6,
+                0.5e6);
+}
+
+TEST(ModernZoo, WeightsPerFlopOrdering)
+{
+    // Weights-per-FLOP (the communication-boundness proxy): GPT-2's
+    // longer sequence (S = 256) amortizes its weights below BERT's
+    // (S = 128) and below VGG-16; the LSTM LM, with huge embedding +
+    // softmax tables over tiny recurrent compute, is by far the
+    // heaviest — the zoo's new worst case for the gradient wire.
+    const auto ratio = [](const char *name) {
+        Network net = buildByName(name);
+        return net.paramCount() / net.forwardFlops(1);
+    };
+    EXPECT_LT(ratio("gpt2-small"), ratio("bert-base"));
+    EXPECT_LT(ratio("gpt2-small"), ratio("vgg-16"));
+    EXPECT_GT(ratio("lstm"), ratio("vgg-16"));
+    EXPECT_GT(ratio("lstm"), 3 * ratio("bert-base"));
+}
+
+TEST(ModernZoo, NewLayerKindsSerializeRoundTrip)
+{
+    for (const char *name : {"bert-base", "gpt2-small", "lstm"}) {
+        Network net = buildByName(name);
+        Network back = deserialize(serialize(net));
+        EXPECT_EQ(back.paramCount(), net.paramCount()) << name;
+        EXPECT_DOUBLE_EQ(back.forwardFlops(4), net.forwardFlops(4))
+            << name;
+        EXPECT_EQ(back.layers().size(), net.layers().size()) << name;
+    }
+}
+
+} // namespace

@@ -21,6 +21,14 @@ DGXSIM_CI_MODES_MODELS="lenet alexnet resnet-50"
 # the sched-smoke job and the audit script sweep this axis.
 DGXSIM_CI_SCHEDULERS="fifo priority partitioned"
 
+# The modern zoo (dnn/models/modern.cc) gated by the zoo-smoke job
+# against results/baseline_zoo.json.
+DGXSIM_CI_ZOO_MODELS="vgg-16 resnet-101 bert-base gpt2-small lstm"
+
+# Every gradient compressor on the wire (comm/compression.hh); the
+# zoo-smoke job sweeps this axis for determinism.
+DGXSIM_CI_COMPRESSORS="none randomk dgc efsignsgd onebit"
+
 # Audited determinism spot checks: model gpus batch method.
 DGXSIM_CI_SPOT_SPECS="lenet 4 16 p2p
 alexnet 8 32 nccl"

@@ -36,6 +36,7 @@
 #include "campaign/campaign.hh"
 #include "campaign/check.hh"
 #include "campaign/thread_pool.hh"
+#include "comm/compression.hh"
 #include "comm/scheduler.hh"
 #include "core/cli.hh"
 #include "core/determinism.hh"
@@ -80,6 +81,9 @@ usage()
         "fifo|priority|partitioned]\n"
         "                                   [--partition-bytes N[kmg]] "
         "[--credit-bytes N[kmg]]\n"
+        "                                   [--compression "
+        "none|randomk|dgc|efsignsgd|onebit]\n"
+        "                                   [--compress-ratio F]\n"
         "                                   [--microbatches N] "
         "[--async-iters N]\n"
         "                                   [--allreduce] [--fusion-mb "
@@ -115,6 +119,8 @@ usage()
         "                                   [--netalgo ring,tree]\n"
         "                                   [--scheduler "
         "fifo,priority,partitioned]\n"
+        "                                   [--compression "
+        "none,randomk,dgc,...]\n"
         "                                   [--jobs N] [--json FILE]\n"
         "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
@@ -127,13 +133,15 @@ usage()
         "...] [--platform ...]\n"
         "                                   [--nodes ...] "
         "[--interconnect ...] [--netalgo ...]\n"
-        "                                   [--scheduler ...] to "
-        "filter the baseline grid)\n"
+        "                                   [--scheduler ...] "
+        "[--compression ...] to\n"
+        "                                   filter the baseline grid)\n"
         "  topo      topology, routes, bandwidth matrix "
         "([--platform P])\n"
         "  platforms list the registered hardware platforms\n"
         "  interconnects list the registered inter-node networks\n"
         "  schedulers list the registered gradient-bucket schedulers\n"
+        "  compressors list the registered gradient compressors\n"
         "  advise    batch-size + method advice (--model [--gpus N] "
         "[--mode M])\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
@@ -377,6 +385,9 @@ campaignSpecFromArgs(const Args &args)
     spec.schedulers.clear();
     for (const std::string &s : args.getList("scheduler", {"fifo"}))
         spec.schedulers.push_back(comm::parseScheduler(s));
+    spec.compressors.clear();
+    for (const std::string &z : args.getList("compression", {"none"}))
+        spec.compressors.push_back(comm::parseCompressor(z));
     return spec;
 }
 
@@ -460,7 +471,7 @@ cmdCheck(const Args &args)
         args.has("method") || args.has("mode") ||
         args.has("platform") || args.has("nodes") ||
         args.has("interconnect") || args.has("netalgo") ||
-        args.has("scheduler")) {
+        args.has("scheduler") || args.has("compression")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
@@ -486,6 +497,11 @@ cmdCheck(const Args &args)
             schedulers.push_back(
                 comm::schedulerName(comm::parseScheduler(s)));
         }
+        std::vector<std::string> compressions;
+        for (const std::string &z : args.getList("compression", {})) {
+            compressions.push_back(
+                comm::compressorName(comm::parseCompressor(z)));
+        }
         std::erase_if(baseline, [&](const campaign::RunRecord &r) {
             return (!models.empty() && !contains(models, r.model)) ||
                    (!gpus.empty() && !contains(gpus, r.gpus)) ||
@@ -500,7 +516,9 @@ cmdCheck(const Args &args)
                    (!netAlgos.empty() &&
                     !contains(netAlgos, r.netAlgo)) ||
                    (!schedulers.empty() &&
-                    !contains(schedulers, r.scheduler));
+                    !contains(schedulers, r.scheduler)) ||
+                   (!compressions.empty() &&
+                    !contains(compressions, r.compression));
         });
     }
     if (baseline.empty()) {
@@ -644,6 +662,19 @@ cmdSchedulers()
 }
 
 int
+cmdCompressors()
+{
+    TextTable table({"name", "uses ratio", "description"});
+    for (const comm::CompressorInfo &info :
+         comm::compressorRegistry()) {
+        table.addRow({info.name, info.usesRatio ? "yes" : "no",
+                      info.description});
+    }
+    std::printf("%s", table.str().c_str());
+    return 0;
+}
+
+int
 cmdAdvise(const Args &args)
 {
     core::TrainConfig cfg = core::cli::configFromArgs(args);
@@ -765,6 +796,8 @@ main(int argc, char **argv)
             return cmdInterconnects();
         if (command == "schedulers")
             return cmdSchedulers();
+        if (command == "compressors")
+            return cmdCompressors();
         if (command == "advise")
             return cmdAdvise(args);
         if (command == "analyze")

@@ -17,6 +17,10 @@
 #       (lenet,alexnet,resnet-50 x {2,4,8} nodes x 4 GPUs x b16 x
 #       nccl x {ring,tree}) gating the cluster fabric and the
 #       hierarchical collectives
+#   results/baseline_zoo.json  — the modern zoo x compression grid
+#       (vgg-16,resnet-101,bert-base,gpt2-small,lstm x {1,4} GPUs x
+#       b16 x nccl x {none,randomk,dgc,efsignsgd,onebit}) gating the
+#       modern layer cost models and the gradient-compression wire
 # Both are serialized with deterministic formatting so the diff
 # against the old baseline is reviewable like code.
 #
@@ -75,3 +79,12 @@ echo "results/baseline_cluster.json refreshed ($count records)"
 
 count=$(grep -c '"model"' "$repo/results/baseline_sched.json")
 echo "results/baseline_sched.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model vgg-16,resnet-101,bert-base,gpt2-small,lstm \
+    --gpus 1,4 --batches 16 --method nccl \
+    --compression none,randomk,dgc,efsignsgd,onebit \
+    --json "$repo/results/baseline_zoo.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_zoo.json")
+echo "results/baseline_zoo.json refreshed ($count records)"
