@@ -320,6 +320,22 @@ Dag::attribute() const
     }
     std::reverse(segments.begin(), segments.end());
 
+    // Idle that directly precedes a pipeline-stage kernel on the
+    // binding chain is the schedule's bubble: the stage sat starved
+    // waiting for an operand, not for a collective or an API.
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        if (segments[i].category != Category::Idle)
+            continue;
+        const Segment &next = segments[i + 1];
+        if (next.node < 0)
+            continue;
+        const Node &node = nodes_[next.node];
+        if (node.kind == profiling::RecordKind::Kernel &&
+            node.lane.rfind("stage", 0) == 0) {
+            attr.pipelineBubble += segments[i].end - segments[i].start;
+        }
+    }
+
     for (const Segment &seg : segments) {
         const sim::Tick ticks = seg.end - seg.start;
         switch (seg.category) {
@@ -469,6 +485,8 @@ Dag::report(const Attribution &attr, std::size_t top_k) const
         row("inter_node_comm", attr.interNodeComm);
         row("api", attr.api);
         row("idle", attr.idle);
+        if (attr.pipelineBubble > 0)
+            row("  pipeline_bubble", attr.pipelineBubble);
         row("makespan", attr.makespan);
         os << table.str();
     }

@@ -121,6 +121,14 @@ struct Attribution
     sim::Tick interNodeComm = 0;
     sim::Tick api = 0;
     sim::Tick idle = 0;
+    /**
+     * The share of idle spent waiting for a pipeline-stage kernel:
+     * an idle segment directly feeding a "stage*" lane kernel is the
+     * schedule's fill/drain (or steady-state starvation) bubble,
+     * not generic dead time. Always <= idle; 0 outside the
+     * model-parallel/pipeline modes.
+     */
+    sim::Tick pipelineBubble = 0;
     /** Binding-chain work: makespan minus idle (<= makespan). */
     sim::Tick criticalPath = 0;
     /** Back-to-front partition segments, in time order. */

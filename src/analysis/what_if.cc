@@ -364,8 +364,10 @@ analysisJson(const Dag &dag, const Attribution &attr,
     os << "    \"comm\": " << attr.comm << ",\n";
     os << "    \"inter_node_comm\": " << attr.interNodeComm << ",\n";
     os << "    \"api\": " << attr.api << ",\n";
-    os << "    \"idle\": " << attr.idle << "\n";
-    os << "  },\n";
+    os << "    \"idle\": " << attr.idle;
+    if (attr.pipelineBubble > 0)
+        os << ",\n    \"pipeline_bubble\": " << attr.pipelineBubble;
+    os << "\n  },\n";
     os << "  \"critical_path_ticks\": " << attr.criticalPath << ",\n";
     os << "  \"records\": " << dag.nodes().size() << ",\n";
     os << "  \"edges\": " << dag.edgeCount() << ",\n";

@@ -109,9 +109,21 @@ CampaignSpec::expand() const
                                 sync ? compressors
                                      : std::vector<comm::Compressor>{
                                            comm::Compressor::None};
+                        // Microbatches are a stage-schedule knob:
+                        // the axis collapses for every mode without
+                        // a pipeline (sync_dp, async_ps).
+                        const bool staged =
+                            mode ==
+                                core::ParallelismMode::ModelParallel ||
+                            mode == core::ParallelismMode::Pipeline;
+                        const std::vector<int> cellUbs =
+                            staged && !microbatchCounts.empty()
+                                ? microbatchCounts
+                                : std::vector<int>{base.microbatches};
                         for (const std::string &model : models) {
                             for (int g : gpus) {
                                 for (int b : batches) {
+                                  for (int ub : cellUbs) {
                                     for (comm::CommMethod m :
                                          cellMethods) {
                                         for (comm::SchedulerPolicy s :
@@ -130,6 +142,7 @@ CampaignSpec::expand() const
                                                 cfg.model = model;
                                                 cfg.numGpus = g;
                                                 cfg.batchPerGpu = b;
+                                                cfg.microbatches = ub;
                                                 cfg.method = m;
                                                 cfg.commConfig
                                                     .scheduler = s;
@@ -140,6 +153,7 @@ CampaignSpec::expand() const
                                             }
                                         }
                                     }
+                                  }
                                 }
                             }
                         }

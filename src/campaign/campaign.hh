@@ -87,6 +87,14 @@ struct CampaignSpec
      */
     std::vector<comm::Compressor> compressors = {
         comm::Compressor::None};
+    /**
+     * Microbatch counts to sweep (pipeline depth). Empty means
+     * "whatever base.microbatches says" — 0 there selects numGpus.
+     * Only the stage-scheduled modes (model_parallel, pipeline)
+     * have microbatches, so the axis collapses to a single column
+     * for every other mode.
+     */
+    std::vector<int> microbatchCounts;
     /** Template for every non-grid knob (images, overlap, ...). */
     core::TrainConfig base;
 
@@ -94,10 +102,9 @@ struct CampaignSpec
      * @return the grid expanded to configurations in deterministic
      * platform-major order: platform, then nodes, then interconnect,
      * then net algo, then mode, then model, then gpus, then batch,
-     * then method, then scheduler, then compressor. Fatal when a
-     * platform or
-     * interconnect is unknown or a platform has fewer GPUs than the
-     * gpus axis requests.
+     * then microbatches, then method, then scheduler, then
+     * compressor. Fatal when a platform or interconnect is unknown
+     * or a platform has fewer GPUs than the gpus axis requests.
      */
     std::vector<core::TrainConfig> expand() const;
 };

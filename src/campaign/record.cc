@@ -126,6 +126,13 @@ RunRecord::key() const
     // as they were; ditto the default platform.
     if (mode != "sync_dp")
         out += " " + mode;
+    // Microbatches join the key only off their historical default
+    // (== gpus): every model_parallel baseline row predating the
+    // microbatch axis ran exactly gpus microbatches, so those keys
+    // stay as they were.
+    if ((mode == "model_parallel" || mode == "pipeline") &&
+        microbatches > 0 && microbatches != gpus)
+        out += " ub" + std::to_string(microbatches);
     if (platform != hw::kDefaultPlatform)
         out += " " + platform;
     // Single-node baselines never carried the cluster axes.
@@ -282,7 +289,8 @@ recordsToJson(const std::vector<RunRecord> &records)
                    fmtDouble(r.avgStaleness) + ", ";
             out += "\"max_staleness\": " +
                    std::to_string(r.maxStaleness) + ",\n     ";
-        } else if (r.mode == "model_parallel") {
+        } else if (r.mode == "model_parallel" ||
+                   r.mode == "pipeline") {
             out += "\"microbatches\": " +
                    std::to_string(r.microbatches) + ", ";
             out += "\"bubble_fraction\": " +

@@ -124,6 +124,9 @@ Communicator::dispatch(OpKind kind, sim::Bytes bytes, Callback finish)
       case OpKind::AllReduce:
         doAllReduce(bytes, std::move(finish));
         break;
+      case OpKind::Copy:
+        sim::fatal("Copy ops are pumped by StagePump, not a "
+                   "communicator");
     }
 }
 
@@ -223,6 +226,9 @@ Communicator::dispatchCompressed(OpKind kind, sim::Bytes bytes,
         senders = ctx_.gpus;
         receivers = ctx_.gpus;
         break;
+      case OpKind::Copy:
+        sim::fatal("Copy ops are pumped by StagePump, not a "
+                   "communicator");
     }
 
     const CompressionKernelCost enc =

@@ -53,6 +53,8 @@ enum class OpKind
     Reduce,
     Broadcast,
     AllReduce,
+    /** Point-to-point tensor copy (pipeline stage boundaries). */
+    Copy,
 };
 
 /** Scheduling policy of the communication layer. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stage-boundary tensor pump for pipelined model parallelism.
+ *
+ * A StagePump owns one directed GPU pair (stage s -> s+1 for
+ * activations, s -> s-1 for boundary gradients) and moves tensors
+ * across the fabric through a comm::Scheduler, so the same
+ * partitioning and credit policies that govern gradient buckets
+ * (`--scheduler`, `--partition-bytes`, `--credit-bytes`) also shape
+ * activation traffic. Each admitted chunk becomes one profiled
+ * "PtoP" fabric copy; a send's completion callback fires only when
+ * every chunk of that tensor has landed (flow-conservation audited
+ * by the scheduler).
+ */
+
+#ifndef DGXSIM_COMM_STAGE_PUMP_HH
+#define DGXSIM_COMM_STAGE_PUMP_HH
+
+#include <functional>
+#include <memory>
+
+#include "comm/communicator.hh"
+#include "comm/scheduler.hh"
+#include "hw/fabric.hh"
+#include "profiling/profiler.hh"
+#include "sim/event_queue.hh"
+
+namespace dgxsim::comm {
+
+/** Pumps tensors of one directed stage boundary over the fabric. */
+class StagePump
+{
+  public:
+    StagePump(sim::EventQueue &queue, hw::Fabric &fabric,
+              profiling::Profiler &prof, hw::NodeId src, hw::NodeId dst,
+              const CommConfig &cfg);
+
+    /**
+     * Queue one tensor; @p done fires when all its bytes have
+     * arrived at the destination. Zero-byte tensors (pure control
+     * dependencies) complete through the fabric without touching
+     * the scheduler, since a zero-byte op has no chunks to admit.
+     */
+    void send(sim::Bytes bytes, int priority, std::function<void()> done);
+
+    /** @return true when nothing is queued or on the wire. */
+    bool idle() const { return sched_->idle(); }
+
+    hw::NodeId src() const { return src_; }
+    hw::NodeId dst() const { return dst_; }
+
+  private:
+    /** Admit and launch chunks while the scheduler allows. */
+    void pump();
+
+    sim::EventQueue &queue_;
+    hw::Fabric &fabric_;
+    profiling::Profiler &prof_;
+    hw::NodeId src_;
+    hw::NodeId dst_;
+    std::unique_ptr<Scheduler> sched_;
+};
+
+} // namespace dgxsim::comm
+
+#endif // DGXSIM_COMM_STAGE_PUMP_HH

@@ -171,10 +171,10 @@ baseConfigFromArgs(const Args &args)
     cfg.useAllReduce = args.has("allreduce");
     cfg.bucketFusionMB = args.getDouble("fusion-mb", 0.0);
     cfg.audit = args.has("audit");
-    // --mode and --platform are parsed by configFromArgs (scalar
-    // commands) or by the grid commands themselves (campaign sweeps
-    // list-valued modes/platforms).
-    cfg.microbatches = args.getInt("microbatches", 0);
+    // --mode, --platform and --microbatches are parsed by
+    // configFromArgs (scalar commands) or by the grid commands
+    // themselves (campaign sweeps list-valued modes/platforms/
+    // microbatch counts).
     cfg.asyncItersPerWorker = args.getInt("async-iters", 30);
     if (args.has("rings"))
         cfg.commConfig.ncclRings = args.getInt("rings", 1);
@@ -213,6 +213,10 @@ configFromArgs(const Args &args)
     cfg.method = comm::parseCommMethod(args.get("method", "nccl"));
     if (args.has("mode"))
         cfg.mode = parseParallelismMode(args.get("mode"));
+    cfg.microbatches = args.getInt("microbatches", 0);
+    if (cfg.microbatches < 0)
+        sim::fatal("--microbatches must be non-negative, got ",
+                   cfg.microbatches);
     if (args.has("platform"))
         cfg.platform = args.get("platform");
     cfg.nodes = args.getInt("nodes", 1);

@@ -74,12 +74,12 @@ class Args
 /**
  * Build a TrainConfig from the non-grid options only: --images
  * --tensor-cores --overlap --allreduce --fusion-mb --audit
- * --microbatches --async-iters --rings --partition-bytes
- * --credit-bytes --p100. Model, gpus, batch, method, mode, platform
- * and scheduler keep their defaults; grid commands (campaign, sweep)
+ * --async-iters --rings --partition-bytes --credit-bytes --p100.
+ * Model, gpus, batch, method, mode, platform, microbatches and
+ * scheduler keep their defaults; grid commands (campaign, sweep)
  * fill them per cell, so list-valued
- * --gpus/--batches/--method/--mode/--platform/--scheduler never hit
- * the scalar parsers.
+ * --gpus/--batches/--method/--mode/--platform/--microbatches/
+ * --scheduler never hit the scalar parsers.
  */
 TrainConfig baseConfigFromArgs(const Args &args);
 

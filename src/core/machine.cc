@@ -176,6 +176,17 @@ Machine::setupDataParallelMemory(const dnn::Network &net)
         mem.alloc(cuda::MemCategory::Activations, activations);
         mem.alloc(cuda::MemCategory::Workspace, workspace);
         mem.alloc(cuda::MemCategory::Dataset, dataset);
+        // Error-feedback compressors accumulate what they did not
+        // send: one fp32 residual per parameter, device-resident on
+        // every worker. Ratio-only sparsifiers without feedback
+        // (randomk) keep no such state.
+        const comm::Compressor comp = cfg_.commConfig.compression;
+        if (cfg_.totalGpus() > 1 &&
+            (comp == comm::Compressor::Dgc ||
+             comp == comm::Compressor::EfSignSgd ||
+             comp == comm::Compressor::OneBit)) {
+            mem.alloc(cuda::MemCategory::CommBuffers, weights);
+        }
         // Node roots keep aggregation + master-weight copies; on a
         // cluster every node's rank-0 GPU is such a root (it also
         // terminates the inter-node phase). Reduces to "g == 0 &&
@@ -194,8 +205,13 @@ void
 Machine::setupModelParallelMemory(
     const dnn::Network &net,
     const std::vector<std::pair<std::size_t, std::size_t>> &stages,
-    int microbatch_size, int microbatches)
+    int microbatch_size, const std::vector<int> &live_microbatches,
+    int staged_microbatches)
 {
+    if (live_microbatches.size() != stages.size())
+        sim::fatal("live-microbatch vector has ",
+                   live_microbatches.size(), " entries for ",
+                   stages.size(), " stages");
     const MemoryModel &mm = cfg_.memoryModel;
     for (std::size_t s = 0; s < stages.size(); ++s) {
         sim::Bytes weights = 0;
@@ -214,11 +230,13 @@ Machine::setupModelParallelMemory(
             if (layer.kind() == dnn::LayerKind::Conv)
                 ++conv_layers;
         }
-        // GPipe keeps every in-flight microbatch's activations until
-        // its backward pass consumes them.
+        // The schedule reports how many microbatch activations this
+        // stage holds live at once: every one of them for gpipe
+        // fill-drain, min(m, stages - s) for 1F1B.
         const sim::Bytes activations = static_cast<sim::Bytes>(
             mm.activationFactor *
-            static_cast<double>(activations_per_ub) * microbatches);
+            static_cast<double>(activations_per_ub) *
+            live_microbatches[s]);
         const sim::Bytes workspace =
             static_cast<sim::Bytes>(
                 mm.workspaceFactor *
@@ -237,7 +255,7 @@ Machine::setupModelParallelMemory(
                       static_cast<sim::Bytes>(
                           mm.datasetBuffers *
                           static_cast<double>(microbatch_size) *
-                          static_cast<double>(microbatches) *
+                          static_cast<double>(staged_microbatches) *
                           static_cast<double>(
                               net.inputShape().bytes())));
         }

@@ -129,16 +129,22 @@ class Machine
 
     /**
      * Allocate the pipeline layout: each stage holds only its layers'
-     * weights and gradients, the in-flight activations of every
-     * microbatch (GPipe stores them all until BP), its own workspace
-     * pool, and — on stage 0 — the input staging buffers. Throws
-     * sim::FatalError on OOM.
+     * weights and gradients, the activations of its peak in-flight
+     * microbatch count (schedule-reported: the full microbatch count
+     * for gpipe fill-drain, min(m, stages - s) for 1F1B), its own
+     * workspace pool, and — on stage 0 — the input staging buffers
+     * for all @p staged_microbatches. Throws sim::FatalError on OOM.
      * @param stages [first, last] layer index per stage.
+     * @param live_microbatches peak live microbatches per stage (one
+     *        entry per stage).
+     * @param staged_microbatches total microbatches per iteration
+     *        (sizes stage 0's dataset staging).
      */
     void setupModelParallelMemory(
         const dnn::Network &net,
         const std::vector<std::pair<std::size_t, std::size_t>> &stages,
-        int microbatch_size, int microbatches);
+        int microbatch_size, const std::vector<int> &live_microbatches,
+        int staged_microbatches);
 
     /** Fill the report's gpu0/gpux memory fields from the trackers. */
     void fillMemoryReport(TrainReport &report) const;

@@ -1,18 +1,39 @@
 #include "core/model_parallel_trainer.hh"
 
+#include <algorithm>
+
 #include "cuda/kernel_model.hh"
+#include "sim/auditor.hh"
 #include "sim/logging.hh"
 
 namespace dgxsim::core {
 
 ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
                                            int microbatches)
-    : TrainerBase(std::move(cfg), std::nullopt),
-      microbatches_(microbatches > 0     ? microbatches
-                    : cfg_.microbatches > 0 ? cfg_.microbatches
-                                            : cfg_.numGpus)
+    : TrainerBase(std::move(cfg), std::nullopt)
 {
-    cfg_.mode = ParallelismMode::ModelParallel;
+    init(microbatches);
+}
+
+ModelParallelTrainer::ModelParallelTrainer(TrainConfig cfg,
+                                           dnn::Network net,
+                                           hw::Topology topo)
+    : TrainerBase(std::move(cfg), std::move(net), std::move(topo))
+{
+    init(0);
+}
+
+void
+ModelParallelTrainer::init(int microbatches)
+{
+    // Pipeline keeps its 1F1B identity; every other mode normalizes
+    // to the gpipe fill-drain strategy, as before the refactor.
+    if (cfg_.mode != ParallelismMode::Pipeline)
+        cfg_.mode = ParallelismMode::ModelParallel;
+    schedule_ = makeStageSchedule(cfg_.mode);
+    microbatches_ = microbatches > 0     ? microbatches
+                    : cfg_.microbatches > 0 ? cfg_.microbatches
+                                            : cfg_.numGpus;
     const int global_batch = cfg_.globalBatch();
     if (global_batch % microbatches_ != 0) {
         sim::fatal("global batch ", global_batch,
@@ -94,6 +115,13 @@ ModelParallelTrainer::boundaryBytes(std::size_t s) const
            static_cast<sim::Bytes>(microbatchSize_);
 }
 
+// --- gpipe: legacy eager dispatcher -----------------------------------
+//
+// Microbatches chase each other down (and back up) the pipeline as
+// plain event chains; the fill-drain order emerges from per-stage
+// stream serialization. This path's record stream is pinned by
+// digest-parity tests — do not reorder its events.
+
 void
 ModelParallelTrainer::forwardStage(int m, std::size_t s)
 {
@@ -144,22 +172,152 @@ ModelParallelTrainer::backwardStage(int m, std::size_t s)
             if (microbatchesDone_ == microbatches_) {
                 // Local per-stage weight updates; no inter-GPU
                 // gradient communication at all.
-                for (std::size_t st = 0; st < stages_.size(); ++st) {
-                    sim::Bytes params = 0;
-                    for (std::size_t l = stages_[st].first;
-                         l <= stages_[st].second; ++l)
-                        params += net_.layers()[l]->paramBytes();
-                    streams_[st]->enqueueKernel(
-                        "sgdUpdate",
-                        cuda::kernelDuration(
-                            cfg_.gpuSpec,
-                            cuda::KernelCost{params / 2.0,
-                                             3.0 * params, false}));
-                }
+                for (std::size_t st = 0; st < stages_.size(); ++st)
+                    enqueueSgdUpdate(st);
             }
         }
     });
 }
+
+// --- 1F1B: programmed dispatcher --------------------------------------
+//
+// Each stage walks its StageSchedule slot program in order, pausing
+// whenever the next slot's operand (an activation from upstream, a
+// boundary gradient from downstream) has not arrived yet. Boundary
+// tensors travel through comm::StagePump, so the comm layer's
+// scheduler policies apply to activation traffic.
+
+void
+ModelParallelTrainer::runProgrammed()
+{
+    const std::size_t p = stages_.size();
+    states_.assign(p, StageState{});
+    fwdPumps_.clear();
+    bwdPumps_.clear();
+    fwdPumps_.resize(p);
+    bwdPumps_.resize(p);
+    for (std::size_t s = 0; s < p; ++s) {
+        StageState &st = states_[s];
+        st.program = schedule_->stageProgram(s, p, microbatches_);
+        // Stage 0 reads microbatches straight from the dataset
+        // staging buffers; everyone else waits for upstream.
+        st.fwdReady.assign(static_cast<std::size_t>(microbatches_),
+                           s == 0 ? 1 : 0);
+        st.bwdReady.assign(static_cast<std::size_t>(microbatches_), 0);
+        if (s + 1 < p) {
+            fwdPumps_[s] = std::make_unique<comm::StagePump>(
+                machine_.queue(), machine_.fabric(),
+                machine_.profiler(), machine_.gpus()[s],
+                machine_.gpus()[s + 1], cfg_.commConfig);
+        }
+        if (s > 0) {
+            bwdPumps_[s] = std::make_unique<comm::StagePump>(
+                machine_.queue(), machine_.fabric(),
+                machine_.profiler(), machine_.gpus()[s],
+                machine_.gpus()[s - 1], cfg_.commConfig);
+        }
+    }
+    for (std::size_t s = 0; s < p; ++s)
+        tryAdvance(s);
+}
+
+void
+ModelParallelTrainer::tryAdvance(std::size_t s)
+{
+    StageState &st = states_[s];
+    while (st.nextSlot < st.program.size()) {
+        const StageSlot &slot = st.program[st.nextSlot];
+        const std::size_t m =
+            static_cast<std::size_t>(slot.microbatch);
+        const bool ready = slot.op == StageSlot::Op::Fwd
+                               ? st.fwdReady[m] != 0
+                               : st.bwdReady[m] != 0;
+        if (!ready)
+            return;
+        ++st.nextSlot;
+        if (slot.op == StageSlot::Op::Fwd)
+            enqueueFwd(s, slot.microbatch);
+        else
+            enqueueBwd(s, slot.microbatch);
+    }
+}
+
+void
+ModelParallelTrainer::enqueueFwd(std::size_t s, int m)
+{
+    streams_[s]->enqueueKernel("stage" + std::to_string(s) + "_fwd",
+                               stageKernelTicks(s, false));
+    streams_[s]->enqueueHostFn([this, s, m]() {
+        StageState &st = states_[s];
+        // The activation is live from here until the matching
+        // backward consumes it; the planner charged the schedule's
+        // peak, so exceeding it would mean the planner lied.
+        ++st.liveNow;
+        st.livePeak = std::max(st.livePeak, st.liveNow);
+        const int planned = schedule_->peakLiveMicrobatches(
+            s, stages_.size(), microbatches_);
+        if (st.liveNow > planned) {
+            sim::fatal("stage ", s, " holds ", st.liveNow,
+                       " live microbatches, schedule planned ",
+                       planned);
+        }
+        if (s + 1 < stages_.size()) {
+            fwdPumps_[s]->send(
+                boundaryBytes(s), /*priority=*/0, [this, s, m]() {
+                    states_[s + 1]
+                        .fwdReady[static_cast<std::size_t>(m)] = 1;
+                    tryAdvance(s + 1);
+                });
+        } else {
+            // Tail of the pipeline: turn straight around.
+            st.bwdReady[static_cast<std::size_t>(m)] = 1;
+        }
+        tryAdvance(s);
+    });
+}
+
+void
+ModelParallelTrainer::enqueueBwd(std::size_t s, int m)
+{
+    streams_[s]->enqueueKernel("stage" + std::to_string(s) + "_bwd",
+                               stageKernelTicks(s, true));
+    streams_[s]->enqueueHostFn([this, s, m]() {
+        StageState &st = states_[s];
+        --st.liveNow;
+        ++st.bwdDone;
+        if (s > 0) {
+            // Boundary gradients outrank activations so a stalled
+            // upstream stage unblocks as soon as possible.
+            bwdPumps_[s]->send(
+                boundaryBytes(s - 1), /*priority=*/1, [this, s, m]() {
+                    states_[s - 1]
+                        .bwdReady[static_cast<std::size_t>(m)] = 1;
+                    tryAdvance(s - 1);
+                });
+        }
+        // A stage's weight update is purely local: it launches as
+        // soon as its own last backward retires, overlapping the
+        // rest of the cooldown upstream.
+        if (st.bwdDone == microbatches_)
+            enqueueSgdUpdate(s);
+        tryAdvance(s);
+    });
+}
+
+void
+ModelParallelTrainer::enqueueSgdUpdate(std::size_t s)
+{
+    sim::Bytes params = 0;
+    for (std::size_t l = stages_[s].first; l <= stages_[s].second; ++l)
+        params += net_.layers()[l]->paramBytes();
+    streams_[s]->enqueueKernel(
+        "sgdUpdate",
+        cuda::kernelDuration(
+            cfg_.gpuSpec,
+            cuda::KernelCost{params / 2.0, 3.0 * params, false}));
+}
+
+// --- shared run -------------------------------------------------------
 
 TrainReport
 ModelParallelTrainer::run()
@@ -169,9 +327,15 @@ ModelParallelTrainer::run()
     report.microbatches = microbatches_;
     report.iterations = cfg_.iterationsPerEpoch();
 
+    std::vector<int> live;
+    for (std::size_t s = 0; s < stages_.size(); ++s)
+        live.push_back(schedule_->peakLiveMicrobatches(
+            s, stages_.size(), microbatches_));
+    report.stagePeakLiveMicrobatches = live;
+
     try {
         machine_.setupModelParallelMemory(net_, stages_,
-                                          microbatchSize_,
+                                          microbatchSize_, live,
                                           microbatches_);
     } catch (const sim::FatalError &err) {
         report.oom = true;
@@ -185,11 +349,28 @@ ModelParallelTrainer::run()
         return report; // memory-only probe
 
     microbatchesDone_ = 0;
-    for (int m = 0; m < microbatches_; ++m)
-        forwardStage(m, 0);
+    if (cfg_.mode == ParallelismMode::Pipeline) {
+        runProgrammed();
+    } else {
+        for (int m = 0; m < microbatches_; ++m)
+            forwardStage(m, 0);
+    }
     const sim::Tick end = machine_.queue().run();
 
-    machine_.finishAudit(report);
+    machine_.finishAudit(report, [this](sim::Auditor &auditor) {
+        for (const auto &pump : fwdPumps_) {
+            if (pump)
+                auditor.expect(pump->idle(), machine_.queue().now(),
+                               "activation pump busy after the "
+                               "queue drained");
+        }
+        for (const auto &pump : bwdPumps_) {
+            if (pump)
+                auditor.expect(pump->idle(), machine_.queue().now(),
+                               "gradient pump busy after the queue "
+                               "drained");
+        }
+    });
     report.digest = machine_.digest();
 
     report.iterationSeconds = sim::ticksToSec(end);

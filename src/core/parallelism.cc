@@ -1,6 +1,7 @@
 #include "core/parallelism.hh"
 
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace dgxsim::core {
 
@@ -14,6 +15,8 @@ parallelismModeName(ParallelismMode mode)
         return "async_ps";
     case ParallelismMode::ModelParallel:
         return "model_parallel";
+    case ParallelismMode::Pipeline:
+        return "pipeline";
     }
     return "?";
 }
@@ -27,8 +30,15 @@ parseParallelismMode(const std::string &name)
         return ParallelismMode::AsyncPs;
     if (name == "model_parallel" || name == "mp")
         return ParallelismMode::ModelParallel;
+    if (name == "pipeline" || name == "1f1b")
+        return ParallelismMode::Pipeline;
+    std::vector<std::string> known;
+    for (ParallelismMode mode : allParallelismModes())
+        known.push_back(parallelismModeName(mode));
     sim::fatal("unknown parallelism mode '", name,
-               "' (expected sync_dp, async_ps or model_parallel)");
+               "' (expected sync_dp, async_ps, model_parallel or "
+               "pipeline)",
+               sim::didYouMean(name, known));
 }
 
 const std::vector<ParallelismMode> &
@@ -36,7 +46,7 @@ allParallelismModes()
 {
     static const std::vector<ParallelismMode> modes = {
         ParallelismMode::SyncDp, ParallelismMode::AsyncPs,
-        ParallelismMode::ModelParallel};
+        ParallelismMode::ModelParallel, ParallelismMode::Pipeline};
     return modes;
 }
 

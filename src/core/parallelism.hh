@@ -24,15 +24,18 @@ enum class ParallelismMode {
     AsyncPs,
     /** GPipe-style pipelined model parallelism (layer stages). */
     ModelParallel,
+    /** 1F1B pipelined model parallelism (bounded live microbatches). */
+    Pipeline,
 };
 
 /** @return the canonical CLI/JSON name ("sync_dp", "async_ps",
- * "model_parallel"). */
+ * "model_parallel", "pipeline"). */
 const char *parallelismModeName(ParallelismMode mode);
 
 /**
- * Parse a mode name (fatal otherwise). Accepts the canonical names
- * plus the historical aliases "sync", "async" and "mp".
+ * Parse a mode name (fatal otherwise, with a did-you-mean hint for
+ * near-miss typos). Accepts the canonical names plus the historical
+ * aliases "sync", "async", "mp" and "1f1b".
  */
 ParallelismMode parseParallelismMode(const std::string &name);
 

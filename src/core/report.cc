@@ -27,6 +27,15 @@ TrainReport::oneLine() const
                       epochSeconds, 100.0 * bubbleFraction,
                       oom ? " [OOM]" : "");
         break;
+    case ParallelismMode::Pipeline:
+        std::snprintf(buf, sizeof(buf),
+                      "%s x%d stages (1f1b), global batch %d, %d "
+                      "ubatches: epoch %.3fs, bubble %.1f%%%s",
+                      config.model.c_str(), config.numGpus,
+                      config.globalBatch(), microbatches,
+                      epochSeconds, 100.0 * bubbleFraction,
+                      oom ? " [OOM]" : "");
+        break;
     case ParallelismMode::SyncDp:
     default:
         std::snprintf(buf, sizeof(buf),

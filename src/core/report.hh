@@ -112,6 +112,12 @@ struct TrainReport
     std::vector<sim::Bytes> stageParamBytes;
     /** Per-stage forward FLOPs share (compute balance). */
     std::vector<double> stageFlopsShare;
+    /**
+     * Peak live microbatch activations per stage, as the schedule
+     * reported them to the memory planner: the full microbatch count
+     * under gpipe fill-drain, min(m, stages - s) under 1F1B.
+     */
+    std::vector<int> stagePeakLiveMicrobatches;
 
     /** @return epoch speedup of this run relative to @p base. */
     double

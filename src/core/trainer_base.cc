@@ -31,6 +31,10 @@ registry()
          [](const TrainConfig &cfg) -> std::unique_ptr<TrainerBase> {
              return std::make_unique<ModelParallelTrainer>(cfg);
          }},
+        {ParallelismMode::Pipeline,
+         [](const TrainConfig &cfg) -> std::unique_ptr<TrainerBase> {
+             return std::make_unique<ModelParallelTrainer>(cfg);
+         }},
     };
     return factories;
 }

@@ -83,6 +83,23 @@ TEST(DagTest, AttributionPartitionsMakespanAcrossGrid)
     }
 }
 
+/** Pipeline-stage runs sub-attribute their idle as bubble ticks;
+ * data-parallel runs never do. */
+TEST(DagTest, PipelineBubbleSubAttributesIdle)
+{
+    core::TrainConfig cfg =
+        gridConfig("lenet", 4, comm::CommMethod::NCCL);
+    cfg.mode = core::ParallelismMode::Pipeline;
+    const DagRun pipe = runAndBuild(cfg);
+    const analysis::Attribution pattr = pipe.dag.attribute();
+    EXPECT_GT(pattr.pipelineBubble, 0u);
+    EXPECT_LE(pattr.pipelineBubble, pattr.idle);
+
+    const DagRun sync = runAndBuild(
+        gridConfig("lenet", 4, comm::CommMethod::NCCL));
+    EXPECT_EQ(sync.dag.attribute().pipelineBubble, 0u);
+}
+
 /** Segments are a gapless, in-order partition of [0, makespan]. */
 TEST(DagTest, SegmentsAreContiguousAndOrdered)
 {

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/compression.hh"
 #include "core/machine.hh"
+#include "cuda/memory_tracker.hh"
 #include "dnn/models.hh"
 #include "hw/topology.hh"
 #include "sim/logging.hh"
@@ -71,6 +73,45 @@ TEST(MachineTest, DataParallelPlannerAllocatesReplicas)
     EXPECT_GT(report.gpu0.training, report.gpux.training);
 }
 
+TEST(MachineTest, ErrorFeedbackResidualsChargeDeviceMemory)
+{
+    // Error-feedback compressors (dgc, efsignsgd, onebit) keep one
+    // fp32 residual per parameter on every worker; feedback-free
+    // sparsifiers (randomk) and the raw wire keep none. The planner
+    // must pin exactly net.paramBytes() of CommBuffers per GPU.
+    const dnn::Network net = dnn::buildByName("lenet");
+    const sim::Bytes params = net.paramBytes();
+    ASSERT_GT(params, 0u);
+
+    const auto workerCommBytes = [&](comm::Compressor comp) {
+        TrainConfig cfg = lenet2();
+        cfg.commConfig.compression = comp;
+        Machine machine(cfg, hw::Topology::dgx1Volta());
+        machine.setupDataParallelMemory(net);
+        // GPU 1 is a plain worker (no root aggregation buffers).
+        return machine.device(1).mem().usedBy(
+            cuda::MemCategory::CommBuffers);
+    };
+
+    const sim::Bytes none = workerCommBytes(comm::Compressor::None);
+    EXPECT_EQ(workerCommBytes(comm::Compressor::RandomK), none);
+    EXPECT_EQ(workerCommBytes(comm::Compressor::Dgc), none + params);
+    EXPECT_EQ(workerCommBytes(comm::Compressor::EfSignSgd),
+              none + params);
+    EXPECT_EQ(workerCommBytes(comm::Compressor::OneBit),
+              none + params);
+
+    // A single GPU never communicates, so no residual is pinned.
+    TrainConfig solo = lenet2();
+    solo.numGpus = 1;
+    solo.commConfig.compression = comm::Compressor::Dgc;
+    Machine machine(solo, hw::Topology::dgx1Volta());
+    machine.setupDataParallelMemory(net);
+    EXPECT_EQ(machine.device(0).mem().usedBy(
+                  cuda::MemCategory::CommBuffers),
+              0u);
+}
+
 TEST(MachineTest, DataParallelPlannerThrowsOnOom)
 {
     TrainConfig cfg = lenet2();
@@ -92,7 +133,8 @@ TEST(MachineTest, ModelParallelPlannerSplitsWeights)
     const std::size_t mid = net.layers().size() / 2;
     const std::vector<std::pair<std::size_t, std::size_t>> stages = {
         {0, mid - 1}, {mid, net.layers().size() - 1}};
-    machine.setupModelParallelMemory(net, stages, cfg.batchPerGpu, 2);
+    machine.setupModelParallelMemory(net, stages, cfg.batchPerGpu,
+                                     {2, 2}, 2);
     core::TrainReport report;
     machine.fillMemoryReport(report);
     EXPECT_GT(report.gpu0.training, 0u);

@@ -29,6 +29,13 @@ DGXSIM_CI_ZOO_MODELS="vgg-16 resnet-101 bert-base gpt2-small lstm"
 # zoo-smoke job sweeps this axis for determinism.
 DGXSIM_CI_COMPRESSORS="none randomk dgc efsignsgd onebit"
 
+# The stage-scheduled modes gated by the pipeline-smoke job against
+# results/baseline_pipeline.json, and the models/microbatch depths
+# that grid sweeps.
+DGXSIM_CI_PIPELINE_MODES="model_parallel pipeline"
+DGXSIM_CI_PIPELINE_MODELS="lenet alexnet bert-base"
+DGXSIM_CI_PIPELINE_UBS="8 16"
+
 # Audited determinism spot checks: model gpus batch method.
 DGXSIM_CI_SPOT_SPECS="lenet 4 16 p2p
 alexnet 8 32 nccl"

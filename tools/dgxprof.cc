@@ -11,12 +11,13 @@
  *   topo     show a platform's topology, routes and bandwidths
  *   platforms list the registered hardware platforms
  *   interconnects list the registered inter-node networks
- *   advise   pick max batch size and best method for a model
+ *   advise   rank parallelization strategies for a model (what-if
+ *            projections first, frontier re-simulated for real)
  *   models   list the model zoo
  *   verify   determinism check: run a config twice, compare digests
  *
  * train/analyze/sweep/campaign/check/verify take --mode
- * sync_dp|async_ps|model_parallel to select the parallelization
+ * sync_dp|async_ps|model_parallel|pipeline to select the parallelization
  * strategy, and --platform to pick the hardware substrate from the
  * registry (campaign and check accept comma-separated lists of
  * both). --nodes N stands up an N-node cluster of the selected
@@ -31,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/advise.hh"
 #include "analysis/dag.hh"
 #include "analysis/what_if.hh"
 #include "campaign/campaign.hh"
@@ -71,7 +73,7 @@ usage()
         "  train     simulate one run      (--model | --model-file F; --gpus --batch "
         "--method p2p|nccl\n"
         "                                   [--mode "
-        "sync_dp|async_ps|model_parallel]\n"
+        "sync_dp|async_ps|model_parallel|pipeline]\n"
         "                                   [--platform "
         "dgx1v|dgx1p|dgx2|... ]\n"
         "                                   [--nodes N] "
@@ -121,6 +123,7 @@ usage()
         "fifo,priority,partitioned]\n"
         "                                   [--compression "
         "none,randomk,dgc,...]\n"
+        "                                   [--microbatches M1,M2]\n"
         "                                   [--jobs N] [--json FILE]\n"
         "                                   [--csv FILE] [--quiet])\n"
         "  check     regression gate       (--baseline "
@@ -134,7 +137,8 @@ usage()
         "                                   [--nodes ...] "
         "[--interconnect ...] [--netalgo ...]\n"
         "                                   [--scheduler ...] "
-        "[--compression ...] to\n"
+        "[--compression ...]\n"
+        "                                   [--microbatches ...] to\n"
         "                                   filter the baseline grid)\n"
         "  topo      topology, routes, bandwidth matrix "
         "([--platform P])\n"
@@ -142,8 +146,18 @@ usage()
         "  interconnects list the registered inter-node networks\n"
         "  schedulers list the registered gradient-bucket schedulers\n"
         "  compressors list the registered gradient compressors\n"
-        "  advise    batch-size + method advice (--model [--gpus N] "
-        "[--mode M])\n"
+        "  advise    strategy search       (--model [--gpus N] "
+        "[--batch N]\n"
+        "                                   [--mode M] [--stages "
+        "S1,S2,...]\n"
+        "                                   [--microbatches "
+        "M1,M2,...]\n"
+        "                                   [--platforms P1,P2] "
+        "[--topk K];\n"
+        "                                   ranks sync_dp/"
+        "model_parallel/pipeline\n"
+        "                                   what-if-first, winner "
+        "re-simulated)\n"
         "  layers    per-layer cost breakdown (--model [--batch N] "
         "[--top N])\n"
         "  models    list the model zoo\n"
@@ -184,11 +198,16 @@ cmdTrain(const Args &args)
                 static_cast<unsigned long long>(r.iterations),
                 r.iterationSeconds * 1e3, 100 * r.syncApiFraction,
                 r.interGpuBytesPerIter / 1e6);
-    if (r.config.mode == core::ParallelismMode::ModelParallel &&
+    if ((r.config.mode == core::ParallelismMode::ModelParallel ||
+         r.config.mode == core::ParallelismMode::Pipeline) &&
         !r.stageParamBytes.empty()) {
         std::printf("  stage weights (MB):");
         for (sim::Bytes b : r.stageParamBytes)
             std::printf(" %.1f", b / 1e6);
+        std::printf("\n");
+        std::printf("  peak live microbatches per stage:");
+        for (int live : r.stagePeakLiveMicrobatches)
+            std::printf(" %d", live);
         std::printf("\n");
     }
     std::printf("  memory: pre %.2f GB, GPU0 %.2f GB, workers %.2f "
@@ -388,6 +407,9 @@ campaignSpecFromArgs(const Args &args)
     spec.compressors.clear();
     for (const std::string &z : args.getList("compression", {"none"}))
         spec.compressors.push_back(comm::parseCompressor(z));
+    // Empty means "base.microbatches only"; the axis collapses for
+    // modes without a pipeline.
+    spec.microbatchCounts = args.getIntList("microbatches", {});
     return spec;
 }
 
@@ -469,14 +491,16 @@ cmdCheck(const Args &args)
     if (args.has("model") || args.has("gpus") ||
         args.has("batches") || args.has("batch") ||
         args.has("method") || args.has("mode") ||
-        args.has("platform") || args.has("nodes") ||
-        args.has("interconnect") || args.has("netalgo") ||
-        args.has("scheduler") || args.has("compression")) {
+        args.has("microbatches") || args.has("platform") ||
+        args.has("nodes") || args.has("interconnect") ||
+        args.has("netalgo") || args.has("scheduler") ||
+        args.has("compression")) {
         const auto models = args.getList("model", {});
         const auto gpus = args.getIntList("gpus", {});
         const auto batches =
             args.getIntList("batches", args.getIntList("batch", {}));
         const auto methods = args.getList("method", {});
+        const auto microbatches = args.getIntList("microbatches", {});
         const auto platforms = args.getList("platform", {});
         const auto nodes = args.getIntList("nodes", {});
         const auto interconnects = args.getList("interconnect", {});
@@ -508,6 +532,8 @@ cmdCheck(const Args &args)
                    (!batches.empty() && !contains(batches, r.batch)) ||
                    (!methods.empty() && !contains(methods, r.method)) ||
                    (!modes.empty() && !contains(modes, r.mode)) ||
+                   (!microbatches.empty() &&
+                    !contains(microbatches, r.microbatches)) ||
                    (!platforms.empty() &&
                     !contains(platforms, r.platform)) ||
                    (!nodes.empty() && !contains(nodes, r.nodes)) ||
@@ -678,37 +704,54 @@ int
 cmdAdvise(const Args &args)
 {
     core::TrainConfig cfg = core::cli::configFromArgs(args);
-    const auto best = core::TrainerBase::maxBatchPerGpu(
-        cfg, {16, 32, 64, 128, 256, 512});
-    if (!best) {
-        std::printf("%s does not fit on a 16 GB V100 at any batch "
-                    "size\n",
-                    cfg.model.c_str());
+    if (!args.has("batch")) {
+        // Legacy behavior: with no --batch, advise first picks the
+        // largest per-GPU batch that fits the base strategy, then
+        // searches strategies at that batch.
+        const auto best = core::TrainerBase::maxBatchPerGpu(
+            cfg, {16, 32, 64, 128, 256, 512});
+        if (best) {
+            cfg.batchPerGpu = *best;
+            std::printf("%s on %d GPUs: largest fitting batch is %d "
+                        "per GPU (%s)\n",
+                        cfg.model.c_str(), cfg.numGpus, *best,
+                        core::parallelismModeName(cfg.mode));
+        } else {
+            std::printf("%s does not fit a 16 GB V100 at any batch "
+                        "size under %s; searching staged "
+                        "strategies at batch %d\n",
+                        cfg.model.c_str(),
+                        core::parallelismModeName(cfg.mode),
+                        cfg.batchPerGpu);
+        }
+    }
+
+    analysis::AdviseOptions opts;
+    if (args.has("mode"))
+        opts.modes = {cfg.mode};
+    opts.stageCounts = args.getIntList("stages", {});
+    opts.microbatchCounts = args.getIntList("microbatches", {});
+    opts.platforms = args.getList("platforms", {});
+    opts.topK =
+        static_cast<std::size_t>(args.getInt("topk", 3));
+
+    const analysis::AdviseResult result =
+        analysis::adviseStrategies(cfg, opts);
+    std::printf("strategy search for %s, global batch %d "
+                "(what-if-first: %zu memory probes, %zu projections, "
+                "%zu full simulations):\n",
+                cfg.model.c_str(), cfg.globalBatch(), result.probes,
+                result.projections, result.fullSims);
+    std::printf("%s", analysis::adviseTable(result).c_str());
+    if (result.ranked.empty()) {
+        std::printf("no strategy fits in GPU memory\n");
         return 1;
     }
-    cfg.batchPerGpu = *best;
-    if (cfg.mode != core::ParallelismMode::SyncDp) {
-        // Non-sync strategies have no kvstore method to pick; the
-        // advice is the largest fitting batch.
-        const auto r = core::TrainerBase::simulate(cfg);
-        std::printf("%s on %d GPUs (%s): use batch %d per GPU "
-                    "(%.2fs/epoch)\n",
-                    cfg.model.c_str(), cfg.numGpus,
-                    core::parallelismModeName(cfg.mode), *best,
-                    r.epochSeconds);
-        return 0;
-    }
-    cfg.method = comm::CommMethod::P2P;
-    const auto p2p = core::Trainer::simulate(cfg);
-    cfg.method = comm::CommMethod::NCCL;
-    const auto nccl = core::Trainer::simulate(cfg);
-    const bool pick_nccl = nccl.epochSeconds < p2p.epochSeconds;
-    std::printf("%s on %d GPUs: use batch %d per GPU with the %s "
-                "kvstore (%.2fs/epoch vs %.2fs)\n",
-                cfg.model.c_str(), cfg.numGpus, *best,
-                pick_nccl ? "nccl" : "p2p (device)",
-                std::min(p2p.epochSeconds, nccl.epochSeconds),
-                std::max(p2p.epochSeconds, nccl.epochSeconds));
+    const analysis::StrategyRow &winner = result.ranked.front();
+    std::printf("advice: %s — %.2fs/epoch, %.2f GB peak "
+                "(validated by full re-simulation)\n",
+                winner.label.c_str(), winner.epochSeconds,
+                winner.memGB);
     return 0;
 }
 

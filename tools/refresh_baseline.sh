@@ -21,6 +21,10 @@
 #       (vgg-16,resnet-101,bert-base,gpt2-small,lstm x {1,4} GPUs x
 #       b16 x nccl x {none,randomk,dgc,efsignsgd,onebit}) gating the
 #       modern layer cost models and the gradient-compression wire
+#   results/baseline_pipeline.json — the stage-schedule grid
+#       (lenet,alexnet,bert-base x {4,8} GPUs x b16 x
+#       {model_parallel,pipeline} x {8,16} microbatches) gating the
+#       gpipe and 1F1B schedules and the activation wire
 # Both are serialized with deterministic formatting so the diff
 # against the old baseline is reviewable like code.
 #
@@ -88,3 +92,12 @@ echo "results/baseline_sched.json refreshed ($count records)"
 
 count=$(grep -c '"model"' "$repo/results/baseline_zoo.json")
 echo "results/baseline_zoo.json refreshed ($count records)"
+
+"$builddir/tools/dgxprof" campaign \
+    --model lenet,alexnet,bert-base --gpus 4,8 --batches 16 \
+    --method p2p --mode model_parallel,pipeline \
+    --microbatches 8,16 \
+    --json "$repo/results/baseline_pipeline.json" --quiet >/dev/null
+
+count=$(grep -c '"model"' "$repo/results/baseline_pipeline.json")
+echo "results/baseline_pipeline.json refreshed ($count records)"
